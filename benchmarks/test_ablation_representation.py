@@ -1,0 +1,93 @@
+"""Ablation — 3D point clouds vs contact maps (§5.1.4).
+
+"…a novel approach for analyzing large MD ensemble simulation datasets
+using a 3D adversarial autoencoder (3D-AAE), a significant improvement
+over approaches such as variational autoencoders in that it is more
+robust and generalizable to protein coordinate datasets than contact
+maps."
+
+Measured on real CG-ESMACS conformations: both models are trained on
+the same ensemble, then every conformation is perturbed by small
+coordinate noise (below the contact cutoff).  A robust representation
+maps perturbed structures near their originals; contact maps are
+discontinuous at the cutoff, so their embeddings jump.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import generate_library, parse_smiles
+from repro.ddmd.aae import AAE, AAEConfig
+from repro.ddmd.cmvae import CMVAEConfig, ContactMapVAE, contact_map
+from repro.ddmd.pointcloud import normalize_cloud
+from repro.docking import DockingEngine, LGAConfig, make_receptor
+from repro.esmacs import EsmacsConfig, EsmacsRunner
+from repro.util.rng import rng_stream
+
+CG = EsmacsConfig(
+    replicas=4, equilibration_ns=1, production_ns=4, steps_per_ns=8,
+    n_residues=60, record_every=4, minimize_iterations=15,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    receptor = make_receptor("PLPro", "6W9C", seed=2021)
+    library = generate_library(6, seed=42)
+    engine = DockingEngine(
+        receptor, seed=0, config=LGAConfig(population=12, generations=5)
+    )
+    runner = EsmacsRunner(receptor, CG, seed=0)
+    frames = []
+    for i in range(6):
+        dock = engine.dock_smiles(library[i].smiles, library[i].compound_id)
+        res = runner.run(
+            parse_smiles(dock.smiles), engine.pose_coordinates(dock), dock.compound_id
+        )
+        for traj in res.trajectories:
+            for f in traj.frames:
+                frames.append(f[res.protein_atoms])
+    frames = np.array(frames)
+
+    clouds = np.stack([normalize_cloud(f) for f in frames])
+    maps = np.stack([contact_map(f, 8.0) for f in frames])
+
+    aae = AAE(AAEConfig(epochs=8, latent_dim=8, hidden=16), n_points=60, seed=0)
+    aae.fit(clouds)
+    vae = ContactMapVAE(
+        CMVAEConfig(epochs=8, hidden=48, latent_dim=8), n_inputs=maps.shape[1], seed=0
+    )
+    vae.fit(maps)
+
+    rng = rng_stream(9, "bench/repr")
+    perturbed = frames + rng.normal(scale=0.2, size=frames.shape)
+    z_a0 = aae.embed(clouds)
+    z_a1 = aae.embed(np.stack([normalize_cloud(f) for f in perturbed]))
+    z_v0 = vae.embed(maps)
+    z_v1 = vae.embed(np.stack([contact_map(f, 8.0) for f in perturbed]))
+
+    disp_aae = float(
+        np.linalg.norm(z_a1 - z_a0, axis=1).mean() / max(z_a0.std(), 1e-12)
+    )
+    disp_vae = float(
+        np.linalg.norm(z_v1 - z_v0, axis=1).mean() / max(z_v0.std(), 1e-12)
+    )
+    return disp_aae, disp_vae, len(frames)
+
+
+def test_aae_more_robust_than_contact_map_vae(benchmark, experiment):
+    disp_aae, disp_vae, n = experiment
+    ratio = benchmark(lambda: disp_vae / disp_aae)
+    print(f"\nembedding displacement under 0.2 Å noise ({n} conformations):")
+    print(f"  3D-AAE (point clouds): {disp_aae:.3f} (normalized)")
+    print(f"  VAE (contact maps):    {disp_vae:.3f}")
+    print(f"  robustness advantage:  {ratio:.1f}x")
+    assert disp_aae < disp_vae
+    assert ratio > 2.0
+
+
+def test_both_representations_learn(benchmark, experiment):
+    """The comparison is fair only if both models actually trained."""
+    disp_aae, disp_vae, _ = experiment
+    stats = benchmark(lambda: (disp_aae, disp_vae))
+    assert all(np.isfinite(stats))

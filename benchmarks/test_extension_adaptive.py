@@ -1,0 +1,66 @@
+"""Extension — DeepDriveMD adaptive-sampling acceleration (§5.1.4).
+
+"We have shown that DeepDriveMD can potentially accelerate protein
+folding simulations by at least 2 orders of magnitude."  The laptop-
+scale measurable: with an identical MD budget, AAE+LOF-steered restarts
+cover substantially more conformational space than restarts from the
+initial structure, and coverage keeps growing round over round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import parse_smiles
+from repro.ddmd import AAEConfig, AdaptiveSampler, AdaptiveSamplingConfig
+from repro.docking import make_receptor
+from repro.md import ForceField, build_lpc, minimize
+from repro.util.rng import rng_stream
+
+CFG = AdaptiveSamplingConfig(
+    rounds=4,
+    simulations_per_round=5,
+    steps_per_simulation=60,
+    record_every=5,
+    aae=AAEConfig(epochs=5, latent_dim=8, hidden=16),
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    receptor = make_receptor("PLPro", "6W9C", seed=2021)
+    mol = parse_smiles("c1ccccc1CC(=O)O")
+    coords = rng_stream(0, "bench/adaptive").normal(scale=2.0, size=(mol.n_atoms, 3))
+    system = build_lpc(receptor, mol, coords, seed=0, n_residues=70)
+    minimize(system, ForceField(), max_iterations=30)
+    adaptive = AdaptiveSampler(system, CFG, seed=0).run()
+    control = AdaptiveSampler(system, CFG.replace(adaptive=False), seed=0).run()
+    return adaptive, control
+
+
+def test_adaptive_coverage_advantage(benchmark, experiment):
+    adaptive, control = experiment
+    rows = benchmark(
+        lambda: list(zip(adaptive.coverage_per_round, control.coverage_per_round))
+    )
+    print("\nDeepDriveMD steering vs uniform restarts (mean RMSD from start, Å)")
+    print(f"  {'round':>5s} {'adaptive':>9s} {'control':>9s}")
+    for i, (a, c) in enumerate(rows):
+        print(f"  {i:5d} {a:9.3f} {c:9.3f}")
+    print(f"  max RMSD reached: adaptive {adaptive.max_rmsd:.2f} vs "
+          f"control {control.max_rmsd:.2f}")
+    # same budget, markedly deeper exploration
+    assert adaptive.coverage_per_round[-1] > 1.3 * control.coverage_per_round[-1]
+    assert adaptive.max_rmsd > control.max_rmsd
+
+
+def test_coverage_grows_across_rounds(benchmark, experiment):
+    adaptive, _ = experiment
+    cov = benchmark(lambda: adaptive.coverage_per_round)
+    assert cov[-1] > cov[0]  # steering compounds round over round
+
+
+def test_control_coverage_stays_flat(benchmark, experiment):
+    _, control = experiment
+    cov = benchmark(lambda: np.array(control.coverage_per_round))
+    # restarting from the same structure re-samples the same basin
+    assert cov.std() < 0.25 * cov.mean() + 1e-9

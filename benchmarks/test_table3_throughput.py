@@ -1,0 +1,121 @@
+"""Table 3 — throughput and peak flop/s per component.
+
+| Comp. | #GPUs | Tflop/s (paper) | Throughput (paper)  |
+|-------|-------|-----------------|---------------------|
+| ML1   | 1536  | 753.9           | 319,674 ligands/s   |
+| S1    | 6000  | 112.5           | 14,252 ligands/s    |
+| S3-CG | 6000  | 277.9           | 2,000 ligands/s     |
+| S3-FG | 6000  | 732.4           | 200 ligands/s       |
+
+We regenerate both columns: throughput from the cost model at the
+paper's GPU counts, and flop/s from the analytic per-work-unit flop
+counts of our actual kernels (§7.2's methodology).  Absolute Tflop/s of
+a NumPy bead model cannot match V100 kernels — what must hold, and what
+the assertions check, is the *throughput column* and the relative
+ordering ML1 ≫ S1 ≫ S3-CG ≫ S3-FG with roughly order-of-magnitude steps.
+"""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.esmacs.protocol import CG, FG
+from repro.rct.flops import docking_eval_flops, md_step_flops, model_forward_flops
+from repro.surrogate.model import build_smilesnet
+
+#: Table 3 as printed.  Unit note: the S3 rows are labelled "ligand/s"
+#: but are only consistent with Table 2 as ligands per *hour* (1000
+#: nodes ÷ 0.5 node-h/ligand = 2000/h for CG; 1500 ÷ 4-node × 1.2 h
+#: ensembles ≈ 200/h for FG) — we reproduce them as per-hour rates.
+PAPER_TABLE3 = {
+    # component: (gpus, tflops, throughput, unit)
+    "ML1": (1536, 753.9, 319_674.0, "ligands/s"),
+    "S1": (6000, 112.5, 14_252.0, "ligands/s (peak)"),
+    "S3-CG": (6000, 277.9, 2_000.0, "ligands/hour"),
+    "S3-FG": (6000, 732.4, 200.0, "ligands/hour"),
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    cm = CostModel()
+
+    def stage_throughput(stage: str, gpus: int) -> float:
+        """Throughput in the unit Table 3 effectively uses per row."""
+        if stage == "ML1":
+            return gpus * cm.ml1_ligands_per_gpu_second  # per second
+        if stage == "S1":
+            return gpus / cm.docking_wall_seconds(1, peak=True)  # per second
+        if stage == "S3-CG":
+            ensembles = gpus / (cm.esmacs_nodes(CG) * cm.node.gpus)
+            return ensembles / cm.esmacs_wall_seconds(CG) * 3600.0  # per hour
+        if stage == "S3-FG":
+            ensembles = gpus / (cm.esmacs_nodes(FG) * cm.node.gpus)
+            return ensembles / cm.esmacs_wall_seconds(FG) * 3600.0  # per hour
+        raise ValueError(stage)
+
+    # flops per ligand for each stage, from our kernels' actual shapes
+    n_beads = 309 + 25  # PLPro Cα model + typical ligand
+    net = build_smilesnet(0)
+    ml1_flops = model_forward_flops(net, (7, 24, 24))
+    s1_flops = docking_eval_flops(25) * cm.docking_evals_per_ligand
+    # paper-scale MD: steps = ns × 500,000 steps/ns (2 fs timestep)
+    steps_per_ns = 500_000
+    cg_flops = (
+        CG.replicas
+        * (CG.equilibration_ns + CG.production_ns)
+        * steps_per_ns
+        * md_step_flops(n_beads, n_bonds=900)
+    )
+    fg_flops = (
+        FG.replicas
+        * (FG.equilibration_ns + FG.production_ns)
+        * steps_per_ns
+        * md_step_flops(n_beads, n_bonds=900)
+    )
+    flops_per_ligand = {
+        "ML1": ml1_flops,
+        "S1": s1_flops,
+        "S3-CG": cg_flops,
+        "S3-FG": fg_flops,
+    }
+    out = {}
+    for stage, (gpus, _, _, unit) in PAPER_TABLE3.items():
+        thpt = stage_throughput(stage, gpus)
+        per_second = thpt / 3600.0 if "hour" in unit else thpt
+        tflops = per_second * flops_per_ligand[stage] / 1e12
+        out[stage] = (gpus, tflops, thpt, unit)
+    return out
+
+
+def test_table3_throughput_column(benchmark, table):
+    rows = benchmark(lambda: table)
+    print("\nTable 3 — per component at the paper's GPU counts")
+    print(f"  {'comp':6s} {'#GPUs':>6s} {'Tflop/s':>10s} {'throughput':>12s} "
+          f"{'paper':>12s}  unit")
+    for stage, (gpus, tflops, thpt, unit) in rows.items():
+        paper = PAPER_TABLE3[stage][2]
+        print(f"  {stage:6s} {gpus:6d} {tflops:10.2f} {thpt:12.1f} {paper:12.1f}  {unit}")
+    # throughputs within 2.5x of the paper's measured values
+    for stage, (gpus, _, thpt, unit) in rows.items():
+        paper = PAPER_TABLE3[stage][2]
+        assert paper / 2.5 < thpt < paper * 2.5, stage
+
+
+def test_throughput_ordering_and_steps(benchmark, table):
+    """ML1 ≫ S1 ≫ S3-CG ≫ S3-FG in a common unit (ligands/s), each
+    step one or more orders of magnitude."""
+    rows = benchmark(lambda: table)
+    t = {
+        k: (v[2] / 3600.0 if "hour" in v[3] else v[2]) for k, v in rows.items()
+    }
+    assert t["ML1"] > t["S1"] > t["S3-CG"] > t["S3-FG"]
+    assert 5 < t["ML1"] / t["S1"] < 100
+    assert t["S1"] / t["S3-CG"] > 1e3
+    assert 5 < t["S3-CG"] / t["S3-FG"] < 20
+
+
+def test_fg_flops_rate_exceeds_cg(benchmark, table):
+    """Paper: FG sustains higher flop/s than CG (732 vs 278) because the
+    bigger ensembles keep more GPUs saturated per ligand."""
+    rows = benchmark(lambda: table)
+    assert rows["S3-FG"][1] > rows["S3-CG"][1] * 0.8

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Lead optimization with TIES: rank congeneric analogues by ΔΔG.
+
+The step beyond the paper's demonstrated campaign (its Table 2 lists
+TIES as supported but "not integrated"): starting from a docked lead,
+evaluate a series of single-group modifications by alchemical relative
+binding free energy, the way H2L→lead-optimization teams actually use
+TIES.
+
+Run:  python examples/lead_optimization.py
+"""
+
+from repro.chem import parse_smiles
+from repro.docking import DockingEngine, LGAConfig, make_receptor
+from repro.ties import TiesConfig, TiesRunner
+
+LEAD = "c1ccccc1CC(=O)O"  # the lead scaffold: phenylacetic acid
+ANALOGUES = {
+    "amide": "c1ccccc1CC(=O)N",
+    "para-F": "Fc1ccc(CC(=O)O)cc1",
+    "para-Cl": "Clc1ccc(CC(=O)O)cc1",
+    "pyridyl": "c1ccncc1CC(=O)O",
+}
+
+
+def main() -> None:
+    receptor = make_receptor("PLPro", "6W9C", seed=2021)
+    print(f"lead: {LEAD}")
+
+    print("docking the lead ...")
+    engine = DockingEngine(
+        receptor, seed=0, config=LGAConfig(population=14, generations=6)
+    )
+    dock = engine.dock_smiles(LEAD, "LEAD")
+    coords = engine.pose_coordinates(dock)
+    print(f"  lead docking score: {dock.score:.2f} kcal/mol")
+
+    runner = TiesRunner(
+        receptor,
+        TiesConfig(
+            n_windows=5,
+            replicas_per_window=3,
+            equilibration_steps=20,
+            production_steps=50,
+            n_residues=60,
+            minimize_iterations=20,
+        ),
+        seed=0,
+    )
+    mol_lead = parse_smiles(LEAD)
+
+    print("\nTIES transformations (negative ΔΔG = analogue binds tighter):")
+    print(f"  {'analogue':<10s} {'ΔΔG':>8s} {'± sem':>7s}")
+    rows = []
+    for name, smiles in ANALOGUES.items():
+        result = runner.run(mol_lead, parse_smiles(smiles), coords, "lead", name)
+        rows.append((name, result.ddg, result.sem))
+        print(f"  {name:<10s} {result.ddg:8.2f} {result.sem:7.2f}")
+
+    best = min(rows, key=lambda r: r[1])
+    print(f"\nbest modification: {best[0]} (ΔΔG = {best[1]:.2f} kcal/mol)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""repro — a full reproduction of IMPECCABLE (Al Saadi et al., ICPP 2021).
+
+The package mirrors the paper's architecture:
+
+* :mod:`repro.chem` — molecules, SMILES, libraries (substrate for everything)
+* :mod:`repro.docking` — S1: Lamarckian-GA docking engine (AutoDock-GPU role)
+* :mod:`repro.nn` / :mod:`repro.surrogate` — ML1: docking-score surrogate + RES
+* :mod:`repro.md` — bead-model molecular dynamics engine (OpenMM/NAMD role)
+* :mod:`repro.esmacs` — S3: ensemble binding-free-energy protocol (CG and FG)
+* :mod:`repro.ddmd` — S2: DeepDriveMD 3D-AAE adaptive sampling
+* :mod:`repro.ties` — TIES alchemical lead optimization (Table 2's TI row)
+* :mod:`repro.rct` — EnTK/RADICAL-Pilot/RAPTOR workflow infrastructure
+* :mod:`repro.core` — the integrated IMPECCABLE campaign and its metrics
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,53 @@
+"""Chemistry substrate: molecules, SMILES, descriptors, fingerprints,
+depictions, conformers and synthetic compound libraries.
+
+This package replaces the cheminformatics stack (RDKit + ZINC/MCULE data)
+the paper depends on; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.chem.depict import N_CHANNELS, depict, layout_2d
+from repro.chem.descriptors import Descriptors, compute_descriptors, partial_charges
+from repro.chem.elements import ELEMENTS, Element, get_element
+from repro.chem.embed3d import embed_conformer
+from repro.chem.fingerprint import (
+    bulk_tanimoto,
+    diversity_pick,
+    morgan_fingerprint,
+    tanimoto,
+)
+from repro.chem.library import (
+    CompoundLibrary,
+    LibraryEntry,
+    generate_library,
+    library_overlap,
+)
+from repro.chem.mol import Atom, Bond, Molecule
+from repro.chem.smiles import SmilesError, canonical_smiles, parse_smiles, write_smiles
+
+__all__ = [
+    "Atom",
+    "Bond",
+    "CompoundLibrary",
+    "Descriptors",
+    "ELEMENTS",
+    "Element",
+    "LibraryEntry",
+    "Molecule",
+    "N_CHANNELS",
+    "SmilesError",
+    "bulk_tanimoto",
+    "canonical_smiles",
+    "compute_descriptors",
+    "depict",
+    "diversity_pick",
+    "embed_conformer",
+    "generate_library",
+    "get_element",
+    "layout_2d",
+    "library_overlap",
+    "morgan_fingerprint",
+    "parse_smiles",
+    "partial_charges",
+    "tanimoto",
+    "write_smiles",
+]

@@ -1,0 +1,112 @@
+"""2D depiction: molecular graph → coordinates → raster image.
+
+Replaces RDKit's ``mol2D`` drawing (§6.1.1).  The surrogate's featurization
+contract is "SMILES in, 2D image out"; we honour it with a deterministic
+force-directed 2D layout followed by rasterization into a multi-channel
+float image.  Channels encode what a chemist reads off a depiction — heavy
+atoms, heteroatoms, aromaticity, charge and bond skeleton — so a small CNN
+can learn docking-score structure from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.descriptors import partial_charges
+from repro.chem.mol import Molecule
+
+__all__ = ["layout_2d", "depict", "N_CHANNELS"]
+
+#: image channels: [carbon, N, O, halogen/S/P, aromatic, charge, bonds]
+N_CHANNELS = 7
+
+
+def layout_2d(mol: Molecule, iterations: int = 120) -> np.ndarray:
+    """Deterministic force-directed 2D coordinates, unit bond length.
+
+    Fruchterman–Reingold-style: spring attraction along bonds, soft
+    repulsion between all atom pairs, cooled step size.  Initialized from a
+    deterministic angular arrangement (no RNG) so the same molecule always
+    renders identically — a requirement for cacheable featurization.
+    """
+    n = mol.n_atoms
+    if n == 1:
+        return np.zeros((1, 2))
+    # deterministic init: atoms on a spiral ordered by index
+    theta = np.arange(n) * 2.39996323  # golden angle
+    r = 0.5 * np.sqrt(np.arange(n) + 1.0)
+    pos = np.stack([r * np.cos(theta), r * np.sin(theta)], axis=1)
+
+    edges = np.array([(b.a, b.b) for b in mol.bonds], dtype=np.int64)
+    step = 0.15
+    for it in range(iterations):
+        disp = np.zeros_like(pos)
+        # pairwise repulsion ~ 1/d
+        diff = pos[:, None, :] - pos[None, :, :]
+        dist2 = (diff**2).sum(-1) + 1e-6
+        np.fill_diagonal(dist2, np.inf)
+        rep = diff / dist2[..., None] * 0.35
+        disp += rep.sum(axis=1)
+        # spring attraction toward unit bond length
+        if len(edges):
+            d = pos[edges[:, 0]] - pos[edges[:, 1]]
+            length = np.linalg.norm(d, axis=1, keepdims=True) + 1e-9
+            force = (length - 1.0) * d / length
+            np.add.at(disp, edges[:, 0], -force)
+            np.add.at(disp, edges[:, 1], force)
+        norm = np.linalg.norm(disp, axis=1, keepdims=True) + 1e-9
+        pos += disp / norm * np.minimum(norm, step)
+        step *= 0.985
+    pos -= pos.mean(axis=0)
+    return pos
+
+
+def _draw_line(img: np.ndarray, p0: np.ndarray, p1: np.ndarray, value: float) -> None:
+    """Accumulate an anti-aliased-ish line into a single-channel image."""
+    steps = max(2, int(np.linalg.norm(p1 - p0) * 2) + 1)
+    ts = np.linspace(0.0, 1.0, steps)
+    pts = p0[None, :] * (1 - ts[:, None]) + p1[None, :] * ts[:, None]
+    size = img.shape[0]
+    ij = np.round(pts).astype(int)
+    ok = (ij[:, 0] >= 0) & (ij[:, 0] < size) & (ij[:, 1] >= 0) & (ij[:, 1] < size)
+    img[ij[ok, 1], ij[ok, 0]] = np.maximum(img[ij[ok, 1], ij[ok, 0]], value)
+
+
+def depict(mol: Molecule, size: int = 32) -> np.ndarray:
+    """Rasterize a molecule into a ``(N_CHANNELS, size, size)`` float image.
+
+    Atom channels use a small Gaussian splat; the bond channel draws the
+    skeleton with intensity proportional to bond order.  Output is in
+    [0, 1] and suitable as direct CNN input.
+    """
+    coords = layout_2d(mol)
+    span = max(1.0, np.abs(coords).max() * 1.15)
+    scale = (size / 2 - 2) / span
+    pix = coords * scale + size / 2
+
+    img = np.zeros((N_CHANNELS, size, size), dtype=np.float32)
+    charges = partial_charges(mol)
+
+    yy, xx = np.mgrid[0:size, 0:size]
+    sigma2 = max(1.0, (scale * 0.35)) ** 2
+    for atom in mol.atoms:
+        cx, cy = pix[atom.index]
+        splat = np.exp(-((xx - cx) ** 2 + (yy - cy) ** 2) / (2 * sigma2))
+        if atom.symbol == "C":
+            ch = 0
+        elif atom.symbol == "N":
+            ch = 1
+        elif atom.symbol == "O":
+            ch = 2
+        else:
+            ch = 3
+        img[ch] = np.maximum(img[ch], splat.astype(np.float32))
+        if atom.aromatic:
+            img[4] = np.maximum(img[4], splat.astype(np.float32))
+        q = float(np.clip(charges[atom.index], -1, 1))
+        img[5] = np.maximum(img[5], (0.5 + 0.5 * q) * splat.astype(np.float32))
+
+    for bond in mol.bonds:
+        value = min(1.0, bond.valence() / 3.0 + 0.3)
+        _draw_line(img[6], pix[bond.a], pix[bond.b], value)
+    return img

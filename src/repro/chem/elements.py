@@ -1,0 +1,75 @@
+"""Element property tables for the organic subset used by the library.
+
+The tables cover the elements that occur in drug-like small molecules and
+in our synthetic SMILES grammar.  Values are approximate but internally
+consistent; they feed descriptor calculations, partial-charge assignment,
+and bead typing for the docking and MD substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Element", "ELEMENTS", "get_element"]
+
+
+@dataclass(frozen=True)
+class Element:
+    """Static per-element properties.
+
+    Attributes
+    ----------
+    symbol:
+        Periodic-table symbol (e.g. ``"Cl"``).
+    number:
+        Atomic number.
+    weight:
+        Standard atomic weight (g/mol).
+    valence:
+        Default bonding valence used for implicit-hydrogen filling.
+    electronegativity:
+        Pauling electronegativity; drives partial-charge assignment.
+    hydrophobicity:
+        Dimensionless bead hydrophobicity in [-1, 1]; positive values are
+        lipophilic.  Loosely follows atomic Crippen logP contributions.
+    radius:
+        Van der Waals radius (angstrom) for steric terms.
+    """
+
+    symbol: str
+    number: int
+    weight: float
+    valence: int
+    electronegativity: float
+    hydrophobicity: float
+    radius: float
+
+
+_TABLE = [
+    Element("H", 1, 1.008, 1, 2.20, 0.10, 1.10),
+    Element("B", 5, 10.81, 3, 2.04, 0.00, 1.92),
+    Element("C", 6, 12.011, 4, 2.55, 0.30, 1.70),
+    Element("N", 7, 14.007, 3, 3.04, -0.50, 1.55),
+    Element("O", 8, 15.999, 2, 3.44, -0.70, 1.52),
+    Element("F", 9, 18.998, 1, 3.98, 0.20, 1.47),
+    Element("P", 15, 30.974, 3, 2.19, -0.30, 1.80),
+    Element("S", 16, 32.06, 2, 2.58, 0.10, 1.80),
+    Element("Cl", 17, 35.45, 1, 3.16, 0.45, 1.75),
+    Element("Br", 35, 79.904, 1, 2.96, 0.55, 1.85),
+    Element("I", 53, 126.904, 1, 2.66, 0.65, 1.98),
+]
+
+ELEMENTS: dict[str, Element] = {e.symbol: e for e in _TABLE}
+
+#: elements allowed to be aromatic in our SMILES subset
+AROMATIC_SYMBOLS = frozenset({"C", "N", "O", "S"})
+
+
+def get_element(symbol: str) -> Element:
+    """Look up an element; raises ``KeyError`` with a helpful message."""
+    try:
+        return ELEMENTS[symbol]
+    except KeyError:
+        raise KeyError(
+            f"unsupported element {symbol!r}; supported: {sorted(ELEMENTS)}"
+        ) from None

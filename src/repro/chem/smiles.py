@@ -1,0 +1,406 @@
+"""SMILES subset parser and writer.
+
+The paper's pipeline speaks SMILES everywhere (libraries are shipped as
+SMILES, the ML1 surrogate featurizes SMILES, docking ingests SMILES).  We
+implement the organic subset sufficient for drug-like molecules:
+
+* organic-subset atoms ``B C N O P S F Cl Br I`` and aromatic ``b c n o p s``,
+* bracket atoms with explicit H counts and formal charges (``[NH3+]``),
+* single/double/triple bonds (``- = #``) and implicit aromatic bonds,
+* branches ``( )`` and ring-closure digits (including ``%nn``).
+
+Stereochemistry, isotopes and multi-fragment (``.``) inputs are rejected
+explicitly — the synthetic library never emits them, and silently ignoring
+them would corrupt downstream featurization.
+"""
+
+from __future__ import annotations
+
+from repro.chem.mol import Atom, Bond, Molecule
+
+__all__ = ["parse_smiles", "write_smiles", "canonical_smiles", "SmilesError"]
+
+_ORGANIC_TWO = ("Cl", "Br")
+_ORGANIC_ONE = set("BCNOPSFI")
+_AROMATIC_ORGANIC = set("bcnops")
+_BOND_CHARS = {"-": 1, "=": 2, "#": 3}
+
+
+class SmilesError(ValueError):
+    """Raised on malformed or unsupported SMILES input."""
+
+    def __init__(self, smiles: str, pos: int, message: str) -> None:
+        super().__init__(f"{message} at position {pos} in {smiles!r}")
+        self.smiles = smiles
+        self.pos = pos
+
+
+class _Parser:
+    """Single-pass recursive-descent-free SMILES reader using a branch stack."""
+
+    def __init__(self, smiles: str) -> None:
+        self.s = smiles
+        self.i = 0
+        self.mol = Molecule(name=smiles)
+        self.prev: int | None = None  # index of atom awaiting a bond
+        self.pending_order: int | None = None  # explicit bond char seen
+        self.stack: list[int] = []  # open branch anchors
+        self.ring_open: dict[int, tuple[int, int | None]] = {}  # num -> (atom, order)
+
+    def error(self, message: str) -> SmilesError:
+        """Build a position-annotated parse error."""
+        return SmilesError(self.s, self.i, message)
+
+    # ---------------------------------------------------------------- atoms
+    def _attach(self, atom: Atom) -> None:
+        idx = self.mol.add_atom(atom)
+        if self.prev is not None:
+            a_prev = self.mol.atoms[self.prev]
+            if self.pending_order is not None:
+                self.mol.add_bond(self.prev, idx, order=self.pending_order)
+            elif a_prev.aromatic and atom.aromatic:
+                self.mol.add_bond(self.prev, idx, order=1, aromatic=True)
+            else:
+                self.mol.add_bond(self.prev, idx, order=1)
+        self.pending_order = None
+        self.prev = idx
+
+    def _read_bracket(self) -> None:
+        start = self.i
+        self.i += 1  # consume '['
+        s = self.s
+        if self.i >= len(s):
+            raise self.error("unterminated bracket atom")
+        # element symbol (possibly aromatic lowercase)
+        aromatic = False
+        if s[self.i : self.i + 2] in _ORGANIC_TWO:
+            symbol = s[self.i : self.i + 2]
+            self.i += 2
+        else:
+            ch = s[self.i]
+            if ch in _AROMATIC_ORGANIC:
+                symbol, aromatic = ch.upper(), True
+            elif ch.isalpha() and ch.isupper():
+                symbol = ch
+            else:
+                raise self.error(f"bad element start {ch!r} in bracket")
+            self.i += 1
+        # explicit hydrogens [CH3]; we rely on valence maths so we only
+        # verify consistency later — the count itself is parsed and dropped.
+        if self.i < len(s) and s[self.i] == "H":
+            self.i += 1
+            while self.i < len(s) and s[self.i].isdigit():
+                self.i += 1
+        # charge
+        charge = 0
+        if self.i < len(s) and s[self.i] in "+-":
+            sign = 1 if s[self.i] == "+" else -1
+            self.i += 1
+            if self.i < len(s) and s[self.i].isdigit():
+                charge = sign * int(s[self.i])
+                self.i += 1
+            else:
+                charge = sign
+                while self.i < len(s) and s[self.i] == ("+" if sign > 0 else "-"):
+                    charge += sign
+                    self.i += 1
+        if self.i >= len(s) or s[self.i] != "]":
+            self.i = start
+            raise self.error("unterminated or unsupported bracket atom")
+        self.i += 1
+        self._attach(Atom(symbol=symbol, charge=charge, aromatic=aromatic))
+
+    # ---------------------------------------------------------------- rings
+    def _ring_closure(self, num: int) -> None:
+        if num in self.ring_open:
+            other, open_order = self.ring_open.pop(num)
+            if self.prev is None:
+                raise self.error("ring closure before any atom")
+            order = self.pending_order or open_order
+            a, b = self.mol.atoms[other], self.mol.atoms[self.prev]
+            if order is None and a.aromatic and b.aromatic:
+                self.mol.add_bond(other, self.prev, order=1, aromatic=True)
+            else:
+                self.mol.add_bond(other, self.prev, order=order or 1)
+            self.pending_order = None
+        else:
+            if self.prev is None:
+                raise self.error("ring opening before any atom")
+            self.ring_open[num] = (self.prev, self.pending_order)
+            self.pending_order = None
+
+    # ----------------------------------------------------------------- main
+    def parse(self) -> Molecule:
+        """Run the parser; returns the validated molecule."""
+        s = self.s
+        if not s:
+            raise SmilesError(s, 0, "empty SMILES")
+        while self.i < len(s):
+            ch = s[self.i]
+            if s[self.i : self.i + 2] in _ORGANIC_TWO:
+                self.i += 2
+                self._attach(Atom(symbol=s[self.i - 2 : self.i]))
+            elif ch in _ORGANIC_ONE:
+                self.i += 1
+                self._attach(Atom(symbol=ch))
+            elif ch in _AROMATIC_ORGANIC:
+                if ch in ("b", "p"):
+                    raise self.error(f"aromatic {ch!r} unsupported")
+                self.i += 1
+                self._attach(Atom(symbol=ch.upper(), aromatic=True))
+            elif ch == "[":
+                self._read_bracket()
+            elif ch in _BOND_CHARS:
+                if self.pending_order is not None:
+                    raise self.error("two consecutive bond symbols")
+                self.pending_order = _BOND_CHARS[ch]
+                self.i += 1
+            elif ch == "(":
+                if self.prev is None:
+                    raise self.error("branch before any atom")
+                self.stack.append(self.prev)
+                self.i += 1
+            elif ch == ")":
+                if not self.stack:
+                    raise self.error("unmatched ')'")
+                self.prev = self.stack.pop()
+                self.i += 1
+            elif ch.isdigit():
+                self._ring_closure(int(ch))
+                self.i += 1
+            elif ch == "%":
+                if self.i + 2 >= len(s) or not s[self.i + 1 : self.i + 3].isdigit():
+                    raise self.error("bad %nn ring closure")
+                self._ring_closure(int(s[self.i + 1 : self.i + 3]))
+                self.i += 3
+            elif ch in ("/", "\\", "@", ".", ":"):
+                raise self.error(f"unsupported SMILES feature {ch!r}")
+            else:
+                raise self.error(f"unexpected character {ch!r}")
+        if self.stack:
+            raise self.error("unclosed branch '('")
+        if self.ring_open:
+            raise self.error(f"unclosed ring closures {sorted(self.ring_open)}")
+        if self.pending_order is not None:
+            raise self.error("dangling bond symbol")
+        self._demote_nonring_aromatic_bonds()
+        self.mol.validate()
+        return self.mol
+
+    def _demote_nonring_aromatic_bonds(self) -> None:
+        """Bonds between aromatic atoms default to aromatic while reading,
+        but a linker like the biphenyl C–C bond is a plain single bond: only
+        bonds that lie inside a ring may stay aromatic."""
+        ring_bonds: set[frozenset[int]] = set()
+        for ring in self.mol.rings():
+            for i in range(len(ring)):
+                ring_bonds.add(frozenset((ring[i], ring[(i + 1) % len(ring)])))
+        for bond in self.mol.bonds:
+            if bond.aromatic and frozenset((bond.a, bond.b)) not in ring_bonds:
+                bond.aromatic = False
+                bond.order = 1
+
+
+def parse_smiles(smiles: str) -> Molecule:
+    """Parse a SMILES string into a validated :class:`Molecule`."""
+    return _Parser(smiles.strip()).parse()
+
+
+# --------------------------------------------------------------------- write
+
+
+def _atom_token(atom: Atom, mol: Molecule) -> str:
+    """Render one atom, using brackets only when required."""
+    needs_bracket = atom.charge != 0
+    sym = atom.symbol.lower() if atom.aromatic else atom.symbol
+    if not needs_bracket:
+        return sym
+    h = mol.implicit_hydrogens(atom.index)
+    hpart = "" if h == 0 else ("H" if h == 1 else f"H{h}")
+    if atom.charge > 0:
+        cpart = "+" if atom.charge == 1 else f"+{atom.charge}"
+    else:
+        cpart = "-" if atom.charge == -1 else f"-{-atom.charge}"
+    return f"[{sym}{hpart}{cpart}]"
+
+
+def _bond_token(bond: Bond) -> str:
+    if bond.aromatic or bond.order == 1:
+        return ""
+    return {2: "=", 3: "#"}[bond.order]
+
+
+def write_smiles(mol: Molecule, order: list[int] | None = None) -> str:
+    """Serialize a molecule to SMILES.
+
+    ``order`` optionally gives a priority ranking (lower first) used to pick
+    the DFS root and neighbor visit order; :func:`canonical_smiles` passes
+    canonical ranks here.  Without it the writer follows atom indices, which
+    still round-trips but is representation-dependent.
+    """
+    if mol.n_atoms == 0:
+        raise ValueError("cannot write empty molecule")
+    if not mol.is_connected():
+        raise ValueError("cannot write disconnected molecule")
+    rank = order if order is not None else list(range(mol.n_atoms))
+
+    def bond_sorted(idx: int) -> list[Bond]:
+        return sorted(mol.adjacency()[idx], key=lambda b: rank[b.other(idx)])
+
+    # Pass 1: DFS to classify bonds as tree edges vs ring-closure (back)
+    # edges.  Ring-closure digits must be printed at *both* endpoints, so
+    # they have to be known before any text is emitted.
+    root = min(range(mol.n_atoms), key=lambda i: rank[i])
+    visited: set[int] = set()
+    children: dict[int, list[Bond]] = {i: [] for i in range(mol.n_atoms)}
+    ring_digits_at: dict[int, list[tuple[int, Bond]]] = {
+        i: [] for i in range(mol.n_atoms)
+    }
+    next_digit = 1
+    stack: list[tuple[int, Bond | None]] = [(root, None)]
+    seen_bonds: set[int] = set()
+    # iterative DFS preserving the sorted visit order
+    while stack:
+        idx, via = stack.pop()
+        if idx in visited:
+            # a pushed tree candidate whose target was reached first through
+            # a sibling: it closes a ring after all
+            if via is not None and id(via) not in seen_bonds:
+                if next_digit > 99:
+                    raise ValueError("too many ring closures")
+                ring_digits_at[via.a].append((next_digit, via))
+                ring_digits_at[via.b].append((next_digit, via))
+                seen_bonds.add(id(via))
+                next_digit += 1
+            continue
+        visited.add(idx)
+        if via is not None:
+            seen_bonds.add(id(via))
+        to_push = []
+        for bond in bond_sorted(idx):
+            if bond is via or id(bond) in seen_bonds:
+                continue
+            other = bond.other(idx)
+            if other in visited:
+                # back edge: allocate a shared digit at both endpoints
+                if next_digit > 99:
+                    raise ValueError("too many ring closures")
+                ring_digits_at[idx].append((next_digit, bond))
+                ring_digits_at[other].append((next_digit, bond))
+                seen_bonds.add(id(bond))
+                next_digit += 1
+            else:
+                to_push.append((other, bond))
+        # push in reverse so the lowest-rank child is visited first
+        for other, bond in reversed(to_push):
+            stack.append((other, bond))
+
+    # A child pushed early may get claimed by a later sibling (through a
+    # ring), so rebuild the actual tree with a clean recursive pass that
+    # mirrors the emission below.
+    visited2: set[int] = set()
+    back_bonds = {id(b) for digits in ring_digits_at.values() for _, b in digits}
+
+    def build(idx: int, via: Bond | None) -> None:
+        visited2.add(idx)
+        for bond in bond_sorted(idx):
+            if bond is via or id(bond) in back_bonds:
+                continue
+            other = bond.other(idx)
+            if other in visited2:
+                continue
+            children[idx].append(bond)
+            build(other, bond)
+
+    build(root, None)
+    if len(visited2) != mol.n_atoms:
+        raise ValueError("writer failed to reach all atoms")
+
+    # Pass 2: emit text following the tree.
+    pieces: list[str] = []
+
+    def emit(idx: int, via: Bond | None) -> None:
+        if via is not None:
+            pieces.append(_bond_token(via))
+        pieces.append(_atom_token(mol.atoms[idx], mol))
+        for digit, bond in sorted(ring_digits_at[idx]):
+            pieces.append(
+                _bond_token(bond) + (str(digit) if digit < 10 else f"%{digit:02d}")
+            )
+        kids = children[idx]
+        for k, bond in enumerate(kids):
+            last = k == len(kids) - 1
+            if not last:
+                pieces.append("(")
+            emit(bond.other(idx), bond)
+            if not last:
+                pieces.append(")")
+
+    emit(root, None)
+    return "".join(pieces)
+
+
+# ----------------------------------------------------------------- canonical
+
+
+def canonical_ranks(mol: Molecule) -> list[int]:
+    """Canonical atom ranking by iterative invariant refinement.
+
+    Starts from local invariants (element, charge, aromaticity, degree,
+    implicit H count) and refines by sorted neighbor ranks until stable;
+    remaining ties are broken by splitting the lowest tied class and
+    re-refining, which yields a deterministic, representation-independent
+    ranking for the molecule sizes in this library.
+    """
+    n = mol.n_atoms
+    inv = [
+        (
+            a.element.number,
+            a.charge,
+            a.aromatic,
+            mol.degree(a.index),
+            mol.implicit_hydrogens(a.index),
+        )
+        for a in mol.atoms
+    ]
+    ranks = _dense_ranks(inv)
+
+    def refine(r: list[int]) -> list[int]:
+        while True:
+            keys = [
+                (r[i], tuple(sorted(r[j] for j in mol.neighbors(i)))) for i in range(n)
+            ]
+            new = _dense_ranks(keys)
+            if new == r:
+                return r
+            r = new
+
+    ranks = refine(ranks)
+    while len(set(ranks)) < n:
+        # split the first tied class deterministically
+        counts: dict[int, list[int]] = {}
+        for i, r in enumerate(ranks):
+            counts.setdefault(r, []).append(i)
+        tied = min((r for r, idxs in counts.items() if len(idxs) > 1), default=None)
+        assert tied is not None
+        chosen = counts[tied][0]
+        keys2 = [(r, 0 if i == chosen else 1) for i, r in enumerate(ranks)]
+        ranks = refine(_dense_ranks(keys2))
+    return ranks
+
+
+def _dense_ranks(keys: list) -> list[int]:
+    """Map arbitrary sortable keys to dense integer ranks."""
+    uniq = sorted(set(keys))
+    lookup = {k: i for i, k in enumerate(uniq)}
+    return [lookup[k] for k in keys]
+
+
+def canonical_smiles(smiles_or_mol: str | Molecule) -> str:
+    """Canonical SMILES for deduplication and library-overlap accounting."""
+    mol = (
+        parse_smiles(smiles_or_mol)
+        if isinstance(smiles_or_mol, str)
+        else smiles_or_mol
+    )
+    return write_smiles(mol, order=canonical_ranks(mol))

@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+Subcommands map to the library's main entry points:
+
+* ``repro campaign``  — run a scaled-down IMPECCABLE campaign
+* ``repro dock``      — dock SMILES (arguments or a file) against a target
+* ``repro screen``    — train a surrogate on docked data and rank a library
+* ``repro costs``     — print the derived Table 2 cost model
+* ``repro simulate``  — run the integrated workflow on the simulated cluster
+
+Invoke as ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IMPECCABLE reproduction: ML+physics drug-discovery campaign",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_campaign = sub.add_parser("campaign", help="run the integrated campaign loop")
+    p_campaign.add_argument("--target", default="PLPro")
+    p_campaign.add_argument("--pdb-id", default=None)
+    p_campaign.add_argument("--library-size", type=int, default=60)
+    p_campaign.add_argument("--iterations", type=int, default=2)
+    p_campaign.add_argument("--seed", type=int, default=0)
+    p_campaign.add_argument(
+        "--no-enrichment", action="store_true",
+        help="skip the ground-truth oracle (much faster)",
+    )
+
+    p_dock = sub.add_parser("dock", help="dock SMILES against a target")
+    p_dock.add_argument("smiles", nargs="+", help="SMILES strings to dock")
+    p_dock.add_argument("--target", default="PLPro")
+    p_dock.add_argument("--pdb-id", default=None)
+    p_dock.add_argument("--seed", type=int, default=0)
+    p_dock.add_argument("--local-search", default="adadelta",
+                        choices=["adadelta", "solis-wets"])
+
+    p_screen = sub.add_parser(
+        "screen", help="train a surrogate on docked data, rank a library"
+    )
+    p_screen.add_argument("--target", default="PLPro")
+    p_screen.add_argument("--train-size", type=int, default=120)
+    p_screen.add_argument("--library-size", type=int, default=200)
+    p_screen.add_argument("--top", type=int, default=10)
+    p_screen.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("costs", help="print the derived Table 2 cost model")
+
+    p_sim = sub.add_parser(
+        "simulate", help="integrated (CG)-(S2)-(FG) run on the simulated cluster"
+    )
+    p_sim.add_argument("--nodes", type=int, default=120)
+    p_sim.add_argument("--cg", type=int, default=96)
+    p_sim.add_argument("--s2", type=int, default=12)
+    p_sim.add_argument("--fg", type=int, default=24)
+    p_sim.add_argument("--cohorts", type=int, default=6)
+    return parser
+
+
+def _cmd_campaign(args) -> int:
+    from repro.core import CampaignConfig, ImpeccableCampaign
+    from repro.docking.receptor import TARGETS
+
+    pdb = args.pdb_id or TARGETS[args.target][0]
+    config = CampaignConfig(
+        target=args.target,
+        pdb_id=pdb,
+        library_size=args.library_size,
+        seed_train_size=max(10, args.library_size // 3),
+        iterations=args.iterations,
+        compute_enrichment=not args.no_enrichment,
+        seed=args.seed,
+    )
+    result = ImpeccableCampaign(config).run()
+    for it in result.iterations:
+        print(it.metrics.summary())
+    best = min(result.all_fg(), key=lambda r: r.binding_free_energy, default=None)
+    if best is not None:
+        print(f"\nbest FG ΔG: {best.binding_free_energy:.1f} ± {best.sem:.1f} "
+              f"kcal/mol ({best.compound_id})")
+    return 0
+
+
+def _cmd_dock(args) -> int:
+    from repro.docking import DockingEngine, make_receptor
+
+    receptor = make_receptor(args.target, args.pdb_id)
+    engine = DockingEngine(receptor, seed=args.seed, local_search=args.local_search)
+    results = [engine.dock_smiles(s, f"CLI{i:04d}") for i, s in enumerate(args.smiles)]
+    print(f"{'id':<8s} {'score':>9s}  smiles")
+    for r in DockingEngine.rank(results):
+        print(f"{r.compound_id:<8s} {r.score:9.2f}  {r.smiles}")
+    return 0
+
+
+def _cmd_screen(args) -> int:
+    from repro.chem import generate_library
+    from repro.docking import DockingEngine, LGAConfig, make_receptor
+    from repro.surrogate import InferenceEngine, TrainConfig, train_surrogate
+
+    receptor = make_receptor(args.target)
+    train_lib = generate_library(args.train_size, seed=args.seed, name="train")
+    engine = DockingEngine(
+        receptor, seed=args.seed, config=LGAConfig(population=12, generations=5)
+    )
+    print(f"docking {args.train_size} training compounds ...", file=sys.stderr)
+    scores = np.array([r.score for r in engine.dock_library(train_lib)])
+    surrogate = train_surrogate(
+        train_lib.smiles(), scores, TrainConfig(epochs=10), seed=args.seed
+    )
+    library = generate_library(args.library_size, seed=args.seed + 1, name="screen")
+    scored = InferenceEngine(surrogate).score_smiles(
+        library.smiles(), [e.compound_id for e in library]
+    )
+    print(f"{'rank':>4s} {'id':<12s} {'pred':>6s}  smiles")
+    for i, s in enumerate(
+        sorted(scored, key=lambda x: x.score, reverse=True)[: args.top]
+    ):
+        print(f"{i + 1:4d} {s.compound_id:<12s} {s.score:6.3f}  {s.smiles}")
+    return 0
+
+
+def _cmd_costs(_args) -> int:
+    from repro.core import PAPER_TABLE2, CostModel
+
+    cm = CostModel()
+    print(f"{'stage':<7s} {'nodes/lig':>10s} {'node-h/lig':>12s} {'paper':>10s}")
+    for stage, paper in PAPER_TABLE2.items():
+        print(f"{stage:<7s} {cm.nodes_per_ligand(stage):10.3f} "
+              f"{cm.node_hours_per_ligand(stage):12.5f} {paper:10.5f}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.core import SimulatedCampaignConfig, simulate_integrated_run
+
+    pilot = simulate_integrated_run(
+        SimulatedCampaignConfig(
+            n_nodes=args.nodes,
+            cg_compounds=args.cg,
+            s2_compounds=args.s2,
+            fg_compounds=args.fg,
+            cohorts=args.cohorts,
+        )
+    )
+    series = pilot.utilization.series()
+    print(series.ascii_plot(width=66, height=10))
+    print(f"makespan {series.times[-1]:.0f}s, "
+          f"mean GPU utilization {series.average_utilization():.2f}, "
+          f"{len(pilot.records)} tasks")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "campaign": _cmd_campaign,
+        "dock": _cmd_dock,
+        "screen": _cmd_screen,
+        "costs": _cmd_costs,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

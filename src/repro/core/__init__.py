@@ -1,0 +1,39 @@
+"""The IMPECCABLE campaign core: the integrated loop, cost model,
+ground-truth oracle and performance metrics."""
+
+from repro.core.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    ImpeccableCampaign,
+    IterationResult,
+)
+from repro.core.costs import PAPER_TABLE2, CostModel
+from repro.core.metrics import (
+    CampaignMetrics,
+    StageAccounting,
+    enrichment_factor,
+    throughput,
+)
+from repro.core.simulate import (
+    SimulatedCampaignConfig,
+    build_integrated_pipelines,
+    simulate_integrated_run,
+)
+from repro.core.truth import ReferenceOracle
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignMetrics",
+    "CampaignResult",
+    "CostModel",
+    "ImpeccableCampaign",
+    "IterationResult",
+    "PAPER_TABLE2",
+    "ReferenceOracle",
+    "SimulatedCampaignConfig",
+    "StageAccounting",
+    "build_integrated_pipelines",
+    "enrichment_factor",
+    "simulate_integrated_run",
+    "throughput",
+]

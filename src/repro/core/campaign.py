@@ -1,0 +1,462 @@
+"""The IMPECCABLE campaign: ML1 → S1 → S3-CG → S2 → S3-FG, iterated.
+
+This is the paper's Fig 1 loop as executable code.  Each iteration:
+
+1. **ML1** — the surrogate ranks the not-yet-docked library; the top
+   fraction (plus an exploration quota from lower ranks, §7.1.1's
+   "15–20% of compounds from the RES") is passed on;
+2. **S1** — selected compounds are docked; scores join the training set;
+3. **S3-CG** — the structurally most diverse of the best docked
+   compounds (§7.1.2) get coarse ensemble free energies;
+4. **S2** — the 3D-AAE + LOF filter picks outlier conformations of the
+   best CG binders;
+5. **S3-FG** — fine-grained ESMACS refines the selected conformations;
+6. the surrogate **retrains** on everything docked so far — the
+   upstream feedback that makes the loop an active-learning pipeline.
+
+Scaled-down in size, faithful in structure: every stage is the real
+implementation from this package, and every hand-off carries real
+structures (docked poses seed CG; S2-selected frames seed FG).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.fingerprint import diversity_pick
+from repro.chem.library import CompoundLibrary, generate_library
+from repro.chem.smiles import parse_smiles
+from repro.core.costs import CostModel
+from repro.core.metrics import CampaignMetrics, StageAccounting, enrichment_factor
+from repro.core.truth import ReferenceOracle
+from repro.ddmd.adaptive import AdaptiveConfig, S2Result, run_s2
+from repro.docking.engine import DockingEngine, DockingResult
+from repro.docking.lga import LGAConfig
+from repro.docking.receptor import Receptor, make_receptor
+from repro.esmacs.protocol import EsmacsConfig, EsmacsResult, EsmacsRunner
+from repro.md.builder import build_lpc
+from repro.surrogate.infer import InferenceEngine
+from repro.surrogate.train import TrainConfig, TrainedSurrogate, train_surrogate
+from repro.util.config import FrozenConfig, validate_positive, validate_range
+from repro.util.log import get_logger
+from repro.util.rng import RngFactory
+
+_log = get_logger("core.campaign")
+
+__all__ = ["CampaignConfig", "IterationResult", "CampaignResult", "ImpeccableCampaign"]
+
+#: laptop-scale defaults for the heavy stages
+_FAST_LGA = LGAConfig(population=14, generations=6)
+_FAST_CG = EsmacsConfig(
+    replicas=6,
+    equilibration_ns=1.0,
+    production_ns=4.0,
+    steps_per_ns=14,
+    n_residues=90,
+    record_every=5,
+    minimize_iterations=25,
+)
+_FAST_FG = EsmacsConfig(
+    replicas=12,  # paper: 24; halved so examples stay interactive
+    equilibration_ns=2.0,
+    production_ns=10.0,
+    steps_per_ns=14,
+    n_residues=90,
+    record_every=10,
+    minimize_iterations=25,
+)
+
+
+@dataclass(frozen=True)
+class CampaignConfig(FrozenConfig):
+    """Shape of one campaign."""
+
+    target: str = "PLPro"
+    pdb_id: str = "6W9C"
+    #: optional extra crystal structures: when non-empty, S1 docks every
+    #: compound against each structure and keeps the consensus-best pose
+    #: (§7.1.2's multi-structure docking); downstream stages run against
+    #: the structure that produced each compound's best pose, and S2
+    #: aggregates per structure (the paper trains its AAE per receptor)
+    pdb_ids: tuple = ()
+    receptor_seed: int = 2021
+    library_size: int = 120
+    seed_train_size: int = 40  # randomly docked to bootstrap ML1
+    iterations: int = 2
+    ml1_keep_fraction: float = 0.25  # top predicted fraction docked per iter
+    ml1_explore_fraction: float = 0.15  # §7.1.1: sample below the top too
+    cg_compounds: int = 6  # diversity-picked for S3-CG per iteration
+    s2_top_compounds: int = 3
+    s2_outliers_per_compound: int = 3
+    docking: LGAConfig = _FAST_LGA
+    surrogate: TrainConfig = TrainConfig(epochs=8, batch_size=24, width=8)
+    cg: EsmacsConfig = _FAST_CG
+    fg: EsmacsConfig = _FAST_FG
+    compute_enrichment: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        validate_positive("library_size", self.library_size)
+        validate_positive("seed_train_size", self.seed_train_size)
+        validate_positive("iterations", self.iterations)
+        validate_range("ml1_keep_fraction", self.ml1_keep_fraction, 0.0, 1.0)
+        validate_range("ml1_explore_fraction", self.ml1_explore_fraction, 0.0, 1.0)
+        validate_positive("cg_compounds", self.cg_compounds)
+        if self.seed_train_size >= self.library_size:
+            raise ValueError("seed_train_size must be below library_size")
+
+
+@dataclass
+class IterationResult:
+    """Everything one loop iteration produced."""
+
+    iteration: int
+    docked: list[DockingResult]
+    cg_results: list[EsmacsResult]
+    s2_result: S2Result | None  # the largest structure group's S2
+    fg_results: list[EsmacsResult]
+    fg_parents: list[str]  # compound id per FG run (aligned with fg_results)
+    metrics: CampaignMetrics
+    s2_by_structure: dict[str, S2Result] = field(default_factory=dict)
+
+
+@dataclass
+class CampaignResult:
+    """Full campaign output."""
+
+    config: CampaignConfig
+    library: CompoundLibrary
+    iterations: list[IterationResult] = field(default_factory=list)
+    surrogate: TrainedSurrogate | None = None
+    docked_scores: dict[str, float] = field(default_factory=dict)
+
+    def all_cg(self) -> list[EsmacsResult]:
+        """Every CG result across iterations."""
+        return [r for it in self.iterations for r in it.cg_results]
+
+    def all_fg(self) -> list[EsmacsResult]:
+        """Every FG result across iterations."""
+        return [r for it in self.iterations for r in it.fg_results]
+
+
+class ImpeccableCampaign:
+    """Drive the integrated loop against one receptor."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config or CampaignConfig()
+        cfg = self.config
+        self.factory = RngFactory(cfg.seed, prefix="campaign")
+        pdb_ids = tuple(cfg.pdb_ids) or (cfg.pdb_id,)
+        if cfg.pdb_id not in pdb_ids:
+            pdb_ids = (cfg.pdb_id, *pdb_ids)
+        self.receptors: dict[str, Receptor] = {
+            pdb: make_receptor(cfg.target, pdb, seed=cfg.receptor_seed)
+            for pdb in pdb_ids
+        }
+        self.receptor: Receptor = self.receptors[cfg.pdb_id]
+        self.library = generate_library(
+            cfg.library_size, seed=self.factory.spawn_seed("library"), name="OZD"
+        )
+        self.engines: dict[str, DockingEngine] = {
+            pdb: DockingEngine(rec, seed=cfg.seed, config=cfg.docking)
+            for pdb, rec in self.receptors.items()
+        }
+        self.engine = self.engines[cfg.pdb_id]
+        self._best_structure: dict[str, str] = {}  # compound → pdb id
+        self.cost_model = CostModel()
+        self.oracle = (
+            ReferenceOracle(self.receptor, seed=self.factory.spawn_seed("oracle"))
+            if cfg.compute_enrichment
+            else None
+        )
+        self._train_smiles: list[str] = []
+        self._train_scores: list[float] = []
+        self._docked_ids: set[str] = set()
+        self._cg_done_ids: set[str] = set()
+        self._entry_by_id = {e.compound_id: e for e in self.library}
+
+    # ------------------------------------------------------------ pieces
+    def _dock_batch(self, indices: list[int]) -> list[DockingResult]:
+        """Dock against every receptor structure; keep the consensus best."""
+        out = []
+        for i in indices:
+            entry = self.library[i]
+            if entry.compound_id in self._docked_ids:
+                continue
+            best_result = None
+            best_pdb = None
+            for pdb, engine in self.engines.items():
+                result = engine.dock_smiles(entry.smiles, entry.compound_id)
+                if best_result is None or result.score < best_result.score:
+                    best_result, best_pdb = result, pdb
+            out.append(best_result)
+            self._best_structure[entry.compound_id] = best_pdb
+            self._docked_ids.add(entry.compound_id)
+            self._train_smiles.append(entry.smiles)
+            self._train_scores.append(best_result.score)
+        return out
+
+    def _train_surrogate(self) -> TrainedSurrogate:
+        return train_surrogate(
+            self._train_smiles,
+            np.array(self._train_scores),
+            self.config.surrogate,
+            seed=self.factory.spawn_seed(f"surrogate/{len(self._train_scores)}"),
+        )
+
+    def _ml1_select(self, surrogate: TrainedSurrogate) -> list[int]:
+        """Rank undocked compounds; keep top fraction + exploration draw."""
+        cfg = self.config
+        undocked = [
+            i
+            for i in range(len(self.library))
+            if self.library[i].compound_id not in self._docked_ids
+        ]
+        if not undocked:
+            return []
+        inference = InferenceEngine(surrogate)
+        scored = inference.score_smiles(
+            [self.library[i].smiles for i in undocked],
+            ids=[str(i) for i in undocked],
+        )
+        ranked = sorted(scored, key=lambda s: s.score, reverse=True)
+        n_keep = max(1, int(round(cfg.ml1_keep_fraction * len(ranked))))
+        chosen = [int(s.compound_id) for s in ranked[:n_keep]]
+        # exploration: uniform draw from the remainder (the RES-motivated
+        # hedge against the surrogate's rank errors)
+        rest = [int(s.compound_id) for s in ranked[n_keep:]]
+        n_explore = int(round(cfg.ml1_explore_fraction * n_keep))
+        if rest and n_explore:
+            rng = self.factory.stream(f"explore/{len(self._docked_ids)}")
+            picks = rng.choice(len(rest), size=min(n_explore, len(rest)), replace=False)
+            chosen.extend(rest[int(p)] for p in picks)
+        return chosen
+
+    def _select_for_cg(self) -> list[DockingResult]:
+        """Diversity-pick among the best docked, not-yet-CG'd compounds."""
+        cfg = self.config
+        candidates = sorted(
+            (
+                (cid, score)
+                for cid, score in self._score_by_id().items()
+                if cid not in self._cg_done_ids
+            ),
+            key=lambda t: t[1],
+        )
+        pool = [cid for cid, _ in candidates[: 3 * cfg.cg_compounds]]
+        if not pool:
+            return []
+        if len(pool) > cfg.cg_compounds:
+            from repro.chem.fingerprint import morgan_fingerprint
+
+            fps = np.stack(
+                [
+                    morgan_fingerprint(parse_smiles(self._entry_by_id[cid].smiles))
+                    for cid in pool
+                ]
+            )
+            picked = [pool[i] for i in diversity_pick(fps, cfg.cg_compounds)]
+        else:
+            picked = pool
+        by_id = {r.compound_id: r for r in self._all_dock_results}
+        return [by_id[cid] for cid in picked]
+
+    def _score_by_id(self) -> dict[str, float]:
+        return {r.compound_id: r.score for r in self._all_dock_results}
+
+    # ------------------------------------------------------------- the loop
+    def run(self) -> CampaignResult:
+        """Execute to completion and return the results."""
+        cfg = self.config
+        result = CampaignResult(config=cfg, library=self.library)
+        self._all_dock_results: list[DockingResult] = []
+
+        # bootstrap: random seed set docked, first surrogate trained
+        seed_rng = self.factory.stream("seed-set")
+        seed_idx = seed_rng.choice(
+            len(self.library), size=cfg.seed_train_size, replace=False
+        )
+        seed_docked = self._dock_batch([int(i) for i in seed_idx])
+        self._all_dock_results.extend(seed_docked)
+        surrogate = self._train_surrogate()
+
+        for it in range(cfg.iterations):
+            _log.info("iteration %d starting", it)
+            metrics = CampaignMetrics(iteration=it)
+            # ---------------------------------------------------------- ML1
+            t0 = time.perf_counter()
+            selected = self._ml1_select(surrogate)
+            ml1_wall = time.perf_counter() - t0
+            n_ranked = len(self.library) - len(self._docked_ids) + len(selected)
+            metrics.stages["ML1"] = StageAccounting(
+                stage="ML1",
+                n_ligands=n_ranked,
+                wall_seconds=ml1_wall,
+                node_hours=self.cost_model.ml1_wall_seconds(n_ranked)
+                / 3600.0
+                / self.cost_model.node.gpus,
+            )
+
+            # ----------------------------------------------------------- S1
+            _log.info("S1: docking %d ML1-selected compounds", len(selected))
+            t0 = time.perf_counter()
+            docked = self._dock_batch(selected)
+            self._all_dock_results.extend(docked)
+            s1_wall = time.perf_counter() - t0
+            metrics.stages["S1"] = StageAccounting(
+                stage="S1",
+                n_ligands=len(docked),
+                wall_seconds=s1_wall,
+                node_hours=len(docked)
+                * self.cost_model.node_hours_per_ligand("S1"),
+            )
+
+            # -------------------------------------------------------- S3-CG
+            cg_inputs = self._select_for_cg()
+            _log.info("S3-CG: %d diversity-picked compounds", len(cg_inputs))
+            # group compounds by the crystal structure that docked them
+            # best; every downstream stage runs against that structure
+            groups: dict[str, list[DockingResult]] = {}
+            for dock in cg_inputs:
+                pdb = self._best_structure.get(dock.compound_id, cfg.pdb_id)
+                groups.setdefault(pdb, []).append(dock)
+            t0 = time.perf_counter()
+            cg_results: list[EsmacsResult] = []
+            cg_by_pdb: dict[str, list[EsmacsResult]] = {}
+            ligand_atoms: dict[str, np.ndarray] = {}
+            reference_by_pdb: dict[str, np.ndarray] = {}
+            for pdb, docks in groups.items():
+                receptor = self.receptors[pdb]
+                runner_cg = EsmacsRunner(
+                    receptor, cfg.cg, seed=self.factory.spawn_seed(f"cg/{it}/{pdb}")
+                )
+                for dock in docks:
+                    mol = parse_smiles(dock.smiles)
+                    coords = self.engines[pdb].pose_coordinates(dock)
+                    res = runner_cg.run(mol, coords, dock.compound_id)
+                    cg_results.append(res)
+                    cg_by_pdb.setdefault(pdb, []).append(res)
+                    self._cg_done_ids.add(dock.compound_id)
+                    system = build_lpc(
+                        receptor, mol, coords, seed=cfg.seed,
+                        n_residues=cfg.cg.n_residues,
+                    )
+                    ligand_atoms[dock.compound_id] = system.topology.ligand_atoms
+                    reference_by_pdb[pdb] = system.positions[
+                        system.topology.protein_atoms
+                    ]
+            cg_wall = time.perf_counter() - t0
+            metrics.stages["S3-CG"] = StageAccounting(
+                stage="S3-CG",
+                n_ligands=len(cg_results),
+                wall_seconds=cg_wall,
+                node_hours=len(cg_results)
+                * self.cost_model.node_hours_per_ligand("S3-CG"),
+            )
+
+            # ------------------------------------------------------------ S2
+            # one AAE per receptor structure, as §7.1.3 trains per PDB id
+            s2_by_structure: dict[str, S2Result] = {}
+            fg_results: list[EsmacsResult] = []
+            fg_parents: list[str] = []
+            t0 = time.perf_counter()
+            for pdb, pdb_cg in cg_by_pdb.items():
+                if not pdb_cg:
+                    continue
+                s2_by_structure[pdb] = run_s2(
+                    pdb_cg,
+                    reference_by_pdb[pdb],
+                    ligand_atoms,
+                    AdaptiveConfig(
+                        top_compounds=min(cfg.s2_top_compounds, len(pdb_cg)),
+                        outliers_per_compound=cfg.s2_outliers_per_compound,
+                        lof_neighbors=8,
+                    ),
+                    seed=self.factory.spawn_seed(f"s2/{it}/{pdb}"),
+                )
+            s2_wall = time.perf_counter() - t0
+            s2_result = None
+            if s2_by_structure:
+                s2_result = max(
+                    s2_by_structure.values(), key=lambda r: len(r.dataset)
+                )
+                n_s2 = sum(
+                    len(r.top_compound_ids) for r in s2_by_structure.values()
+                )
+                metrics.stages["S2"] = StageAccounting(
+                    stage="S2",
+                    n_ligands=n_s2,
+                    wall_seconds=s2_wall,
+                    node_hours=n_s2 * self.cost_model.node_hours_per_ligand("S2"),
+                )
+
+                # ---------------------------------------------------- S3-FG
+                t0 = time.perf_counter()
+                for pdb, s2 in s2_by_structure.items():
+                    runner_fg = EsmacsRunner(
+                        self.receptors[pdb],
+                        cfg.fg,
+                        seed=self.factory.spawn_seed(f"fg/{it}/{pdb}"),
+                    )
+                    for sel in s2.selections:
+                        mol = parse_smiles(
+                            self._entry_by_id[sel.compound_id].smiles
+                        )
+                        lig_coords = sel.coordinates[ligand_atoms[sel.compound_id]]
+                        fg_results.append(
+                            runner_fg.run(
+                                mol,
+                                lig_coords,
+                                f"{sel.compound_id}/r{sel.replica}f{sel.frame}",
+                                keep_trajectories=False,
+                            )
+                        )
+                        fg_parents.append(sel.compound_id)
+                fg_wall = time.perf_counter() - t0
+                metrics.stages["S3-FG"] = StageAccounting(
+                    stage="S3-FG",
+                    n_ligands=len(fg_results),
+                    wall_seconds=fg_wall,
+                    node_hours=len(fg_results)
+                    * self.cost_model.node_hours_per_ligand("S3-FG"),
+                )
+
+            # ------------------------------------------------------ metrics
+            if self.oracle is not None:
+                # cumulative enrichment: how well has the campaign as a
+                # whole concentrated the true top compounds so far
+                true_top = self.oracle.true_top_ids(self.library, 0.10)
+                if self._docked_ids:
+                    metrics.enrichment_s1 = enrichment_factor(
+                        set(self._docked_ids), true_top, len(self.library)
+                    )
+                if self._cg_done_ids:
+                    metrics.enrichment_cg = enrichment_factor(
+                        set(self._cg_done_ids), true_top, len(self.library)
+                    )
+                metrics.effective_ligands = len(self._cg_done_ids & true_top)
+
+            # ----------------------------------------------------- feedback
+            surrogate = self._train_surrogate()
+            if surrogate.val_losses:
+                metrics.surrogate_val_loss = surrogate.val_losses[-1]
+
+            result.iterations.append(
+                IterationResult(
+                    iteration=it,
+                    docked=docked,
+                    cg_results=cg_results,
+                    s2_result=s2_result,
+                    fg_results=fg_results,
+                    fg_parents=fg_parents,
+                    metrics=metrics,
+                    s2_by_structure=s2_by_structure,
+                )
+            )
+
+        result.surrogate = surrogate
+        result.docked_scores = self._score_by_id()
+        return result

@@ -1,0 +1,251 @@
+"""3D adversarial autoencoder (3D-AAE) for MD conformation analysis.
+
+The architecture of §5.1.4/§7.1.3, scaled to laptop width:
+
+* **encoder** — PointNet: shared per-point MLP, symmetric max-pool over
+  points, dense head to a latent code constrained by a Gaussian prior
+  (the paper uses σ = 0.2);
+* **decoder** — dense layers emitting a point cloud, trained with the
+  **Chamfer distance** reconstruction loss (scaled by 0.5, the paper's
+  hyper-parameter);
+* **critic** — Wasserstein discriminator on latent codes with **gradient
+  penalty** (scaled by 10, the paper's value), pulling the aggregate
+  posterior toward the prior;
+* optimized with **RMSprop**, the paper's optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.layers import (
+    Dense,
+    Module,
+    PointwiseDense,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from repro.nn.losses import chamfer_distance, gradient_penalty
+from repro.nn.optim import RMSprop
+from repro.util.config import FrozenConfig, validate_positive, validate_range
+from repro.util.rng import RngFactory
+
+__all__ = ["AAEConfig", "AAE", "AAEHistory", "train_aae"]
+
+
+@dataclass(frozen=True)
+class AAEConfig(FrozenConfig):
+    """3D-AAE hyper-parameters (paper loss scales; widths scaled down)."""
+
+    latent_dim: int = 16  # paper: 64
+    hidden: int = 32
+    prior_std: float = 0.2  # paper: Gaussian prior σ=0.2
+    reconstruction_scale: float = 0.5  # paper: 0.5
+    gradient_penalty_scale: float = 10.0  # paper: 10
+    adversarial_scale: float = 0.1
+    learning_rate: float = 1e-3  # paper uses 1e-5 at full scale
+    epochs: int = 15  # paper: 100
+    batch_size: int = 32  # paper: 64
+    critic_steps: int = 1
+    validation_fraction: float = 0.2  # paper: 80/20 split
+
+    def __post_init__(self) -> None:
+        validate_positive("latent_dim", self.latent_dim)
+        validate_positive("hidden", self.hidden)
+        validate_positive("prior_std", self.prior_std)
+        validate_positive("learning_rate", self.learning_rate)
+        validate_positive("epochs", self.epochs)
+        validate_positive("batch_size", self.batch_size)
+        validate_range("validation_fraction", self.validation_fraction, 0.0, 0.9)
+
+
+class PointNetEncoder(Module):
+    """Shared per-point MLP + max-pool + dense head → latent code."""
+
+    def __init__(self, config: AAEConfig, n_points: int, rng: np.random.Generator):
+        super().__init__()
+        h = config.hidden
+        self.point_mlp = Sequential(
+            PointwiseDense(3, h, rng),
+            ReLU(),
+            PointwiseDense(h, 2 * h, rng),
+            ReLU(),
+        )
+        self.head = Sequential(
+            Dense(2 * h, h, rng), Tanh(), Dense(h, config.latent_dim, rng)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Forward pass."""
+        feat = self.point_mlp(x)  # (B, n, 2h)
+        pooled = ag.tensor_max(feat, axis=1)  # (B, 2h) — permutation invariant
+        return self.head(pooled)
+
+
+class PointCloudDecoder(Module):
+    """Latent code → reconstructed point cloud."""
+
+    def __init__(self, config: AAEConfig, n_points: int, rng: np.random.Generator):
+        super().__init__()
+        h = config.hidden
+        self.n_points = n_points
+        self.net = Sequential(
+            Dense(config.latent_dim, 2 * h, rng),
+            ReLU(),
+            Dense(2 * h, 4 * h, rng),
+            ReLU(),
+            Dense(4 * h, n_points * 3, rng),
+        )
+
+    def forward(self, z: Tensor) -> Tensor:
+        """Forward pass."""
+        flat = self.net(z)
+        return ag.reshape(flat, (flat.shape[0], self.n_points, 3))
+
+
+class LatentCritic(Module):
+    """Wasserstein critic on latent codes."""
+
+    def __init__(self, config: AAEConfig, rng: np.random.Generator):
+        super().__init__()
+        h = config.hidden
+        self.net = Sequential(
+            Dense(config.latent_dim, h, rng), Tanh(), Dense(h, 1, rng)
+        )
+
+    def forward(self, z: Tensor) -> Tensor:
+        """Forward pass."""
+        return self.net(z)
+
+
+@dataclass
+class AAEHistory:
+    """Per-epoch loss curves (the paper's 'training and validation loss
+    metrics' measure of S2 learning performance)."""
+
+    train_reconstruction: list[float] = field(default_factory=list)
+    train_adversarial: list[float] = field(default_factory=list)
+    val_reconstruction: list[float] = field(default_factory=list)
+
+
+class AAE:
+    """The assembled 3D-AAE with its training procedure."""
+
+    def __init__(self, config: AAEConfig, n_points: int, seed: int = 0) -> None:
+        self.config = config
+        self.n_points = n_points
+        factory = RngFactory(seed, prefix="ddmd/aae")
+        self.encoder = PointNetEncoder(
+            config, n_points, np.random.default_rng(factory.spawn_seed("enc"))
+        )
+        self.decoder = PointCloudDecoder(
+            config, n_points, np.random.default_rng(factory.spawn_seed("dec"))
+        )
+        self.critic = LatentCritic(
+            config, np.random.default_rng(factory.spawn_seed("crit"))
+        )
+        self._rng = factory.stream("train")
+        self.history = AAEHistory()
+
+    # ------------------------------------------------------------ embedding
+    def embed(self, clouds: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Latent embeddings for (N, n_points, 3) clouds (no grad)."""
+        self.encoder.eval()
+        out = []
+        with no_grad():
+            for start in range(0, len(clouds), batch_size):
+                z = self.encoder(Tensor(clouds[start : start + batch_size]))
+                out.append(z.data)
+        self.encoder.train()
+        return np.concatenate(out) if out else np.zeros((0, self.config.latent_dim))
+
+    def reconstruct(self, clouds: np.ndarray) -> np.ndarray:
+        """Round-trip clouds through the autoencoder (no grad)."""
+        with no_grad():
+            z = self.encoder(Tensor(clouds))
+            return self.decoder(z).data
+
+    # ------------------------------------------------------------- training
+    def fit(self, clouds: np.ndarray, epochs: int | None = None) -> AAEHistory:
+        """Train on (N, n_points, 3) normalized clouds."""
+        cfg = self.config
+        if clouds.ndim != 3 or clouds.shape[1] != self.n_points:
+            raise ValueError(
+                f"expected (N, {self.n_points}, 3) clouds, got {clouds.shape}"
+            )
+        n = len(clouds)
+        if n < 4:
+            raise ValueError("need at least 4 training clouds")
+        epochs = epochs if epochs is not None else cfg.epochs
+
+        perm = self._rng.permutation(n)
+        n_val = max(1, int(round(cfg.validation_fraction * n)))
+        val_idx, train_idx = perm[:n_val], perm[n_val:]
+
+        ae_params = self.encoder.parameters() + self.decoder.parameters()
+        opt_ae = RMSprop(ae_params, lr=cfg.learning_rate)
+        opt_critic = RMSprop(self.critic.parameters(), lr=cfg.learning_rate)
+
+        for _ in range(epochs):
+            order = self._rng.permutation(train_idx)
+            rec_losses, adv_losses = [], []
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                if len(idx) < 2:
+                    continue
+                x = Tensor(clouds[idx])
+
+                # --- critic update(s): prior real, encoded fake (WGAN-GP)
+                for _ in range(cfg.critic_steps):
+                    with no_grad():
+                        z_fake = self.encoder(x)
+                    z_real = Tensor(
+                        self._rng.normal(
+                            scale=cfg.prior_std,
+                            size=(len(idx), cfg.latent_dim),
+                        )
+                    )
+                    d_real = ag.tensor_mean(self.critic(z_real))
+                    d_fake = ag.tensor_mean(self.critic(Tensor(z_fake.data)))
+                    gp = gradient_penalty(self.critic, z_real, Tensor(z_fake.data), self._rng)
+                    critic_loss = d_fake - d_real + cfg.gradient_penalty_scale * gp
+                    self.critic.zero_grad()
+                    critic_loss.backward()
+                    opt_critic.step()
+
+                # --- autoencoder update: reconstruction + fool the critic
+                z = self.encoder(x)
+                recon = self.decoder(z)
+                rec = chamfer_distance(recon, x)
+                adv = -ag.tensor_mean(self.critic(z))
+                loss = cfg.reconstruction_scale * rec + cfg.adversarial_scale * adv
+                self.encoder.zero_grad()
+                self.decoder.zero_grad()
+                loss.backward()
+                opt_ae.step()
+                rec_losses.append(rec.item())
+                adv_losses.append(adv.item())
+
+            self.history.train_reconstruction.append(float(np.mean(rec_losses)))
+            self.history.train_adversarial.append(float(np.mean(adv_losses)))
+
+            with no_grad():
+                xv = Tensor(clouds[val_idx])
+                vrec = chamfer_distance(self.decoder(self.encoder(xv)), xv)
+            self.history.val_reconstruction.append(vrec.item())
+        return self.history
+
+
+def train_aae(
+    clouds: np.ndarray, config: AAEConfig | None = None, seed: int = 0
+) -> AAE:
+    """Convenience constructor + fit."""
+    config = config or AAEConfig()
+    model = AAE(config, n_points=clouds.shape[1], seed=seed)
+    model.fit(clouds)
+    return model

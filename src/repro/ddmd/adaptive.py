@@ -1,0 +1,163 @@
+"""The S2 stage driver: AI-driven conformational filtering.
+
+Implements the (S3-CG) → S2 → (S3-FG) hand-off of §7.1.3–7.1.4:
+
+1. aggregate S3-CG trajectories into a protein point-cloud dataset,
+2. train the 3D-AAE on the aggregate,
+3. embed every conformation into the latent manifold,
+4. rank compounds by their CG binding free energy, take the best few,
+5. within each, pick LOF outlier conformations (weighted toward frames
+   with high protein–ligand contact counts — the paper's LPC-stability
+   filter),
+6. emit restartable (compound, replica, frame) selections for S3-FG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ddmd.aae import AAE, AAEConfig
+from repro.ddmd.lof import lof_scores
+from repro.ddmd.pointcloud import PointCloudDataset, build_dataset
+from repro.esmacs.protocol import EsmacsResult
+from repro.util.config import FrozenConfig, validate_positive
+
+__all__ = ["AdaptiveConfig", "Selection", "S2Result", "run_s2"]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig(FrozenConfig):
+    """S2 selection parameters (paper: top 5 compounds × 5 outliers)."""
+
+    top_compounds: int = 5
+    outliers_per_compound: int = 5
+    lof_neighbors: int = 10
+    contact_weight: float = 0.5  # how much LPC stability biases selection
+    aae: AAEConfig = AAEConfig()
+
+    def __post_init__(self) -> None:
+        validate_positive("top_compounds", self.top_compounds)
+        validate_positive("outliers_per_compound", self.outliers_per_compound)
+        validate_positive("lof_neighbors", self.lof_neighbors)
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One conformation chosen for S3-FG."""
+
+    compound_id: str
+    replica: int
+    frame: int
+    lof_score: float
+    contacts: int
+    coordinates: np.ndarray = field(repr=False)  # full-system frame
+
+
+@dataclass
+class S2Result:
+    """Everything S2 produces."""
+
+    model: AAE
+    dataset: PointCloudDataset
+    embeddings: np.ndarray  # (N, latent)
+    lof: np.ndarray  # (N,)
+    selections: list[Selection]
+    top_compound_ids: list[str]
+
+
+def run_s2(
+    esmacs_results: list[EsmacsResult],
+    reference_protein: np.ndarray,
+    ligand_atoms_by_compound: dict[str, np.ndarray],
+    config: AdaptiveConfig | None = None,
+    seed: int = 0,
+) -> S2Result:
+    """Run the full S2 stage over a batch of S3-CG results.
+
+    Parameters
+    ----------
+    esmacs_results:
+        CG results *with trajectories retained*.
+    reference_protein:
+        Native protein coordinates (for RMSD labels).
+    ligand_atoms_by_compound:
+        Ligand bead indices per compound (ligand sizes differ).
+    """
+    config = config or AdaptiveConfig()
+    with_traj = [r for r in esmacs_results if r.trajectories]
+    if not with_traj:
+        raise ValueError("S2 needs ESMACS results with trajectories")
+
+    # 1. aggregate — ligand sizes differ per compound, so datasets are
+    # built per compound and concatenated on the shared protein clouds
+    datasets = []
+    for r in with_traj:
+        datasets.append(
+            build_dataset(
+                {r.compound_id: r.trajectories},
+                protein_atoms=r.protein_atoms,
+                ligand_atoms=ligand_atoms_by_compound[r.compound_id],
+                reference=reference_protein,
+            )
+        )
+    dataset = PointCloudDataset(
+        clouds=np.concatenate([d.clouds for d in datasets]),
+        provenance=[p for d in datasets for p in d.provenance],
+        rmsd=np.concatenate([d.rmsd for d in datasets]),
+        contacts=np.concatenate([d.contacts for d in datasets]),
+        interaction_energies=np.concatenate(
+            [d.interaction_energies for d in datasets]
+        ),
+    )
+
+    # 2. train the 3D-AAE on every conformation
+    model = AAE(config.aae, n_points=dataset.clouds.shape[1], seed=seed)
+    model.fit(dataset.clouds)
+
+    # 3. latent embeddings + LOF over the whole manifold
+    embeddings = model.embed(dataset.clouds)
+    lof = lof_scores(embeddings, k=min(config.lof_neighbors, len(embeddings) - 1))
+
+    # 4. best compounds by CG binding free energy
+    ranked = sorted(with_traj, key=lambda r: r.binding_free_energy)
+    top = ranked[: config.top_compounds]
+    top_ids = [r.compound_id for r in top]
+
+    # 5-6. per compound: outlier conformations, stability-weighted
+    selections: list[Selection] = []
+    compound_rows = {cid: [] for cid in top_ids}
+    for i, prov in enumerate(dataset.provenance):
+        if prov.compound_id in compound_rows:
+            compound_rows[prov.compound_id].append(i)
+    results_by_id = {r.compound_id: r for r in with_traj}
+    max_contacts = max(1, int(dataset.contacts.max()))
+    for cid in top_ids:
+        rows = np.array(compound_rows[cid])
+        if not len(rows):
+            continue
+        stability = dataset.contacts[rows] / max_contacts
+        score = lof[rows] * (1.0 + config.contact_weight * stability)
+        order = rows[np.argsort(-score, kind="stable")]
+        for i in order[: config.outliers_per_compound]:
+            prov = dataset.provenance[i]
+            traj = results_by_id[cid].trajectories[prov.replica]
+            selections.append(
+                Selection(
+                    compound_id=cid,
+                    replica=prov.replica,
+                    frame=prov.frame,
+                    lof_score=float(lof[i]),
+                    contacts=int(dataset.contacts[i]),
+                    coordinates=traj.frames[prov.frame].copy(),
+                )
+            )
+    return S2Result(
+        model=model,
+        dataset=dataset,
+        embeddings=embeddings,
+        lof=lof,
+        selections=selections,
+        top_compound_ids=top_ids,
+    )

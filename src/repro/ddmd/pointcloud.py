@@ -1,0 +1,106 @@
+"""Point-cloud dataset construction from MD trajectories.
+
+§7.1.3: "The point cloud data, representing the coordinates of the 309
+backbone Cα atoms of the protein, was randomly split into training (80%)
+and validation input (20%)".  We aggregate protein-bead frames from many
+compounds' ESMACS trajectories into one normalized dataset, keeping the
+provenance (compound, replica, frame) of every example so outlier
+selection can map back to a restartable conformation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.trajectory import Trajectory
+
+__all__ = ["PointCloudDataset", "build_dataset", "normalize_cloud"]
+
+
+def normalize_cloud(coords: np.ndarray) -> np.ndarray:
+    """Centre a point cloud and scale to unit RMS radius."""
+    centred = coords - coords.mean(axis=0, keepdims=True)
+    scale = np.sqrt((centred**2).sum(axis=1).mean())
+    return centred / max(scale, 1e-9)
+
+
+@dataclass
+class Provenance:
+    """Where one example came from."""
+
+    compound_id: str
+    replica: int
+    frame: int
+
+
+@dataclass
+class PointCloudDataset:
+    """Normalized protein point clouds + provenance + auxiliary labels."""
+
+    clouds: np.ndarray  # (N, n_points, 3), normalized
+    provenance: list[Provenance]
+    rmsd: np.ndarray  # (N,) RMSD of each frame to its reference
+    contacts: np.ndarray  # (N,) protein-ligand contact counts
+    interaction_energies: np.ndarray  # (N,)
+
+    def __len__(self) -> int:
+        return len(self.clouds)
+
+    def split(
+        self, validation_fraction: float, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Random train/validation index split (80/20 in the paper)."""
+        if not 0 < validation_fraction < 1:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        perm = rng.permutation(len(self))
+        n_val = max(1, int(round(validation_fraction * len(self))))
+        return perm[n_val:], perm[:n_val]
+
+
+def build_dataset(
+    trajectories_by_compound: dict[str, list[Trajectory]],
+    protein_atoms: np.ndarray,
+    ligand_atoms: np.ndarray,
+    reference: np.ndarray,
+) -> PointCloudDataset:
+    """Aggregate ESMACS trajectories into a point-cloud dataset.
+
+    Parameters
+    ----------
+    trajectories_by_compound:
+        Mapping compound id → that compound's replica trajectories.
+    protein_atoms / ligand_atoms:
+        Bead index groups (shared across compounds — same receptor fold).
+    reference:
+        Native protein coordinates for RMSD labels.
+    """
+    from repro.md.observables import contact_count, kabsch_rmsd
+
+    clouds = []
+    provenance = []
+    rmsds = []
+    contacts = []
+    inter = []
+    for compound_id, trajs in trajectories_by_compound.items():
+        for r, traj in enumerate(trajs):
+            for f in range(traj.n_frames):
+                frame = traj.frames[f]
+                prot = frame[protein_atoms]
+                clouds.append(normalize_cloud(prot))
+                provenance.append(Provenance(compound_id, r, f))
+                rmsds.append(kabsch_rmsd(prot, reference))
+                contacts.append(
+                    contact_count(frame, protein_atoms, ligand_atoms)
+                )
+                inter.append(float(traj.interaction_energies[f]))
+    if not clouds:
+        raise ValueError("no frames found in the supplied trajectories")
+    return PointCloudDataset(
+        clouds=np.array(clouds),
+        provenance=provenance,
+        rmsd=np.array(rmsds),
+        contacts=np.array(contacts),
+        interaction_energies=np.array(inter),
+    )

@@ -1,0 +1,91 @@
+"""t-SNE — exact implementation for latent-space visualization (Fig 5C).
+
+Van der Maaten & Hinton (2008): Gaussian affinities with per-point
+perplexity calibration by binary search, Student-t low-dimensional
+kernel, KL-divergence gradient descent with momentum and early
+exaggeration.  Exact O(N²) — the latent sets here are thousands of
+points, where exact beats tree approximations in NumPy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne"]
+
+
+def _conditional_probabilities(
+    d2: np.ndarray, perplexity: float, tol: float = 1e-4, max_iter: int = 50
+) -> np.ndarray:
+    """Row-wise Gaussian affinities calibrated to ``perplexity``."""
+    n = len(d2)
+    p = np.zeros((n, n))
+    target_entropy = np.log(perplexity)
+    for i in range(n):
+        lo, hi = 1e-20, 1e20
+        beta = 1.0
+        row = d2[i].copy()
+        row[i] = np.inf
+        for _ in range(max_iter):
+            expd = np.exp(-row * beta)
+            total = expd.sum()
+            if total <= 0:
+                beta /= 2
+                continue
+            prob = expd / total
+            # Shannon entropy of the row
+            nz = prob > 1e-12
+            entropy = -(prob[nz] * np.log(prob[nz])).sum()
+            if abs(entropy - target_entropy) < tol:
+                break
+            if entropy > target_entropy:
+                lo = beta
+                beta = beta * 2 if hi >= 1e20 else (beta + hi) / 2
+            else:
+                hi = beta
+                beta = beta / 2 if lo <= 1e-20 else (beta + lo) / 2
+        p[i] = prob
+    return p
+
+
+def tsne(
+    points: np.ndarray,
+    n_components: int = 2,
+    perplexity: float = 20.0,
+    n_iter: int = 300,
+    learning_rate: float = 100.0,
+    seed: int = 0,
+    early_exaggeration: float = 4.0,
+) -> np.ndarray:
+    """Embed (N, d) points into (N, n_components)."""
+    points = np.asarray(points, dtype=np.float64)
+    n = len(points)
+    if n < 5:
+        raise ValueError("t-SNE needs at least 5 points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    d2 = ((points[:, None, :] - points[None, :, :]) ** 2).sum(-1)
+    p_cond = _conditional_probabilities(d2, perplexity)
+    p = (p_cond + p_cond.T) / (2.0 * n)
+    p = np.maximum(p, 1e-12)
+
+    rng = np.random.default_rng(seed)
+    y = rng.normal(scale=1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    exaggeration_until = n_iter // 4
+
+    for it in range(n_iter):
+        pp = p * early_exaggeration if it < exaggeration_until else p
+        diff = y[:, None, :] - y[None, :, :]
+        dist2 = (diff**2).sum(-1)
+        q_num = 1.0 / (1.0 + dist2)
+        np.fill_diagonal(q_num, 0.0)
+        q = np.maximum(q_num / q_num.sum(), 1e-12)
+        # gradient of KL(P || Q)
+        coef = (pp - q) * q_num
+        grad = 4.0 * (coef[..., None] * diff).sum(axis=1)
+        momentum = 0.5 if it < exaggeration_until else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

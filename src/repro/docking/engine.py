@@ -1,0 +1,154 @@
+"""Batch docking engine — the S1 stage public API.
+
+Wraps ligand preparation + LGA search behind the interface the campaign
+uses: dock one SMILES, or a whole library against one receptor with
+receptor reuse (§5.1.1's "receptor-reuse functionality for docking many
+ligands to a single receptor").  Evaluation counts are surfaced so the
+cost model can convert work into simulated node-hours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.library import CompoundLibrary
+from repro.chem.smiles import parse_smiles
+from repro.docking.lga import DockingRun, LamarckianGA, LGAConfig
+from repro.docking.ligand import prepare_ligand
+from repro.docking.receptor import Receptor
+from repro.util.rng import RngFactory
+
+__all__ = ["DockingEngine", "DockingResult"]
+
+
+@dataclass(frozen=True)
+class DockingResult:
+    """Docking outcome for one compound."""
+
+    compound_id: str
+    smiles: str
+    score: float  # kcal/mol-like, lower is better
+    n_evals: int
+    pose_translation: tuple[float, float, float]
+    pose_quaternion: tuple[float, float, float, float]
+    conformer: int
+    torsion_angles: tuple = ()  # rotatable-bond genes (radians)
+
+
+class DockingEngine:
+    """Dock compounds against one receptor.
+
+    Parameters
+    ----------
+    receptor:
+        Target pocket (grids are computed once and reused per ligand).
+    seed:
+        Root seed; per-ligand streams derive from compound ids, so docking
+        the same compound twice gives identical results regardless of batch
+        composition or ordering.
+    local_search:
+        ``"adadelta"`` (default, better quality) or ``"solis-wets"``.
+    """
+
+    def __init__(
+        self,
+        receptor: Receptor,
+        seed: int = 0,
+        config: LGAConfig | None = None,
+        local_search: str = "adadelta",
+        n_conformers: int = 3,
+    ) -> None:
+        self.receptor = receptor
+        self.rng_factory = RngFactory(
+            seed, prefix=f"docking/{receptor.target}/{receptor.pdb_id}"
+        )
+        self.ga = LamarckianGA(config=config, local_search=local_search)
+        self.n_conformers = n_conformers
+        self.total_evals = 0
+        self.total_ligands = 0
+
+    def dock_smiles(self, smiles: str, compound_id: str = "") -> DockingResult:
+        """Dock a single compound given as SMILES."""
+        mol = parse_smiles(smiles)
+        key = compound_id or smiles
+        prep_rng = self.rng_factory.stream(f"prep/{key}")
+        beads = prepare_ligand(mol, prep_rng, n_conformers=self.n_conformers)
+        run: DockingRun = self.ga.dock(
+            self.receptor, beads, self.rng_factory.stream(f"lga/{key}")
+        )
+        self.total_evals += run.n_evals
+        self.total_ligands += 1
+        return DockingResult(
+            compound_id=compound_id,
+            smiles=smiles,
+            score=run.best_score,
+            n_evals=run.n_evals,
+            pose_translation=tuple(run.best_pose.translation),
+            pose_quaternion=tuple(run.best_pose.quaternion),
+            conformer=run.best_pose.conformer,
+            torsion_angles=(
+                ()
+                if run.best_pose.torsion_angles is None
+                else tuple(run.best_pose.torsion_angles)
+            ),
+        )
+
+    def dock_library(
+        self, library: CompoundLibrary, limit: int | None = None
+    ) -> list[DockingResult]:
+        """Dock every library member (or the first ``limit``) sequentially.
+
+        The RAPTOR overlay (``repro.rct.raptor``) parallelizes this same
+        call by sharding the library across workers.
+        """
+        n = len(library) if limit is None else min(limit, len(library))
+        return [
+            self.dock_smiles(library[i].smiles, library[i].compound_id)
+            for i in range(n)
+        ]
+
+    def pose_coordinates(self, result: DockingResult) -> np.ndarray:
+        """World coordinates of a result's best pose.
+
+        Rebuilds the ligand beads from the same per-compound RNG stream
+        used at docking time, so the returned coordinates are exactly
+        the pose the reported score was computed on — this is what the
+        S3 stages take as their starting structure.
+        """
+        from repro.docking.scoring import batch_pose_coordinates
+
+        mol = parse_smiles(result.smiles)
+        key = result.compound_id or result.smiles
+        beads = prepare_ligand(
+            mol, self.rng_factory.stream(f"prep/{key}"), n_conformers=self.n_conformers
+        )
+        torsions = (
+            np.array(result.torsion_angles)[None]
+            if result.torsion_angles
+            else None
+        )
+        return batch_pose_coordinates(
+            beads,
+            np.array([result.conformer]),
+            np.array(result.pose_translation)[None],
+            np.array(result.pose_quaternion)[None],
+            torsions,
+        )[0]
+
+    @staticmethod
+    def rank(results: list[DockingResult]) -> list[DockingResult]:
+        """Results sorted best (lowest score) first."""
+        return sorted(results, key=lambda r: r.score)
+
+    @staticmethod
+    def top_fraction(
+        results: list[DockingResult], fraction: float
+    ) -> list[DockingResult]:
+        """Best ``fraction`` of results — the S1→S3 filtering step."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        ranked = DockingEngine.rank(results)
+        k = max(1, int(round(fraction * len(ranked))))
+        return ranked[:k]

@@ -1,0 +1,237 @@
+"""Ligand preparation: molecule → docking beads and pose parameters.
+
+A docking *bead set* carries per-heavy-atom coordinates, partial charges,
+hydrophobicities and radii derived from the molecular graph, plus the
+molecule's **rotatable-bond torsions** — the internal degrees of freedom
+AutoDock's genome optimizes alongside position and orientation.  A *pose*
+is (conformer index, torsion angles, rigid-body placement); conformer
+enumeration supplies ring-pucker-style variation the torsions cannot
+reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chem.descriptors import partial_charges
+from repro.chem.embed3d import embed_conformer
+from repro.chem.mol import Molecule
+
+__all__ = [
+    "LigandBeads",
+    "Pose",
+    "Torsion",
+    "find_torsions",
+    "prepare_ligand",
+    "quaternion_to_matrix",
+    "random_quaternion",
+]
+
+
+@dataclass(frozen=True)
+class Torsion:
+    """One rotatable bond: rotate ``moving`` atoms about axis a→b."""
+
+    a: int
+    b: int
+    moving: np.ndarray  # atom indices on the b-side of the bond
+
+
+def find_torsions(mol: Molecule) -> list[Torsion]:
+    """Rotatable-bond torsions of a molecule.
+
+    A bond is rotatable when it is a single, non-ring, non-terminal bond
+    (the same definition the rotatable-bond descriptor uses).  The moving
+    set is the connected component containing ``b`` once the bond is cut;
+    the smaller side is chosen so rotations perturb as little as possible.
+    """
+    import networkx as nx
+
+    g = mol.to_networkx()
+    ring_bonds = set()
+    for ring in mol.rings():
+        for i in range(len(ring)):
+            ring_bonds.add(frozenset((ring[i], ring[(i + 1) % len(ring)])))
+    torsions = []
+    for bond in mol.bonds:
+        if bond.order != 1 or bond.aromatic:
+            continue
+        if frozenset((bond.a, bond.b)) in ring_bonds:
+            continue
+        if mol.degree(bond.a) < 2 or mol.degree(bond.b) < 2:
+            continue
+        h = g.copy()
+        h.remove_edge(bond.a, bond.b)
+        side_b = nx.node_connected_component(h, bond.b)
+        side_a = nx.node_connected_component(h, bond.a)
+        if len(side_b) <= len(side_a):
+            a, b, moving = bond.a, bond.b, side_b - {bond.b}
+        else:
+            a, b, moving = bond.b, bond.a, side_a - {bond.a}
+        if moving:
+            torsions.append(
+                Torsion(a=a, b=b, moving=np.array(sorted(moving), dtype=int))
+            )
+    return torsions
+
+
+@dataclass
+class LigandBeads:
+    """Per-atom docking parameters, conformer bank and torsion tree."""
+
+    charges: np.ndarray  # (n,)
+    hydro: np.ndarray  # (n,)
+    radii: np.ndarray  # (n,)
+    conformers: np.ndarray  # (k, n, 3), centred
+    torsions: list[Torsion] = field(default_factory=list)
+    #: atom pairs ≥ 3 bonds apart: the intra-ligand clash term's domain
+    #: (flexible ligands must not fold through themselves — AutoDock's
+    #: "internal energy" role)
+    intra_pairs: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 2), dtype=int)
+    )
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms (beads)."""
+        return self.conformers.shape[1]
+
+    @property
+    def n_conformers(self) -> int:
+        """Number of conformers in the bank."""
+        return self.conformers.shape[0]
+
+    @property
+    def n_torsions(self) -> int:
+        """Number of rotatable-bond degrees of freedom."""
+        return len(self.torsions)
+
+
+@dataclass
+class Pose:
+    """Pose genes: conformer, torsion angles, translation, orientation."""
+
+    conformer: int
+    translation: np.ndarray  # (3,)
+    quaternion: np.ndarray  # (4,), unit norm
+    torsion_angles: np.ndarray | None = None  # (n_torsions,) radians
+
+    def copy(self) -> "Pose":
+        """Deep copy of this pose."""
+        return Pose(
+            self.conformer,
+            self.translation.copy(),
+            self.quaternion.copy(),
+            None if self.torsion_angles is None else self.torsion_angles.copy(),
+        )
+
+
+def prepare_ligand(
+    mol: Molecule, rng: np.random.Generator, n_conformers: int = 4
+) -> LigandBeads:
+    """Derive docking beads, conformers and torsions from a molecule."""
+    if n_conformers < 1:
+        raise ValueError("need at least one conformer")
+    charges = partial_charges(mol)
+    hydro = np.array([a.element.hydrophobicity for a in mol.atoms])
+    # add lipophilicity for implicit Hs on carbon (CH3 more greasy than bare C)
+    for a in mol.atoms:
+        if a.symbol == "C":
+            hydro[a.index] += 0.05 * mol.implicit_hydrogens(a.index)
+    radii = np.array([a.element.radius for a in mol.atoms])
+    confs = np.stack([embed_conformer(mol, rng) for _ in range(n_conformers)])
+    # intra-ligand pairs: topological distance >= 3 (1-2 and 1-3 excluded,
+    # the standard nonbonded exclusion)
+    import networkx as nx
+
+    g = mol.to_networkx()
+    sp = dict(nx.all_pairs_shortest_path_length(g, cutoff=2))
+    pairs = [
+        (i, j)
+        for i in range(mol.n_atoms)
+        for j in range(i + 1, mol.n_atoms)
+        if j not in sp.get(i, {})
+    ]
+    intra = (
+        np.array(pairs, dtype=int) if pairs else np.zeros((0, 2), dtype=int)
+    )
+    return LigandBeads(
+        charges=charges,
+        hydro=hydro,
+        radii=radii,
+        conformers=confs,
+        torsions=find_torsions(mol),
+        intra_pairs=intra,
+    )
+
+
+def random_quaternion(rng: np.random.Generator) -> np.ndarray:
+    """Uniform random unit quaternion (Shoemake's method)."""
+    u1, u2, u3 = rng.random(3)
+    q = np.array(
+        [
+            np.sqrt(1 - u1) * np.sin(2 * np.pi * u2),
+            np.sqrt(1 - u1) * np.cos(2 * np.pi * u2),
+            np.sqrt(u1) * np.sin(2 * np.pi * u3),
+            np.sqrt(u1) * np.cos(2 * np.pi * u3),
+        ]
+    )
+    return q
+
+
+def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
+    """Rotation matrix of a unit quaternion (x, y, z, w convention)."""
+    q = q / np.linalg.norm(q)
+    x, y, z, w = q
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def apply_torsions_batch(
+    coords: np.ndarray, torsions: list[Torsion], angles: np.ndarray
+) -> np.ndarray:
+    """Rotate each torsion's moving atoms about its bond axis (batched).
+
+    ``coords`` is (k, n, 3) local conformer coordinates, ``angles`` is
+    (k, n_torsions) radians.  Torsions apply sequentially in definition
+    order (the torsion-tree convention); Rodrigues rotation per pose.
+    """
+    if not torsions or angles is None or angles.shape[-1] == 0:
+        return coords
+    if angles.shape != (len(coords), len(torsions)):
+        raise ValueError(
+            f"angles shape {angles.shape} != ({len(coords)}, {len(torsions)})"
+        )
+    out = coords.copy()
+    for t, tor in enumerate(torsions):
+        origin = out[:, tor.a]  # (k, 3)
+        axis = out[:, tor.b] - origin
+        axis = axis / (np.linalg.norm(axis, axis=1, keepdims=True) + 1e-12)
+        theta = angles[:, t]
+        cos = np.cos(theta)[:, None, None]
+        sin = np.sin(theta)[:, None, None]
+        v = out[:, tor.moving] - origin[:, None, :]  # (k, m, 3)
+        k_vec = axis[:, None, :]  # (k, 1, 3)
+        cross = np.cross(k_vec, v)
+        dot = (k_vec * v).sum(-1, keepdims=True)
+        rotated = v * cos + cross * sin + k_vec * dot * (1.0 - cos)
+        out[:, tor.moving] = rotated + origin[:, None, :]
+    return out
+
+
+def pose_coordinates(beads: LigandBeads, pose: Pose) -> np.ndarray:
+    """World coordinates of the ligand atoms under ``pose``."""
+    conf = beads.conformers[pose.conformer][None]
+    if pose.torsion_angles is not None and beads.n_torsions:
+        conf = apply_torsions_batch(
+            conf, beads.torsions, pose.torsion_angles[None]
+        )
+    rot = quaternion_to_matrix(pose.quaternion)
+    return conf[0] @ rot.T + pose.translation[None, :]

@@ -1,0 +1,23 @@
+"""S3 — ESMACS ensemble binding free-energy protocol (CG and FG)."""
+
+from repro.esmacs.analysis import (
+    bootstrap_sem,
+    confidence_interval,
+    ranking_correlation,
+    repeat_reliability,
+)
+from repro.esmacs.mmpbsa import BindingEstimator
+from repro.esmacs.protocol import CG, FG, EsmacsConfig, EsmacsResult, EsmacsRunner
+
+__all__ = [
+    "BindingEstimator",
+    "CG",
+    "EsmacsConfig",
+    "EsmacsResult",
+    "EsmacsRunner",
+    "FG",
+    "bootstrap_sem",
+    "confidence_interval",
+    "ranking_correlation",
+    "repeat_reliability",
+]

@@ -1,0 +1,97 @@
+"""Ensemble statistics and ranking-reliability analysis.
+
+The paper's core methodological claim for ESMACS (§5.1.3) is that
+ensemble averaging turns the irreproducible single-trajectory MMPBSA into
+a reliable *ranking* tool.  The functions here quantify that: bootstrap
+errors on ensemble means, and the rank-correlation between independent
+repeats of the protocol as a function of ensemble size — the ablation
+bench's measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "bootstrap_sem",
+    "confidence_interval",
+    "ranking_correlation",
+    "repeat_reliability",
+]
+
+
+def bootstrap_sem(
+    values: np.ndarray, rng: np.random.Generator, n_boot: int = 500
+) -> float:
+    """Bootstrap standard error of the mean of ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        raise ValueError("need at least 2 values to bootstrap")
+    idx = rng.integers(len(values), size=(n_boot, len(values)))
+    means = values[idx].mean(axis=1)
+    return float(means.std(ddof=1))
+
+
+def confidence_interval(
+    values: np.ndarray,
+    rng: np.random.Generator,
+    level: float = 0.95,
+    n_boot: int = 500,
+) -> tuple[float, float]:
+    """Bootstrap percentile CI for the mean of ``values``."""
+    if not 0 < level < 1:
+        raise ValueError("level must be in (0, 1)")
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) < 2:
+        raise ValueError("need at least 2 values")
+    idx = rng.integers(len(values), size=(n_boot, len(values)))
+    means = values[idx].mean(axis=1)
+    alpha = (1 - level) / 2
+    return (
+        float(np.percentile(means, 100 * alpha)),
+        float(np.percentile(means, 100 * (1 - alpha))),
+    )
+
+
+def ranking_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation between two score vectors."""
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape or a.ndim != 1:
+        raise ValueError("inputs must be 1-D and equally sized")
+    if len(a) < 3:
+        raise ValueError("need at least 3 compounds to rank")
+    rho, _ = stats.spearmanr(a, b)
+    return float(rho)
+
+
+def repeat_reliability(
+    replica_dgs_per_compound: list[np.ndarray],
+    ensemble_size: int,
+    rng: np.random.Generator,
+    n_repeats: int = 20,
+) -> float:
+    """Expected rank-correlation between two independent ESMACS repeats.
+
+    Given each compound's pool of replica ΔG values, draw two disjoint
+    ensembles of ``ensemble_size`` replicas per compound, average each,
+    and rank-correlate the two resulting compound rankings; repeat and
+    average.  Larger ensembles → higher correlation is the §5.1.3 claim.
+    """
+    if ensemble_size < 1:
+        raise ValueError("ensemble_size must be >= 1")
+    for pool in replica_dgs_per_compound:
+        if len(pool) < 2 * ensemble_size:
+            raise ValueError(
+                "each compound needs >= 2*ensemble_size replicas "
+                f"(got {len(pool)}, need {2 * ensemble_size})"
+            )
+    correlations = []
+    for _ in range(n_repeats):
+        first, second = [], []
+        for pool in replica_dgs_per_compound:
+            perm = rng.permutation(len(pool))
+            first.append(pool[perm[:ensemble_size]].mean())
+            second.append(pool[perm[ensemble_size : 2 * ensemble_size]].mean())
+        correlations.append(ranking_correlation(np.array(first), np.array(second)))
+    return float(np.mean(correlations))

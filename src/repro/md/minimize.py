@@ -1,0 +1,70 @@
+"""Energy minimization: steepest descent with backtracking line search.
+
+Plays the role of the minimization step in both ESMACS stages (§7.2:
+"these two stages both have two steps, a minimization and an MD step").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.forcefield import ForceField
+from repro.md.system import MDSystem
+
+__all__ = ["minimize", "MinimizationResult"]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of a minimization."""
+
+    initial_energy: float
+    final_energy: float
+    n_iterations: int
+    converged: bool
+
+
+def minimize(
+    system: MDSystem,
+    forcefield: ForceField,
+    max_iterations: int = 100,
+    force_tolerance: float = 1.0,
+    initial_step: float = 0.02,
+) -> MinimizationResult:
+    """Steepest descent on ``system.positions`` (modified in place).
+
+    Converged when the max force component drops below
+    ``force_tolerance`` (kcal/mol/A).
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    forces, e = forcefield.compute(system.topology, system.positions)
+    e0 = e.total
+    energy = e0
+    step = initial_step
+    converged = False
+    it = 0
+    for it in range(1, max_iterations + 1):
+        fmax = np.abs(forces).max()
+        if fmax < force_tolerance:
+            converged = True
+            break
+        direction = forces / max(fmax, 1e-12)
+        trial = system.positions + step * direction
+        new_forces, new_e = forcefield.compute(system.topology, trial)
+        if new_e.total < energy:
+            system.positions = trial
+            forces, energy = new_forces, new_e.total
+            step = min(step * 1.2, 1.0)
+        else:
+            step *= 0.5
+            if step < 1e-8:
+                break
+    return MinimizationResult(
+        initial_energy=e0,
+        final_energy=energy,
+        n_iterations=it,
+        converged=converged,
+    )

@@ -1,0 +1,120 @@
+"""MD system model: beads, topology and state.
+
+The OpenMM/NAMD substitute is a coarse-grained bead model: the protein is
+a Cα chain held near its fold by a Gō-like elastic network, the ligand is
+one bead per heavy atom, and the complex lives in a confining sphere (a
+droplet, no periodic boundary conditions).  This is the smallest model
+that still produces what ESMACS and DeepDriveMD consume: thermally
+fluctuating protein–ligand trajectories with meaningful interaction
+energies, RMSD spreads and contact statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MDSystem", "Topology"]
+
+
+@dataclass
+class Topology:
+    """Bonded structure and bead parameters (immutable during a run)."""
+
+    masses: np.ndarray  # (n,) amu
+    charges: np.ndarray  # (n,) e
+    hydro: np.ndarray  # (n,) hydrophobicity in [-1, 1]
+    radii: np.ndarray  # (n,) angstrom
+    bonds: np.ndarray  # (nb, 2) int indices
+    bond_lengths: np.ndarray  # (nb,) rest lengths
+    bond_k: np.ndarray  # (nb,) kcal/mol/A^2
+    protein_atoms: np.ndarray  # int indices
+    ligand_atoms: np.ndarray  # int indices
+
+    def __post_init__(self) -> None:
+        n = len(self.masses)
+        for name in ("charges", "hydro", "radii"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length != masses length")
+        if len(self.bonds) != len(self.bond_lengths) or len(self.bonds) != len(
+            self.bond_k
+        ):
+            raise ValueError("bond arrays must share a length")
+        if len(self.bonds) and self.bonds.max() >= n:
+            raise ValueError("bond references missing bead")
+        overlap = set(self.protein_atoms.tolist()) & set(self.ligand_atoms.tolist())
+        if overlap:
+            raise ValueError(f"beads in both protein and ligand: {sorted(overlap)}")
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms (beads)."""
+        return len(self.masses)
+
+    def exclusion_mask(self) -> np.ndarray:
+        """(n, n) boolean: True where the nonbonded term is excluded
+        (self pairs and directly bonded pairs).  Cached — topology is
+        immutable during a run and this sits on the force hot path."""
+        cached = getattr(self, "_exclusion_cache", None)
+        if cached is None:
+            n = self.n_atoms
+            mask = np.eye(n, dtype=bool)
+            if len(self.bonds):
+                mask[self.bonds[:, 0], self.bonds[:, 1]] = True
+                mask[self.bonds[:, 1], self.bonds[:, 0]] = True
+            object.__setattr__(self, "_exclusion_cache", mask)
+            cached = mask
+        return cached
+
+
+@dataclass
+class MDSystem:
+    """Mutable dynamical state bound to a topology."""
+
+    topology: Topology
+    positions: np.ndarray  # (n, 3) angstrom
+    velocities: np.ndarray = field(default=None)  # (n, 3) angstrom/ps
+    reference_positions: np.ndarray = field(default=None)  # native fold (for Gō)
+
+    def __post_init__(self) -> None:
+        n = self.topology.n_atoms
+        if self.positions.shape != (n, 3):
+            raise ValueError(f"positions shape {self.positions.shape} != ({n}, 3)")
+        if self.velocities is None:
+            self.velocities = np.zeros((n, 3))
+        if self.reference_positions is None:
+            self.reference_positions = self.positions.copy()
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms (beads)."""
+        return self.topology.n_atoms
+
+    def kinetic_energy(self) -> float:
+        """Kinetic energy in kcal/mol (mass amu, velocity A/ps, factor
+        converts (amu·A²/ps²) to kcal/mol)."""
+        conv = 1.0 / 418.4
+        return float(
+            0.5 * conv * (self.topology.masses * (self.velocities**2).sum(axis=1)).sum()
+        )
+
+    def temperature(self) -> float:
+        """Instantaneous temperature (K) from equipartition."""
+        from repro.util.units import BOLTZMANN_KCAL
+
+        dof = 3 * self.n_atoms - 3
+        if dof <= 0:
+            return 0.0
+        return 2.0 * self.kinetic_energy() / (dof * BOLTZMANN_KCAL)
+
+    def initialize_velocities(self, temperature: float, rng: np.random.Generator):
+        """Maxwell–Boltzmann velocities at ``temperature`` (K), zero drift."""
+        from repro.util.units import BOLTZMANN_KCAL
+
+        kt = BOLTZMANN_KCAL * temperature * 418.4  # amu A^2/ps^2
+        sigma = np.sqrt(kt / self.topology.masses)[:, None]
+        self.velocities = rng.normal(size=(self.n_atoms, 3)) * sigma
+        # remove centre-of-mass drift
+        m = self.topology.masses[:, None]
+        self.velocities -= (m * self.velocities).sum(axis=0) / m.sum()

@@ -1,0 +1,78 @@
+"""From-scratch NumPy deep-learning stack.
+
+Replaces PyTorch + TensorRT in the paper's pipeline: a reverse-mode
+autograd engine with double-backprop support (for WGAN-GP), a module/layer
+system, optimizers (incl. the paper's RMSprop), the Chamfer and gradient
+penalty losses, FP16 compiled inference, and the gzip-sharded threaded
+data pipeline of §6.1.1.
+"""
+
+from repro.nn import autograd
+from repro.nn.autograd import Tensor, as_tensor, grad, no_grad
+from repro.nn.dataloader import PrefetchLoader, ShardReader, partition_shards
+from repro.nn.inference import CompiledModel, compile_model
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    Parameter,
+    PointwiseDense,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import (
+    bce_loss,
+    chamfer_distance,
+    gradient_penalty,
+    mae_loss,
+    mse_loss,
+)
+from repro.nn.optim import SGD, Adam, RMSprop, clip_grad_norm
+from repro.nn.serialization import load_model, save_model
+
+__all__ = [
+    "Adam",
+    "BatchNorm",
+    "CompiledModel",
+    "Conv2d",
+    "Dense",
+    "Flatten",
+    "GlobalAvgPool2d",
+    "LeakyReLU",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "PointwiseDense",
+    "PrefetchLoader",
+    "ReLU",
+    "RMSprop",
+    "ResidualBlock",
+    "SGD",
+    "Sequential",
+    "ShardReader",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "as_tensor",
+    "autograd",
+    "bce_loss",
+    "chamfer_distance",
+    "clip_grad_norm",
+    "compile_model",
+    "grad",
+    "gradient_penalty",
+    "load_model",
+    "mae_loss",
+    "mse_loss",
+    "no_grad",
+    "partition_shards",
+    "save_model",
+]

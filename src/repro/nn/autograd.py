@@ -1,0 +1,596 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+A tensor-valued, micrograd-style engine with one deliberate design rule:
+**every vector–Jacobian product is itself expressed in tensor ops**, never
+in raw NumPy.  Backward passes therefore build a differentiable graph of
+their own, so ``grad(..., create_graph=True)`` supports double
+backpropagation — which the 3D-AAE's WGAN gradient penalty (∂/∂θ of
+‖∂D/∂x‖) requires, exactly as PyTorch provides it to the paper's S2 stage.
+
+The engine is small but complete for this library's models: dense and
+convolutional networks (via pad/take/matmul), PointNet-style max pooling,
+and the Chamfer/Wasserstein losses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "grad", "no_grad", "concatenate", "stack"]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (fast inference)."""
+
+    def __enter__(self):
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc):
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+class Tensor:
+    """A NumPy array plus autograd bookkeeping.
+
+    Attributes
+    ----------
+    data:
+        The underlying ``np.ndarray`` (float64 by default).
+    requires_grad:
+        Whether gradients should flow to this tensor.
+    grad:
+        Populated by :func:`grad` / :meth:`backward`; a ``Tensor`` (so
+        higher-order differentiation can continue through it).
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "_parents", "_vjps")
+    __array_priority__ = 100  # numpy defers binary ops to us
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _vjps: tuple[Callable[["Tensor"], "Tensor"], ...] = (),
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = requires_grad and _grad_enabled
+        self.grad: Tensor | None = None
+        self._parents = _parents if self.requires_grad else ()
+        self._vjps = _vjps if self.requires_grad else ()
+
+    # ------------------------------------------------------------- basics
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape of the underlying data."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of array dimensions."""
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.data.size
+
+    def item(self) -> float:
+        """The single scalar value as a float."""
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying NumPy array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A constant copy cut off from the graph."""
+        return Tensor(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ---------------------------------------------------------- operators
+    def __add__(self, other):
+        return add(self, as_tensor(other))
+
+    def __radd__(self, other):
+        return add(as_tensor(other), self)
+
+    def __mul__(self, other):
+        return mul(self, as_tensor(other))
+
+    def __rmul__(self, other):
+        return mul(as_tensor(other), self)
+
+    def __neg__(self):
+        return mul(self, Tensor(-1.0))
+
+    def __sub__(self, other):
+        return add(self, -as_tensor(other))
+
+    def __rsub__(self, other):
+        return add(as_tensor(other), -self)
+
+    def __truediv__(self, other):
+        return mul(self, power(as_tensor(other), -1.0))
+
+    def __rtruediv__(self, other):
+        return mul(as_tensor(other), power(self, -1.0))
+
+    def __pow__(self, exponent: float):
+        return power(self, exponent)
+
+    def __matmul__(self, other):
+        return matmul(self, as_tensor(other))
+
+    def __getitem__(self, key):
+        return getitem(self, key)
+
+    # --------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims=False):
+        """Sum over ``axis`` (all axes by default)."""
+        return tensor_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        """Mean over ``axis`` (all axes by default)."""
+        return tensor_mean(self, axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        """Maximum over ``axis`` (ties share gradient)."""
+        return tensor_max(self, axis=axis, keepdims=keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        """Minimum over ``axis``."""
+        return -tensor_max(-self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        """View with a new shape."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return reshape(self, shape)
+
+    def transpose(self, *axes):
+        """Permute axes (reverse by default)."""
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        return transpose(self, axes or None)
+
+    @property
+    def T(self):
+        """Transpose (reversed axes)."""
+        return transpose(self, None)
+
+    # ----------------------------------------------------------- backward
+    def backward(self, gradient: "Tensor | None" = None, create_graph: bool = False):
+        """Accumulate gradients of ``self`` into every reachable leaf."""
+        grads = grad(
+            self,
+            leaves=None,
+            gradient=gradient,
+            create_graph=create_graph,
+            _accumulate=True,
+        )
+        return grads
+
+
+def as_tensor(x) -> Tensor:
+    """Wrap plain data as a constant Tensor (no-op for Tensors)."""
+    return x if isinstance(x, Tensor) else Tensor(x)
+
+
+def _make(data, parents, vjps) -> Tensor:
+    requires = _grad_enabled and any(p.requires_grad for p in parents)
+    out = Tensor(data, requires_grad=requires)
+    if requires:
+        kept_parents = []
+        kept_vjps = []
+        for p, v in zip(parents, vjps):
+            if p.requires_grad:
+                kept_parents.append(p)
+                kept_vjps.append(v)
+        out._parents = tuple(kept_parents)
+        out._vjps = tuple(kept_vjps)
+    return out
+
+
+# ---------------------------------------------------------------- helpers
+
+
+def _sum_to_shape(g: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """Reduce a broadcast gradient back to ``shape`` (in tensor ops)."""
+    if g.shape == shape:
+        return g
+    # sum over leading extra axes
+    extra = g.ndim - len(shape)
+    if extra > 0:
+        g = tensor_sum(g, axis=tuple(range(extra)))
+    # sum over broadcast (size-1) axes
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and g.shape[i] != 1)
+    if axes:
+        g = tensor_sum(g, axis=axes, keepdims=True)
+    return reshape(g, shape)
+
+
+# --------------------------------------------------------------- elementwise
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise sum with broadcasting."""
+    return _make(
+        a.data + b.data,
+        (a, b),
+        (
+            lambda g: _sum_to_shape(g, a.shape),
+            lambda g: _sum_to_shape(g, b.shape),
+        ),
+    )
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise product with broadcasting."""
+    return _make(
+        a.data * b.data,
+        (a, b),
+        (
+            lambda g: _sum_to_shape(mul(g, b), a.shape),
+            lambda g: _sum_to_shape(mul(g, a), b.shape),
+        ),
+    )
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    """Elementwise power with a constant exponent."""
+    if exponent < 0:
+        data = np.power(np.where(a.data == 0, np.finfo(float).tiny, a.data), exponent)
+    else:
+        data = np.power(a.data, exponent)
+    return _make(
+        data,
+        (a,),
+        (lambda g: mul(g, mul(Tensor(exponent), power(a, exponent - 1.0))),),
+    )
+
+
+def exp(a: Tensor) -> Tensor:
+    """Elementwise exponential (input clipped for stability)."""
+    out_data = np.exp(np.clip(a.data, -500, 500))
+    out = _make(out_data, (a,), ())
+    if out.requires_grad:
+        out._parents = (a,)
+        out._vjps = (lambda g: mul(g, out),)
+    return out
+
+
+def log(a: Tensor) -> Tensor:
+    """Elementwise natural log (clamped away from zero)."""
+    return _make(
+        np.log(np.maximum(a.data, np.finfo(float).tiny)),
+        (a,),
+        (lambda g: mul(g, power(a, -1.0)),),
+    )
+
+
+def sqrt(a: Tensor) -> Tensor:
+    """Elementwise square root."""
+    return power(a, 0.5)
+
+
+def tanh(a: Tensor) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    out = _make(np.tanh(a.data), (a,), ())
+    if out.requires_grad:
+        out._parents = (a,)
+        out._vjps = (lambda g: mul(g, add(Tensor(1.0), -mul(out, out))),)
+    return out
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    """Elementwise logistic sigmoid."""
+    out = _make(1.0 / (1.0 + np.exp(-np.clip(a.data, -500, 500))), (a,), ())
+    if out.requires_grad:
+        out._parents = (a,)
+        out._vjps = (lambda g: mul(g, mul(out, add(Tensor(1.0), -out))),)
+    return out
+
+
+def relu(a: Tensor) -> Tensor:
+    """Elementwise max(x, 0)."""
+    mask = Tensor((a.data > 0).astype(np.float64))
+    return _make(a.data * mask.data, (a,), (lambda g: mul(g, mask),))
+
+
+def leaky_relu(a: Tensor, slope: float = 0.2) -> Tensor:
+    """Elementwise leaky ReLU with the given negative slope."""
+    factor = Tensor(np.where(a.data > 0, 1.0, slope))
+    return _make(a.data * factor.data, (a,), (lambda g: mul(g, factor),))
+
+
+def absolute(a: Tensor) -> Tensor:
+    """Elementwise absolute value (sign subgradient)."""
+    sign = Tensor(np.sign(a.data))
+    return _make(np.abs(a.data), (a,), (lambda g: mul(g, sign),))
+
+
+# -------------------------------------------------------------- structural
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product (batched, with broadcast-aware vjps)."""
+    def vjp_a(g: Tensor) -> Tensor:
+        gb = matmul(g, _swap_last(b))
+        return _sum_to_shape(gb, a.shape) if gb.shape != a.shape else gb
+
+    def vjp_b(g: Tensor) -> Tensor:
+        ga = matmul(_swap_last(a), g)
+        return _sum_to_shape(ga, b.shape) if ga.shape != b.shape else ga
+
+    return _make(a.data @ b.data, (a, b), (vjp_a, vjp_b))
+
+
+def _swap_last(a: Tensor) -> Tensor:
+    axes = list(range(a.ndim))
+    axes[-1], axes[-2] = axes[-2], axes[-1]
+    return transpose(a, tuple(axes))
+
+
+def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
+    """View with a new shape."""
+    old = a.shape
+    return _make(a.data.reshape(shape), (a,), (lambda g: reshape(g, old),))
+
+
+def transpose(a: Tensor, axes: tuple[int, ...] | None) -> Tensor:
+    """Permute axes (reverse by default)."""
+    if axes is None:
+        axes = tuple(reversed(range(a.ndim)))
+    inverse = tuple(int(i) for i in np.argsort(axes))
+    return _make(
+        a.data.transpose(axes), (a,), (lambda g: transpose(g, inverse),)
+    )
+
+
+def getitem(a: Tensor, key) -> Tensor:
+    """Basic indexing/slicing (adjoint scatters the gradient)."""
+    shape = a.shape
+
+    def vjp(g: Tensor) -> Tensor:
+        return scatter(g, key, shape)
+
+    return _make(a.data[key], (a,), (vjp,))
+
+
+def scatter(g: Tensor, key, shape: tuple[int, ...]) -> Tensor:
+    """Place ``g`` into a zero tensor of ``shape`` at ``key`` (adjoint of getitem)."""
+
+    def vjp(gg: Tensor) -> Tensor:
+        return getitem(gg, key)
+
+    data = np.zeros(shape)
+    np.add.at(data, key, g.data)
+    return _make(data, (g,), (vjp,))
+
+
+def take(a: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
+    """Gather along ``axis`` (adjoint: scatter-add)."""
+    indices = np.asarray(indices)
+    shape = a.shape
+
+    def vjp(g: Tensor) -> Tensor:
+        return _scatter_add_axis(g, indices, axis, shape)
+
+    return _make(np.take(a.data, indices, axis=axis), (a,), (vjp,))
+
+
+def _scatter_add_axis(
+    g: Tensor, indices: np.ndarray, axis: int, shape: tuple[int, ...]
+) -> Tensor:
+    def vjp(gg: Tensor) -> Tensor:
+        return take(gg, indices, axis=axis)
+
+    data = np.zeros(shape)
+    # move target axis first for np.add.at, mirroring take's output layout
+    moved = np.moveaxis(data, axis, 0)
+    g_moved = np.moveaxis(
+        g.data, tuple(range(axis, axis + indices.ndim)), tuple(range(indices.ndim))
+    )
+    np.add.at(moved, indices, g_moved)
+    return _make(data, (g,), (vjp,))
+
+
+def pad2d(a: Tensor, pad: int) -> Tensor:
+    """Zero-pad the last two axes of a (B, C, H, W) tensor."""
+    if pad == 0:
+        return a
+    width = [(0, 0)] * (a.ndim - 2) + [(pad, pad), (pad, pad)]
+    key = tuple([slice(None)] * (a.ndim - 2) + [slice(pad, -pad), slice(pad, -pad)])
+
+    def vjp(g: Tensor) -> Tensor:
+        return getitem(g, key)
+
+    return _make(np.pad(a.data, width), (a,), (vjp,))
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Join tensors along ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    def make_vjp(i: int):
+        def vjp(g: Tensor) -> Tensor:
+            key = [slice(None)] * g.ndim
+            key[axis] = slice(int(offsets[i]), int(offsets[i + 1]))
+            return getitem(g, tuple(key))
+
+        return vjp
+
+    return _make(
+        np.concatenate([t.data for t in tensors], axis=axis),
+        tuple(tensors),
+        tuple(make_vjp(i) for i in range(len(tensors))),
+    )
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis``."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def make_vjp(i: int):
+        def vjp(g: Tensor) -> Tensor:
+            key = [slice(None)] * g.ndim
+            key[axis] = i
+            return getitem(g, tuple(key))
+
+        return vjp
+
+    return _make(
+        np.stack([t.data for t in tensors], axis=axis),
+        tuple(tensors),
+        tuple(make_vjp(i) for i in range(len(tensors))),
+    )
+
+
+# --------------------------------------------------------------- reductions
+
+
+def _normalize_axis(axis, ndim):
+    if axis is None:
+        return tuple(range(ndim))
+    if isinstance(axis, int):
+        return (axis % ndim,)
+    return tuple(a % ndim for a in axis)
+
+
+def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Sum reduction over the given axes."""
+    axes = _normalize_axis(axis, a.ndim)
+    shape = a.shape
+
+    def vjp(g: Tensor) -> Tensor:
+        if not keepdims:
+            expand = list(g.shape)
+            for ax in sorted(axes):
+                expand.insert(ax, 1)
+            g = reshape(g, tuple(expand))
+        return mul(g, Tensor(np.ones(shape)))
+
+    return _make(a.data.sum(axis=axes, keepdims=keepdims), (a,), (vjp,))
+
+
+def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean reduction over the given axes."""
+    axes = _normalize_axis(axis, a.ndim)
+    count = float(np.prod([a.shape[ax] for ax in axes]))
+    return mul(tensor_sum(a, axis=axis, keepdims=keepdims), Tensor(1.0 / count))
+
+
+def tensor_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Max reduction; tied maxima split the gradient."""
+    axes = _normalize_axis(axis, a.ndim)
+    out_data = a.data.max(axis=axes, keepdims=True)
+    # subgradient mask, ties split evenly (constant w.r.t. the graph)
+    mask = (a.data == out_data).astype(np.float64)
+    mask /= mask.sum(axis=axes, keepdims=True)
+    mask_t = Tensor(mask)
+
+    def vjp(g: Tensor) -> Tensor:
+        if not keepdims:
+            expand = list(g.shape)
+            for ax in sorted(axes):
+                expand.insert(ax, 1)
+            g = reshape(g, tuple(expand))
+        return mul(g, mask_t)
+
+    final = out_data if keepdims else out_data.squeeze(axes)
+    return _make(final, (a,), (vjp,))
+
+
+# ----------------------------------------------------------------- backward
+
+
+def _topo_order(root: Tensor) -> list[Tensor]:
+    order: list[Tensor] = []
+    seen: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.append((node, True))
+        for p in node._parents:
+            if id(p) not in seen:
+                stack.append((p, False))
+    return order
+
+
+def grad(
+    output: Tensor,
+    leaves: Sequence[Tensor] | None = None,
+    gradient: Tensor | None = None,
+    create_graph: bool = False,
+    _accumulate: bool = False,
+) -> list[Tensor] | None:
+    """Gradients of ``output`` w.r.t. ``leaves``.
+
+    With ``create_graph=True`` the returned gradients carry their own
+    graph, enabling higher-order differentiation (used by WGAN-GP).
+    With ``_accumulate=True`` (the ``backward()`` path), gradients are
+    stored on every reachable ``requires_grad`` tensor's ``.grad``.
+    """
+    if gradient is None:
+        gradient = Tensor(np.ones_like(output.data))
+    table: dict[int, Tensor] = {id(output): gradient}
+
+    order = _topo_order(output)
+    for node in reversed(order):
+        g = table.get(id(node))
+        if g is None:
+            continue
+        for parent, vjp in zip(node._parents, node._vjps):
+            if create_graph:
+                contrib = vjp(g)
+            else:
+                with no_grad():
+                    contrib = vjp(g)
+            prev = table.get(id(parent))
+            if prev is None:
+                table[id(parent)] = contrib
+            else:
+                if create_graph:
+                    table[id(parent)] = add(prev, contrib)
+                else:
+                    with no_grad():
+                        table[id(parent)] = add(prev, contrib)
+
+    if _accumulate:
+        for node in order:
+            if node.requires_grad and id(node) in table and not node._parents:
+                g = table[id(node)]
+                node.grad = g if node.grad is None else Tensor(node.grad.data + g.data)
+        return None
+
+    assert leaves is not None, "grad() requires leaves unless accumulating"
+    result = []
+    for leaf in leaves:
+        g = table.get(id(leaf))
+        if g is None:
+            g = Tensor(np.zeros_like(leaf.data))
+        result.append(g)
+    return result

@@ -1,0 +1,154 @@
+"""Streaming, compressed, prefetching data pipeline.
+
+§6.1.1 describes ML1's inference IO in detail: the library arrives as
+thousands of gzip-compressed pickle shards; each rank stages its shard
+set, then one prefetch thread loads+decompresses files while a second
+iterates the decompressed records and feeds the network, glued together
+with thread-safe queues and "careful exception handling to make the setup
+resilient against sporadic IO errors".  This module is that pipeline.
+"""
+
+from __future__ import annotations
+
+import gzip
+import pickle
+import queue
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator, Sequence
+
+__all__ = ["ShardReader", "PrefetchLoader", "partition_shards"]
+
+_END = object()
+
+
+def partition_shards(paths: Sequence[Path | str], rank: int, world: int) -> list[Path]:
+    """Distribute shard files evenly across ``world`` ranks (MPI-style).
+
+    Rank ``r`` takes files ``r, r+world, r+2·world, …`` — the same
+    round-robin distribution the paper uses to bind shards to GPUs.
+    """
+    if world <= 0 or not 0 <= rank < world:
+        raise ValueError(f"invalid rank/world: {rank}/{world}")
+    return [Path(p) for i, p in enumerate(paths) if i % world == rank]
+
+
+@dataclass
+class LoaderStats:
+    """Observability for the pipeline (errors are counted, not fatal)."""
+
+    shards_read: int = 0
+    records_yielded: int = 0
+    io_errors: int = 0
+    shards_staged: int = 0
+
+
+class ShardReader:
+    """Iterates records from gzip-pickle shards with error resilience.
+
+    A shard that fails to read (corrupt gzip, truncated pickle, missing
+    file) increments ``stats.io_errors`` and is skipped — the paper's
+    "resilient against sporadic IO errors" behaviour — unless
+    ``strict=True``.
+
+    ``staging_dir`` enables the §6.1.1 staging step ("each rank stages
+    its assigned shard of the data from GPFS into node-local NVME"):
+    each shard is copied into the staging directory before being read,
+    and subsequent passes read the staged copy.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[Path | str],
+        strict: bool = False,
+        staging_dir: Path | str | None = None,
+    ) -> None:
+        self.paths = [Path(p) for p in paths]
+        self.strict = strict
+        self.staging_dir = Path(staging_dir) if staging_dir is not None else None
+        self.stats = LoaderStats()
+
+    def _resolve(self, path: Path) -> Path:
+        if self.staging_dir is None:
+            return path
+        import shutil
+
+        self.staging_dir.mkdir(parents=True, exist_ok=True)
+        staged = self.staging_dir / path.name
+        if not staged.exists():
+            shutil.copyfile(path, staged)
+            self.stats.shards_staged += 1
+        return staged
+
+    def __iter__(self) -> Iterator:
+        for path in self.paths:
+            try:
+                local = self._resolve(path)
+                with gzip.open(local, "rb") as fh:
+                    records = pickle.load(fh)
+            except (OSError, EOFError, pickle.UnpicklingError):
+                if self.strict:
+                    raise
+                self.stats.io_errors += 1
+                continue
+            self.stats.shards_read += 1
+            for rec in records:
+                self.stats.records_yielded += 1
+                yield rec
+
+
+class PrefetchLoader:
+    """Two-stage threaded prefetcher: decompress thread → batch thread.
+
+    Stage 1 (IO thread) reads and decompresses shards into a bounded
+    record queue.  Stage 2 (this iterator) assembles fixed-size batches,
+    applying ``transform`` per record (e.g. SMILES → image featurization)
+    so featurization overlaps IO — the §6.1.1 design.
+    """
+
+    def __init__(
+        self,
+        reader: ShardReader,
+        batch_size: int,
+        transform: Callable | None = None,
+        queue_depth: int = 64,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.reader = reader
+        self.batch_size = batch_size
+        self.transform = transform
+        self.queue_depth = queue_depth
+
+    def _producer(self, q: queue.Queue, stop: threading.Event) -> None:
+        try:
+            for rec in self.reader:
+                if stop.is_set():
+                    return
+                q.put(rec)
+        finally:
+            q.put(_END)
+
+    def __iter__(self) -> Iterator[list]:
+        q: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+        stop = threading.Event()
+        worker = threading.Thread(
+            target=self._producer, args=(q, stop), daemon=True, name="shard-prefetch"
+        )
+        worker.start()
+        try:
+            batch: list = []
+            while True:
+                rec = q.get()
+                if rec is _END:
+                    break
+                batch.append(self.transform(rec) if self.transform else rec)
+                if len(batch) == self.batch_size:
+                    yield batch
+                    batch = []
+            if batch:
+                yield batch
+        finally:
+            stop.set()
+            worker.join(timeout=5.0)

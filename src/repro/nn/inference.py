@@ -1,0 +1,175 @@
+"""Compiled inference: graph-free forward passes with optional FP16.
+
+The paper deploys ML1 through TensorRT at FP16 to use the V100 tensor
+cores (§6.1.1).  The NumPy analogue: strip the autograd graph (weights
+frozen into plain arrays) and run the whole forward pass in half
+precision.  :class:`CompiledModel` plays the role of the torch2trt export
+— same predictions (to FP16 tolerance), a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    PointwiseDense,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+__all__ = ["CompiledModel", "compile_model"]
+
+
+class CompiledModel:
+    """Graph-free forward pass of a compiled module tree."""
+
+    def __init__(self, fn, store_dtype: np.dtype, compute_dtype: np.dtype) -> None:
+        self._fn = fn
+        self.store_dtype = store_dtype
+        self.compute_dtype = compute_dtype
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        # quantize the input to the storage precision, compute wider —
+        # the tensor-core model (FP16 operands, FP32 accumulate)
+        x = np.asarray(x).astype(self.store_dtype).astype(self.compute_dtype)
+        return self._fn(x).astype(np.float64)
+
+
+def compile_model(model: Module, precision: str = "fp16") -> CompiledModel:
+    """Compile a module tree into a pure-NumPy inference function.
+
+    Parameters
+    ----------
+    model:
+        A model built from the layers in :mod:`repro.nn.layers`.
+    precision:
+        ``"fp16"`` (default) quantizes weights and inputs to half
+        precision and accumulates in FP32 — the V100 tensor-core
+        behaviour the paper exploits via TensorRT.  ``"fp32"`` keeps full
+        single precision.  (NumPy has no hardware FP16 arithmetic, so
+        computing *in* float16 would be both slower and less faithful
+        than quantize-then-accumulate.)
+    """
+    if precision == "fp16":
+        store, compute = np.float16, np.float32
+    elif precision == "fp32":
+        store, compute = np.float32, np.float32
+    else:
+        raise ValueError(f"precision must be 'fp16' or 'fp32', got {precision!r}")
+    fn = _compile(model, _Precision(store, compute))
+    return CompiledModel(fn, store, compute)
+
+
+class _Precision:
+    """Weight-quantization policy handed down the compile recursion."""
+
+    def __init__(self, store: np.dtype, compute: np.dtype) -> None:
+        self.store = store
+        self.compute = compute
+
+    def quantize(self, arr: np.ndarray) -> np.ndarray:
+        """Round-trip an array through the storage precision."""
+        return arr.astype(self.store).astype(self.compute)
+
+
+def _compile(module: Module, prec: "_Precision"):
+    """Recursively translate a module into a closure over frozen weights."""
+    if isinstance(module, Sequential):
+        fns = [_compile(m, prec) for m in module.layers]
+
+        def seq(x):
+            for f in fns:
+                x = f(x)
+            return x
+
+        return seq
+
+    if isinstance(module, ResidualBlock):
+        body = _compile(module.body, prec)
+        proj = _compile(module.projection, prec) if module.projection else None
+
+        def res(x):
+            skip = proj(x) if proj else x
+            return np.maximum(body(x) + skip, 0)
+
+        return res
+
+    if isinstance(module, (Dense, PointwiseDense)):
+        w = prec.quantize(module.weight.data)
+        b = prec.quantize(module.bias.data)
+        return lambda x: x @ w + b
+
+    if isinstance(module, Conv2d):
+        w = prec.quantize(module.weight.data)
+        b = prec.quantize(module.bias.data).reshape(1, -1, 1)
+        kernel, stride, padding = module.kernel, module.stride, module.padding
+
+        def conv(x):
+            bsz, c, h, w_in = x.shape
+            if padding:
+                x = np.pad(
+                    x, [(0, 0), (0, 0), (padding, padding), (padding, padding)]
+                )
+            hp, wp = h + 2 * padding, w_in + 2 * padding
+            idx = module._gather_indices(c, hp, wp)
+            cols = x.reshape(bsz, c * hp * wp)[:, idx]
+            out = w @ cols + b
+            oh = (hp - kernel) // stride + 1
+            ow = (wp - kernel) // stride + 1
+            return out.reshape(bsz, w.shape[0], oh, ow)
+
+        return conv
+
+    if isinstance(module, MaxPool2d):
+        k = module.kernel
+
+        def pool(x):
+            bsz, c, h, w_in = x.shape
+            return x.reshape(bsz, c, h // k, k, w_in // k, k).max(axis=(3, 5))
+
+        return pool
+
+    if isinstance(module, GlobalAvgPool2d):
+        return lambda x: x.mean(axis=(2, 3))
+
+    if isinstance(module, Flatten):
+        return lambda x: x.reshape(x.shape[0], -1)
+
+    if isinstance(module, ReLU):
+        return lambda x: np.maximum(x, 0)
+
+    if isinstance(module, LeakyReLU):
+        slope = prec.compute(module.slope)
+        return lambda x: np.where(x > 0, x, slope * x)
+
+    if isinstance(module, Tanh):
+        return np.tanh
+
+    if isinstance(module, Sigmoid):
+        return lambda x: 1.0 / (1.0 + np.exp(-x))
+
+    if isinstance(module, BatchNorm):
+        scale64 = module.gamma.data / np.sqrt(module.running_var + module.eps)
+        shift64 = module.beta.data - module.running_mean * scale64
+        scale = prec.quantize(scale64)
+        shift = prec.quantize(shift64)
+
+        def bn(x):
+            if x.ndim == 4:
+                return x * scale.reshape(1, -1, 1, 1) + shift.reshape(1, -1, 1, 1)
+            return x * scale + shift
+
+        return bn
+
+    raise TypeError(f"cannot compile module of type {type(module).__name__}")

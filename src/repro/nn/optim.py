@@ -1,0 +1,132 @@
+"""Optimizers: SGD (momentum), Adam, RMSprop.
+
+RMSprop is what the paper trains the 3D-AAE with (§7.1.3); Adam is used
+for the ML1 surrogate.  Optimizers mutate ``Parameter.data`` in place and
+read gradients accumulated by ``backward()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["SGD", "Adam", "RMSprop", "clip_grad_norm"]
+
+
+class _Optimizer:
+    def __init__(self, params: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not params:
+            raise ValueError("no parameters to optimize")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def _grads(self):
+        for p in self.params:
+            if p.grad is not None:
+                yield p, p.grad.data
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            if self.momentum:
+                self._velocity[i] = self.momentum * self._velocity[i] - self.lr * g
+                p.data += self._velocity[i]
+            else:
+                p.data -= self.lr * g
+
+
+class Adam(_Optimizer):
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        self._t += 1
+        b1t = 1 - self.b1**self._t
+        b2t = 1 - self.b2**self._t
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            self._m[i] = self.b1 * self._m[i] + (1 - self.b1) * g
+            self._v[i] = self.b2 * self._v[i] + (1 - self.b2) * g * g
+            m_hat = self._m[i] / b1t
+            v_hat = self._v[i] / b2t
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class RMSprop(_Optimizer):
+    """RMSprop — the optimizer the paper's 3D-AAE training uses."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-5,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            g = p.grad.data
+            self._sq[i] = self.alpha * self._sq[i] + (1 - self.alpha) * g * g
+            p.data -= self.lr * g / (np.sqrt(self._sq[i]) + self.eps)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float((p.grad.data**2).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad.data *= scale
+    return norm

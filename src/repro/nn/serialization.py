@@ -1,0 +1,43 @@
+"""Model checkpointing: parameters + batch-norm statistics → ``.npz``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm, Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(model: Module, path: str | Path) -> Path:
+    """Write parameters and running statistics to a compressed ``.npz``."""
+    path = Path(path)
+    state = model.state_dict()
+    for i, m in enumerate(model.modules()):
+        if isinstance(m, BatchNorm):
+            state[f"bn{i}_mean"] = m.running_mean
+            state[f"bn{i}_var"] = m.running_var
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_model(model: Module, path: str | Path) -> Module:
+    """Load a checkpoint written by :func:`save_model` into ``model``.
+
+    The model must have the same architecture (parameter count/shapes and
+    BatchNorm placement) as the one saved.
+    """
+    with np.load(Path(path)) as blob:
+        state = {k: blob[k] for k in blob.files}
+    params = {k: v for k, v in state.items() if k.startswith("p")}
+    model.load_state_dict(params)
+    for i, m in enumerate(model.modules()):
+        if isinstance(m, BatchNorm):
+            mean_key, var_key = f"bn{i}_mean", f"bn{i}_var"
+            if mean_key not in state:
+                raise ValueError(f"checkpoint missing BatchNorm stats {mean_key}")
+            m.running_mean = state[mean_key].copy()
+            m.running_var = state[var_key].copy()
+    return model

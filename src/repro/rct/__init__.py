@@ -1,0 +1,51 @@
+"""Workflow infrastructure — the RADICAL-Cybertools role.
+
+EnTK-style PST programming model, a pilot-job system over a simulated
+cluster (with a real thread backend for small runs), the RAPTOR
+master/worker overlay, utilization tracking (Fig 7) and FLOP accounting
+(Table 3).
+"""
+
+from repro.rct.cluster import SUMMIT_NODE, Allocation, BatchSystem, Cluster, NodeSpec
+from repro.rct.entk import AppManager, Pipeline, Stage
+from repro.rct.executor import SimExecutor, ThreadExecutor
+from repro.rct.flops import (
+    aae_training_step_flops,
+    chamfer_flops,
+    docking_eval_flops,
+    md_step_flops,
+    model_forward_flops,
+)
+from repro.rct.pilot import Pilot, Placement
+from repro.rct.raptor import RaptorConfig, RaptorResult, run_raptor, simulate_raptor
+from repro.rct.task import TaskRecord, TaskSpec, TaskState
+from repro.rct.utilization import UtilizationSeries, UtilizationTracker
+
+__all__ = [
+    "Allocation",
+    "AppManager",
+    "BatchSystem",
+    "Cluster",
+    "NodeSpec",
+    "Pilot",
+    "Pipeline",
+    "Placement",
+    "RaptorConfig",
+    "RaptorResult",
+    "SUMMIT_NODE",
+    "SimExecutor",
+    "Stage",
+    "TaskRecord",
+    "TaskSpec",
+    "TaskState",
+    "ThreadExecutor",
+    "UtilizationSeries",
+    "UtilizationTracker",
+    "aae_training_step_flops",
+    "chamfer_flops",
+    "docking_eval_flops",
+    "md_step_flops",
+    "model_forward_flops",
+    "run_raptor",
+    "simulate_raptor",
+]

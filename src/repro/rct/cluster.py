@@ -1,0 +1,110 @@
+"""Simulated cluster: nodes, slots and a batch queue.
+
+The substitution for Summit (4608 nodes × 6 V100 × 42 usable cores):
+resource *shapes* and allocation semantics are modelled exactly; time is
+virtual and driven by the executor's event loop.  A :class:`BatchSystem`
+fronting the cluster charges a queue wait before a pilot's resources
+become available, like a leadership-facility scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.config import FrozenConfig, validate_positive
+
+__all__ = ["NodeSpec", "SUMMIT_NODE", "Allocation", "Cluster", "BatchSystem"]
+
+
+@dataclass(frozen=True)
+class NodeSpec(FrozenConfig):
+    """Per-node resource shape."""
+
+    cpus: int = 42
+    gpus: int = 6
+
+    def __post_init__(self) -> None:
+        validate_positive("cpus", self.cpus)
+        if self.gpus < 0:
+            raise ValueError("gpus must be non-negative")
+
+
+#: Summit's node shape (§6: 6 NVIDIA V100 per node)
+SUMMIT_NODE = NodeSpec(cpus=42, gpus=6)
+
+
+@dataclass
+class Allocation:
+    """A contiguous block of nodes granted to a pilot."""
+
+    node_ids: list[int]
+    spec: NodeSpec
+    granted_at: float
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in this allocation."""
+        return len(self.node_ids)
+
+    @property
+    def total_gpus(self) -> int:
+        """Total GPU slots in this allocation."""
+        return self.n_nodes * self.spec.gpus
+
+
+class Cluster:
+    """A fixed pool of identical nodes."""
+
+    def __init__(self, n_nodes: int, spec: NodeSpec = SUMMIT_NODE) -> None:
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.n_nodes = n_nodes
+        self.spec = spec
+        self._free = np.ones(n_nodes, dtype=bool)
+
+    @property
+    def free_nodes(self) -> int:
+        """Number of currently unallocated nodes."""
+        return int(self._free.sum())
+
+    def allocate(self, n_nodes: int, now: float) -> Allocation:
+        """Grab ``n_nodes`` free nodes; raises if unavailable."""
+        if n_nodes < 1:
+            raise ValueError("allocation must request at least one node")
+        free_ids = np.where(self._free)[0]
+        if len(free_ids) < n_nodes:
+            raise RuntimeError(
+                f"cluster has {len(free_ids)} free nodes, requested {n_nodes}"
+            )
+        chosen = free_ids[:n_nodes]
+        self._free[chosen] = False
+        return Allocation(node_ids=chosen.tolist(), spec=self.spec, granted_at=now)
+
+    def release(self, allocation: Allocation) -> None:
+        """Return an allocation's nodes to the free pool."""
+        self._free[allocation.node_ids] = True
+
+
+@dataclass
+class BatchSystem:
+    """Minimal batch-queue model: FIFO grant with a queue-wait charge.
+
+    ``queue_wait_base + queue_wait_per_node * n`` seconds elapse between
+    submission and grant — enough to study how batch latency amortizes
+    over pilot lifetime, which is the pilot paradigm's selling point
+    (§5.2.2: RP schedules "without having to use the infrastructure's
+    batch system" for each task).
+    """
+
+    cluster: Cluster
+    queue_wait_base: float = 60.0
+    queue_wait_per_node: float = 0.05
+
+    def submit(self, n_nodes: int, now: float) -> tuple[Allocation, float]:
+        """Submit a pilot job; returns (allocation, grant_time)."""
+        wait = self.queue_wait_base + self.queue_wait_per_node * n_nodes
+        grant_time = now + wait
+        allocation = self.cluster.allocate(n_nodes, grant_time)
+        return allocation, grant_time

@@ -1,0 +1,141 @@
+"""EnTK analogue: the PST (Pipeline, Stage, Task) programming model.
+
+§5.2.1 verbatim semantics:
+
+* tasks in the same **stage** have no mutual ordering and run with
+  whatever concurrency resources allow;
+* **stages** within a pipeline run strictly in order (a stage is a
+  barrier);
+* **pipelines** run concurrently and asynchronously — "each pipeline can
+  progress at its own pace".
+
+:class:`AppManager` executes a set of pipelines over one pilot, keeping
+every pipeline's frontier stage eligible simultaneously — the property
+Fig 7's integrated (S3-CG)-(S2)-(S3-FG) run depends on.  Stages may also
+carry ``on_complete`` callbacks so adaptive workflows can generate their
+next stage from upstream results at runtime (the paper's "selects
+parameters at runtime").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.rct.pilot import Pilot
+from repro.rct.task import TaskRecord, TaskSpec
+
+__all__ = ["Stage", "Pipeline", "AppManager"]
+
+
+@dataclass
+class Stage:
+    """A barrier-delimited group of concurrent tasks."""
+
+    tasks: list[TaskSpec]
+    name: str = ""
+    on_complete: Callable[[list[TaskRecord]], None] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("stage must contain at least one task")
+
+
+@dataclass
+class Pipeline:
+    """An ordered sequence of stages.
+
+    ``stage_generator`` (optional) is consulted when the static stage
+    list is exhausted: it receives the records of the just-finished
+    stage and may return a new Stage (adaptive continuation) or ``None``
+    to finish the pipeline.
+    """
+
+    stages: list[Stage]
+    name: str = ""
+    stage_generator: Callable[[list[TaskRecord]], Stage | None] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("pipeline must contain at least one stage")
+
+
+@dataclass
+class _PipelineState:
+    pipeline: Pipeline
+    stage_index: int = 0
+    outstanding: set[int] = field(default_factory=set)  # task uids in flight
+    stage_records: list[TaskRecord] = field(default_factory=list)
+    done: bool = False
+
+
+class AppManager:
+    """Execute pipelines concurrently on a pilot."""
+
+    def __init__(self, pilot: Pilot) -> None:
+        self.pilot = pilot
+
+    def run(self, pipelines: list[Pipeline]) -> dict[str, list[TaskRecord]]:
+        """Run all pipelines to completion.
+
+        Returns records grouped by pipeline name, in completion order.
+        """
+        if not pipelines:
+            raise ValueError("no pipelines to run")
+        names = [p.name or f"pipeline-{i}" for i, p in enumerate(pipelines)]
+        if len(set(names)) != len(names):
+            raise ValueError(f"pipeline names must be unique, got {names}")
+        states = [_PipelineState(pipeline=p) for p in pipelines]
+        results: dict[str, list[TaskRecord]] = {n: [] for n in names}
+        task_owner: dict[int, int] = {}  # task uid → pipeline index
+        pending: list[TaskSpec] = []
+
+        def launch_stage(idx: int) -> None:
+            state = states[idx]
+            stage = state.pipeline.stages[state.stage_index]
+            state.stage_records = []
+            for task in stage.tasks:
+                self.pilot.validate_fits(task)
+                task_owner[task.uid] = idx
+                state.outstanding.add(task.uid)
+                pending.append(task)
+
+        for i in range(len(states)):
+            launch_stage(i)
+
+        while pending or self.pilot.n_running:
+            remaining = self.pilot.submit_ready(pending)
+            pending.clear()
+            pending.extend(remaining)
+            if self.pilot.n_running == 0:
+                raise RuntimeError(
+                    "deadlock: pipelines blocked but nothing is running"
+                )
+            record = self.pilot.wait_one()
+            idx = task_owner[record.spec.uid]
+            state = states[idx]
+            state.outstanding.discard(record.spec.uid)
+            state.stage_records.append(record)
+            results[names[idx]].append(record)
+
+            if not state.outstanding and not state.done:
+                # the pipeline's frontier stage completed: fire the
+                # callback, then advance (or consult the generator)
+                stage = state.pipeline.stages[state.stage_index]
+                if stage.on_complete is not None:
+                    stage.on_complete(state.stage_records)
+                state.stage_index += 1
+                if state.stage_index >= len(state.pipeline.stages):
+                    generated = None
+                    if state.pipeline.stage_generator is not None:
+                        generated = state.pipeline.stage_generator(
+                            state.stage_records
+                        )
+                    if generated is not None:
+                        state.pipeline.stages.append(generated)
+                        launch_stage(idx)
+                    else:
+                        state.done = True
+                else:
+                    launch_stage(idx)
+        return results

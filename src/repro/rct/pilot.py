@@ -1,0 +1,176 @@
+"""RADICAL-Pilot analogue: pilot jobs, slot scheduling, workload runs.
+
+The pilot paradigm (§5.2.2): submit one batch job that acquires nodes,
+then schedule arbitrarily many heterogeneous tasks onto those nodes
+directly — "given 10,000 single-node tasks and 1000 nodes, a pilot
+system will execute 1000 tasks concurrently and … the remaining 9000
+sequentially, whenever a node becomes available."  :class:`Pilot` owns
+the allocation and slot bookkeeping; :meth:`Pilot.run` is exactly that
+greedy backfilling loop, over either executor backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rct.cluster import Allocation, NodeSpec
+from repro.rct.executor import SimExecutor, ThreadExecutor
+from repro.rct.task import TaskRecord, TaskSpec, TaskState
+from repro.rct.utilization import UtilizationTracker
+
+__all__ = ["Pilot", "Placement"]
+
+
+@dataclass
+class Placement:
+    """Slots assigned to one task."""
+
+    node_ids: list[int]
+    cpus: int
+    gpus: int
+
+
+class Pilot:
+    """A resource pilot: slot accounting + the task scheduling loop."""
+
+    def __init__(
+        self,
+        allocation: Allocation,
+        executor: SimExecutor | ThreadExecutor,
+    ) -> None:
+        self.allocation = allocation
+        self.executor = executor
+        spec = allocation.spec
+        n = allocation.n_nodes
+        self._free_cpus = np.full(n, spec.cpus)
+        self._free_gpus = np.full(n, spec.gpus)
+        self._placements: dict[int, Placement] = {}
+        self.records: list[TaskRecord] = []
+        self.utilization = UtilizationTracker(
+            total_gpus=n * spec.gpus, total_cpus=n * spec.cpus
+        )
+
+    # ------------------------------------------------------------ placement
+    @property
+    def spec(self) -> NodeSpec:
+        """Node shape of the underlying allocation."""
+        return self.allocation.spec
+
+    def try_place(self, task: TaskSpec) -> Placement | None:
+        """First-fit placement; ``None`` when resources are busy.
+
+        Multi-node tasks take whole (fully free) nodes; sub-node tasks
+        pack into partially used nodes.
+        """
+        spec = self.spec
+        if task.nodes > 1:
+            if task.cpus > spec.cpus or task.gpus > spec.gpus:
+                return None
+            fully_free = np.where(
+                (self._free_cpus == spec.cpus) & (self._free_gpus == spec.gpus)
+            )[0]
+            if len(fully_free) < task.nodes:
+                return None
+            chosen = fully_free[: task.nodes]
+            self._free_cpus[chosen] = 0
+            self._free_gpus[chosen] = 0
+            return Placement(
+                node_ids=chosen.tolist(),
+                cpus=spec.cpus * task.nodes,
+                gpus=spec.gpus * task.nodes,
+            )
+        fits = np.where(
+            (self._free_cpus >= task.cpus) & (self._free_gpus >= task.gpus)
+        )[0]
+        if not len(fits):
+            return None
+        node = int(fits[0])
+        self._free_cpus[node] -= task.cpus
+        self._free_gpus[node] -= task.gpus
+        return Placement(node_ids=[node], cpus=task.cpus, gpus=task.gpus)
+
+    def _release(self, task_uid: int) -> None:
+        placement = self._placements.pop(task_uid)
+        spec = self.spec
+        n_nodes = len(placement.node_ids)
+        for node in placement.node_ids:
+            self._free_cpus[node] += placement.cpus // n_nodes
+            self._free_gpus[node] += placement.gpus // n_nodes
+        np.minimum(self._free_cpus, spec.cpus, out=self._free_cpus)
+        np.minimum(self._free_gpus, spec.gpus, out=self._free_gpus)
+
+    # ------------------------------------------------- incremental protocol
+    def validate_fits(self, task: TaskSpec) -> None:
+        """Raise if ``task`` can never be placed on this pilot."""
+        if task.nodes == 1 and (
+            task.cpus > self.spec.cpus or task.gpus > self.spec.gpus
+        ):
+            raise ValueError(
+                f"task {task.name} requests more than one node holds"
+            )
+        if task.nodes > self.allocation.n_nodes:
+            raise ValueError(
+                f"task {task.name} requests {task.nodes} nodes, pilot has "
+                f"{self.allocation.n_nodes}"
+            )
+
+    def submit_ready(self, pending: list[TaskSpec]) -> list[TaskSpec]:
+        """Greedy pass: start everything that fits; return what's left."""
+        still_pending: list[TaskSpec] = []
+        for task in pending:
+            placement = self.try_place(task)
+            if placement is None:
+                still_pending.append(task)
+                continue
+            record = TaskRecord(spec=task, state=TaskState.SCHEDULED)
+            record.node_ids = placement.node_ids
+            self._placements[task.uid] = placement
+            self.executor.start(record)
+            self.records.append(record)
+            self.utilization.record_start(
+                self.executor.now, placement.gpus, placement.cpus, task.stage
+            )
+            self._n_running = getattr(self, "_n_running", 0) + 1
+        return still_pending
+
+    def wait_one(self) -> TaskRecord:
+        """Block/advance until some running task finishes."""
+        record = self.executor.next_completion()
+        placement = self._placements[record.spec.uid]
+        self.utilization.record_end(
+            self.executor.now, placement.gpus, placement.cpus, record.spec.stage
+        )
+        self._release(record.spec.uid)
+        self._n_running -= 1
+        return record
+
+    @property
+    def n_running(self) -> int:
+        """Number of tasks currently executing."""
+        return getattr(self, "_n_running", 0)
+
+    # ------------------------------------------------------------- the loop
+    def run(self, tasks: list[TaskSpec]) -> list[TaskRecord]:
+        """Run a workload to completion; returns records in finish order."""
+        for t in tasks:
+            self.validate_fits(t)
+        pending: list[TaskSpec] = list(tasks)
+        finished: list[TaskRecord] = []
+        while pending or self.n_running:
+            pending = self.submit_ready(pending)
+            if self.n_running == 0:
+                raise RuntimeError(
+                    "deadlock: tasks pending but nothing can be placed"
+                )
+            finished.append(self.wait_one())
+        return finished
+
+    # ----------------------------------------------------------- accounting
+    def node_hours(self) -> float:
+        """Total node-hours consumed by completed tasks."""
+        spec = self.spec
+        return sum(
+            r.node_seconds(spec.gpus, spec.cpus) / 3600.0 for r in self.records
+        )

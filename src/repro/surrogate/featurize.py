@@ -1,0 +1,71 @@
+"""ML1 featurization: SMILES → 2D depiction image + normalized targets.
+
+§6.1.1: "it transforms image representations of ligand molecules into a
+docking score … target scores are binding energies which are mapped into
+the interval [0, 1], with higher scores representing lower binding
+energies and thus higher docking probabilities."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chem.depict import N_CHANNELS, depict
+from repro.chem.smiles import parse_smiles
+
+__all__ = ["featurize_smiles", "featurize_batch", "ScoreNormalizer", "IMAGE_SIZE"]
+
+#: depiction resolution used by the surrogate
+IMAGE_SIZE = 24
+
+
+def featurize_smiles(smiles: str, size: int = IMAGE_SIZE) -> np.ndarray:
+    """2D image features for one compound: (N_CHANNELS, size, size)."""
+    return depict(parse_smiles(smiles), size=size)
+
+
+def featurize_batch(smiles_list: list[str], size: int = IMAGE_SIZE) -> np.ndarray:
+    """Stacked image features: (batch, N_CHANNELS, size, size)."""
+    return np.stack([featurize_smiles(s, size) for s in smiles_list])
+
+
+@dataclass
+class ScoreNormalizer:
+    """Map docking scores (kcal/mol, lower = better) into [0, 1].
+
+    Higher normalized score = lower binding energy = better docking
+    probability, matching the paper's target convention.  Fitted bounds
+    use robust percentiles so a single pathological score cannot squash
+    the whole scale.
+    """
+
+    lo: float = 0.0  # score mapped to 1.0 (best binding energy)
+    hi: float = 0.0  # score mapped to 0.0 (worst)
+    fitted: bool = False
+
+    def fit(self, scores: np.ndarray) -> "ScoreNormalizer":
+        """Fit to data; returns self."""
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.size < 2:
+            raise ValueError("need at least two scores to fit a normalizer")
+        self.lo = float(np.percentile(scores, 1))
+        self.hi = float(np.percentile(scores, 99))
+        if self.hi <= self.lo:
+            raise ValueError("degenerate score range")
+        self.fitted = True
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Apply the fitted mapping."""
+        if not self.fitted:
+            raise RuntimeError("normalizer not fitted")
+        scores = np.asarray(scores, dtype=np.float64)
+        return np.clip((self.hi - scores) / (self.hi - self.lo), 0.0, 1.0)
+
+    def inverse(self, normalized: np.ndarray) -> np.ndarray:
+        """Map normalized values back to the original scale."""
+        if not self.fitted:
+            raise RuntimeError("normalizer not fitted")
+        return self.hi - np.asarray(normalized) * (self.hi - self.lo)

@@ -1,0 +1,149 @@
+"""ML1 inference engine: streaming, compiled, rank-distributed scoring.
+
+§6.1.1's deployment path: the library arrives as gzip-pickle shards,
+shards are distributed round-robin across ranks (one per GPU), each rank
+streams its shard set through prefetch threads into the FP16-compiled
+network, and rank 0 gathers (id, SMILES, score) triples into a single
+ranked table that feeds S1.  This module reproduces that flow on one
+machine: "ranks" are loop iterations (or caller-managed workers), the
+compiled model is the TensorRT analogue, and the output is the same
+ranked table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.dataloader import PrefetchLoader, ShardReader, partition_shards
+from repro.nn.inference import compile_model
+from repro.surrogate.featurize import featurize_smiles
+from repro.surrogate.train import TrainedSurrogate
+
+__all__ = ["InferenceEngine", "ScoredCompound"]
+
+
+@dataclass(frozen=True)
+class ScoredCompound:
+    """One inference output row."""
+
+    compound_id: str
+    smiles: str
+    score: float  # normalized [0, 1], higher = predicted better binder
+
+
+class InferenceEngine:
+    """Batch scoring of compound shards with a compiled surrogate."""
+
+    def __init__(
+        self,
+        surrogate: TrainedSurrogate,
+        precision: str = "fp16",
+        batch_size: int = 64,
+    ) -> None:
+        self.surrogate = surrogate
+        self.compiled = compile_model(surrogate.model, precision=precision)
+        self.batch_size = batch_size
+        self.records_scored = 0
+
+    # ------------------------------------------------------------- shards
+    def score_shards(
+        self, paths: Sequence[Path | str], world: int = 1
+    ) -> list[ScoredCompound]:
+        """Score every compound in a shard set.
+
+        ``world`` splits the shard list into rank-partitions that are
+        processed independently and gathered at the end — the single-node
+        equivalent of the paper's MPI distribution; results are identical
+        for any ``world``.
+        """
+        gathered: list[ScoredCompound] = []
+        for rank in range(world):
+            mine = partition_shards(paths, rank, world)
+            reader = ShardReader(mine)
+            loader = PrefetchLoader(
+                reader,
+                batch_size=self.batch_size,
+                transform=lambda rec: (
+                    rec[0],
+                    rec[1],
+                    featurize_smiles(rec[1], size=self.surrogate.image_size),
+                ),
+            )
+            for batch in loader:
+                ids = [b[0] for b in batch]
+                smiles = [b[1] for b in batch]
+                feats = np.stack([b[2] for b in batch])
+                preds = self.compiled(feats).reshape(-1)
+                gathered.extend(
+                    ScoredCompound(i, s, float(p))
+                    for i, s, p in zip(ids, smiles, preds)
+                )
+        self.records_scored += len(gathered)
+        return gathered
+
+    # -------------------------------------------------------------- lists
+    def score_smiles(
+        self, smiles_list: Sequence[str], ids: Sequence[str] | None = None
+    ) -> list[ScoredCompound]:
+        """Score an in-memory list of SMILES."""
+        ids = list(ids) if ids is not None else [f"CPD{i:07d}" for i in range(len(smiles_list))]
+        if len(ids) != len(smiles_list):
+            raise ValueError("ids and smiles_list must be the same length")
+        out: list[ScoredCompound] = []
+        for start in range(0, len(smiles_list), self.batch_size):
+            chunk = list(smiles_list[start : start + self.batch_size])
+            feats = np.stack(
+                [featurize_smiles(s, size=self.surrogate.image_size) for s in chunk]
+            )
+            preds = self.compiled(feats).reshape(-1)
+            out.extend(
+                ScoredCompound(i, s, float(p))
+                for i, s, p in zip(ids[start : start + self.batch_size], chunk, preds)
+            )
+        self.records_scored += len(out)
+        return out
+
+    # ---------------------------------------------------------------- CSV
+    @staticmethod
+    def write_csv(scored: Sequence[ScoredCompound], path: Path | str) -> Path:
+        """Write (id, SMILES, score) rows — §6.1.1's gathered CSV that is
+        "forwarded to step S1"."""
+        import csv
+
+        path = Path(path)
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["compound_id", "smiles", "score"])
+            for row in scored:
+                writer.writerow([row.compound_id, row.smiles, f"{row.score:.6f}"])
+        return path
+
+    @staticmethod
+    def read_csv(path: Path | str) -> list[ScoredCompound]:
+        """Read a CSV written by :meth:`write_csv`."""
+        import csv
+
+        out = []
+        with open(path, newline="") as fh:
+            for row in csv.DictReader(fh):
+                out.append(
+                    ScoredCompound(
+                        row["compound_id"], row["smiles"], float(row["score"])
+                    )
+                )
+        return out
+
+    @staticmethod
+    def top_fraction(
+        scored: list[ScoredCompound], fraction: float
+    ) -> list[ScoredCompound]:
+        """Best ``fraction`` by predicted score — the ML1→S1 filter."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        ranked = sorted(scored, key=lambda r: r.score, reverse=True)
+        k = max(1, int(round(fraction * len(ranked))))
+        return ranked[:k]

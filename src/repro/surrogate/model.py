@@ -1,0 +1,67 @@
+"""The ML1 surrogate network: a small residual CNN over 2D depictions.
+
+Plays ResNet-50's role (§6.1.1) at laptop scale: convolutional stem, two
+residual stages with pooling, global average pooling and a sigmoid head
+producing the normalized docking score in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.depict import N_CHANNELS
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    Module,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    Sigmoid,
+)
+
+__all__ = ["SmilesNet", "build_smilesnet"]
+
+
+class SmilesNet(Sequential):
+    """Residual CNN: (B, N_CHANNELS, s, s) image → (B, 1) score in [0, 1].
+
+    Built as a ``Sequential`` so :func:`repro.nn.compile_model` can export
+    it to the FP16 inference path without special cases.
+    """
+
+    def __init__(self, rng: np.random.Generator, width: int = 12) -> None:
+        w = width
+        stem = Sequential(
+            Conv2d(N_CHANNELS, w, 3, rng, padding=1), BatchNorm(w), ReLU()
+        )
+        stage1 = ResidualBlock(
+            Sequential(
+                Conv2d(w, w, 3, rng, padding=1),
+                BatchNorm(w),
+                ReLU(),
+                Conv2d(w, w, 3, rng, padding=1),
+                BatchNorm(w),
+            )
+        )
+        stage2 = ResidualBlock(
+            Sequential(
+                Conv2d(w, 2 * w, 3, rng, padding=1),
+                BatchNorm(2 * w),
+                ReLU(),
+                Conv2d(2 * w, 2 * w, 3, rng, padding=1),
+                BatchNorm(2 * w),
+            ),
+            projection=Conv2d(w, 2 * w, 1, rng),
+        )
+        head = Sequential(GlobalAvgPool2d(), Dense(2 * w, 1, rng), Sigmoid())
+        super().__init__(stem, stage1, MaxPool2d(2), stage2, MaxPool2d(2), head)
+        self.width = width
+
+
+def build_smilesnet(seed: int = 0, width: int = 12) -> SmilesNet:
+    """Construct a SmilesNet with seeded initialization."""
+    return SmilesNet(np.random.default_rng(seed), width=width)

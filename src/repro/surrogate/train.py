@@ -1,0 +1,185 @@
+"""Surrogate training loop.
+
+Trains SmilesNet on (SMILES, docking score) pairs produced offline by S1
+— the paper pre-trains on 500k OZD samples per receptor; we scale the
+sample count down and keep the procedure: normalize targets to [0, 1],
+mini-batch Adam, fixed train/validation split, per-epoch loss tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.surrogate.featurize import IMAGE_SIZE, ScoreNormalizer, featurize_batch
+from repro.surrogate.model import SmilesNet, build_smilesnet
+from repro.util.config import FrozenConfig, validate_positive, validate_range
+from repro.util.rng import RngFactory
+
+__all__ = ["TrainConfig", "TrainedSurrogate", "train_surrogate"]
+
+
+@dataclass(frozen=True)
+class TrainConfig(FrozenConfig):
+    """Hyper-parameters for surrogate training."""
+
+    epochs: int = 12
+    batch_size: int = 32
+    learning_rate: float = 3e-3
+    validation_fraction: float = 0.2
+    width: int = 12
+    image_size: int = IMAGE_SIZE
+
+    def __post_init__(self) -> None:
+        validate_positive("epochs", self.epochs)
+        validate_positive("batch_size", self.batch_size)
+        validate_positive("learning_rate", self.learning_rate)
+        validate_range("validation_fraction", self.validation_fraction, 0.0, 0.9)
+
+
+@dataclass
+class TrainedSurrogate:
+    """A trained model + its target normalizer + training curves."""
+
+    model: SmilesNet
+    normalizer: ScoreNormalizer
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    image_size: int = IMAGE_SIZE
+
+    def predict_normalized(self, smiles_list: list[str]) -> np.ndarray:
+        """Predicted normalized scores in [0, 1] (higher = better binder)."""
+        from repro.nn.autograd import no_grad
+
+        self.model.eval()
+        feats = featurize_batch(smiles_list, size=self.image_size)
+        with no_grad():
+            out = self.model(Tensor(feats))
+        return out.data.reshape(-1)
+
+    def predict_scores(self, smiles_list: list[str]) -> np.ndarray:
+        """Predictions mapped back to the docking-score scale (kcal/mol)."""
+        return self.normalizer.inverse(self.predict_normalized(smiles_list))
+
+    # ------------------------------------------------------- checkpointing
+    def save(self, path) -> None:
+        """Write weights + normalizer + curves to a ``.npz`` checkpoint."""
+        from pathlib import Path
+
+        from repro.nn.layers import BatchNorm
+
+        state = self.model.state_dict()
+        for i, m in enumerate(self.model.modules()):
+            if isinstance(m, BatchNorm):
+                state[f"bn{i}_mean"] = m.running_mean
+                state[f"bn{i}_var"] = m.running_var
+        state["meta_normalizer"] = np.array([self.normalizer.lo, self.normalizer.hi])
+        state["meta_width"] = np.array([self.model.width, self.image_size])
+        state["meta_train_losses"] = np.array(self.train_losses)
+        state["meta_val_losses"] = np.array(self.val_losses)
+        np.savez_compressed(Path(path), **state)
+
+    @classmethod
+    def load(cls, path) -> "TrainedSurrogate":
+        """Rebuild a surrogate from a checkpoint written by :meth:`save`."""
+        from pathlib import Path
+
+        from repro.nn.layers import BatchNorm
+        from repro.surrogate.model import build_smilesnet
+
+        with np.load(Path(path)) as blob:
+            state = {k: blob[k] for k in blob.files}
+        width, image_size = (int(v) for v in state.pop("meta_width"))
+        lo, hi = state.pop("meta_normalizer")
+        train_losses = state.pop("meta_train_losses").tolist()
+        val_losses = state.pop("meta_val_losses").tolist()
+        model = build_smilesnet(seed=0, width=width)
+        model.load_state_dict({k: v for k, v in state.items() if k.startswith("p")})
+        for i, m in enumerate(model.modules()):
+            if isinstance(m, BatchNorm):
+                m.running_mean = state[f"bn{i}_mean"].copy()
+                m.running_var = state[f"bn{i}_var"].copy()
+        model.eval()
+        normalizer = ScoreNormalizer(lo=float(lo), hi=float(hi), fitted=True)
+        return cls(
+            model=model,
+            normalizer=normalizer,
+            train_losses=train_losses,
+            val_losses=val_losses,
+            image_size=image_size,
+        )
+
+
+def train_surrogate(
+    smiles: list[str],
+    docking_scores: np.ndarray,
+    config: TrainConfig | None = None,
+    seed: int = 0,
+) -> TrainedSurrogate:
+    """Train a SmilesNet to predict docking scores from depictions.
+
+    Parameters
+    ----------
+    smiles:
+        Training compounds.
+    docking_scores:
+        Matching docking scores (kcal/mol, lower = better binding).
+    """
+    cfg = config or TrainConfig()
+    scores = np.asarray(docking_scores, dtype=np.float64)
+    if len(smiles) != len(scores):
+        raise ValueError("smiles and docking_scores must be the same length")
+    if len(smiles) < 4:
+        raise ValueError("need at least 4 training examples")
+
+    factory = RngFactory(seed, prefix="surrogate/train")
+    normalizer = ScoreNormalizer().fit(scores)
+    y = normalizer.transform(scores).reshape(-1, 1)
+    X = featurize_batch(smiles, size=cfg.image_size)
+
+    n = len(smiles)
+    perm = factory.stream("split").permutation(n)
+    n_val = int(round(cfg.validation_fraction * n))
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+
+    model = build_smilesnet(seed=factory.spawn_seed("init"), width=cfg.width)
+    opt = Adam(model.parameters(), lr=cfg.learning_rate)
+    shuffle_rng = factory.stream("shuffle")
+
+    train_losses: list[float] = []
+    val_losses: list[float] = []
+    for _ in range(cfg.epochs):
+        model.train()
+        order = shuffle_rng.permutation(train_idx)
+        epoch_loss = 0.0
+        n_batches = 0
+        for start in range(0, len(order), cfg.batch_size):
+            idx = order[start : start + cfg.batch_size]
+            loss = mse_loss(model(Tensor(X[idx])), Tensor(y[idx]))
+            model.zero_grad()
+            loss.backward()
+            opt.step()
+            epoch_loss += loss.item()
+            n_batches += 1
+        train_losses.append(epoch_loss / max(1, n_batches))
+
+        if len(val_idx):
+            from repro.nn.autograd import no_grad
+
+            model.eval()
+            with no_grad():
+                vloss = mse_loss(model(Tensor(X[val_idx])), Tensor(y[val_idx]))
+            val_losses.append(vloss.item())
+
+    model.eval()
+    return TrainedSurrogate(
+        model=model,
+        normalizer=normalizer,
+        train_losses=train_losses,
+        val_losses=val_losses,
+        image_size=cfg.image_size,
+    )

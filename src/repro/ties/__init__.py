@@ -1,0 +1,19 @@
+"""TIES — thermodynamic integration for lead optimization.
+
+The most accurate (and costliest) rung of the paper's method ladder
+(Table 2's "BFE-TI" row): alchemical relative binding free energies over
+λ-window replica ensembles.
+"""
+
+from repro.ties.alchemical import GHOST_RADIUS, HybridLigand, build_hybrid
+from repro.ties.protocol import TiesConfig, TiesLeg, TiesResult, TiesRunner
+
+__all__ = [
+    "GHOST_RADIUS",
+    "HybridLigand",
+    "TiesConfig",
+    "TiesLeg",
+    "TiesResult",
+    "TiesRunner",
+    "build_hybrid",
+]

@@ -1,0 +1,35 @@
+"""Minimal logging setup.
+
+Long-running drivers (the campaign, ESMACS sweeps) report progress
+through standard :mod:`logging` so downstream users can silence, route
+or timestamp it without touching library code.  ``get_logger`` attaches
+one stderr handler to the package root exactly once.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger"]
+
+_ROOT = "repro"
+_configured = False
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger namespaced under ``repro.``; handler installed on first use."""
+    global _configured
+    if not _configured:
+        root = logging.getLogger(_ROOT)
+        if not root.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(
+                logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+            )
+            root.addHandler(handler)
+            root.setLevel(logging.WARNING)
+        _configured = True
+    if name.startswith(_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")

@@ -1,0 +1,60 @@
+"""Unit constants and conversions used across the pipeline.
+
+Internal conventions:
+
+* energies are kcal/mol (the unit the paper reports binding affinities in),
+* distances are angstroms,
+* MD time is picoseconds; protocol durations are quoted in nanoseconds,
+* cluster accounting uses node-hours (Table 2's unit).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KCAL_PER_MOL",
+    "NS_PER_PS",
+    "PS_PER_FS",
+    "BOLTZMANN_KCAL",
+    "seconds_to_hours",
+    "node_hours",
+    "ns_to_steps",
+]
+
+#: symbolic tag — energies in this library are already kcal/mol
+KCAL_PER_MOL = 1.0
+
+#: nanoseconds per picosecond
+NS_PER_PS = 1e-3
+
+#: picoseconds per femtosecond
+PS_PER_FS = 1e-3
+
+#: Boltzmann constant in kcal/(mol K)
+BOLTZMANN_KCAL = 0.0019872041
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / 3600.0
+
+
+def node_hours(nodes: float, seconds: float) -> float:
+    """Node-hours consumed by ``nodes`` nodes busy for ``seconds`` seconds."""
+    if nodes < 0 or seconds < 0:
+        raise ValueError("nodes and seconds must be non-negative")
+    return nodes * seconds / 3600.0
+
+
+def ns_to_steps(duration_ns: float, timestep_ps: float) -> int:
+    """Number of MD steps covering ``duration_ns`` at ``timestep_ps``.
+
+    Rounds to the nearest whole step; always at least 1 for a positive
+    duration so scaled-down protocols never degenerate to zero work.
+    """
+    if timestep_ps <= 0:
+        raise ValueError("timestep must be positive")
+    if duration_ns < 0:
+        raise ValueError("duration must be non-negative")
+    if duration_ns == 0:
+        return 0
+    return max(1, round(duration_ns / NS_PER_PS / timestep_ps))

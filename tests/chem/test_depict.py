@@ -1,0 +1,69 @@
+"""Tests for 2D layout and raster depiction."""
+
+import numpy as np
+import pytest
+
+from repro.chem.depict import N_CHANNELS, depict, layout_2d
+from repro.chem.smiles import parse_smiles
+
+
+def test_layout_deterministic():
+    mol = parse_smiles("c1ccccc1CCO")
+    a = layout_2d(mol)
+    b = layout_2d(mol)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_layout_centered():
+    pos = layout_2d(parse_smiles("CCCCC"))
+    np.testing.assert_allclose(pos.mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_layout_bond_lengths_near_unit():
+    mol = parse_smiles("CCCCCC")
+    pos = layout_2d(mol)
+    for bond in mol.bonds:
+        d = np.linalg.norm(pos[bond.a] - pos[bond.b])
+        assert 0.5 < d < 2.0
+
+
+def test_layout_single_atom():
+    pos = layout_2d(parse_smiles("C"))
+    assert pos.shape == (1, 2)
+
+
+def test_depict_shape_and_range():
+    img = depict(parse_smiles("c1ccccc1C(=O)O"), size=32)
+    assert img.shape == (N_CHANNELS, 32, 32)
+    assert img.dtype == np.float32
+    assert img.min() >= 0.0
+    assert img.max() <= 1.0
+    assert img.max() > 0.1  # something was drawn
+
+
+def test_depict_channels_reflect_composition():
+    # pure hydrocarbon: N and O channels empty
+    img = depict(parse_smiles("CCCCCC"))
+    assert img[1].max() == 0.0  # N channel
+    assert img[2].max() == 0.0  # O channel
+    assert img[0].max() > 0.0  # C channel
+
+    img2 = depict(parse_smiles("c1ccncc1"))
+    assert img2[1].max() > 0.0  # N present
+    assert img2[4].max() > 0.0  # aromatic channel
+
+
+def test_depict_bond_channel_connects_atoms():
+    img = depict(parse_smiles("CC"))
+    assert img[6].sum() > 0.0
+
+
+def test_depict_distinguishes_molecules():
+    a = depict(parse_smiles("c1ccccc1"))
+    b = depict(parse_smiles("CCCCCC"))
+    assert not np.allclose(a, b)
+
+
+def test_depict_size_parameter():
+    img = depict(parse_smiles("CCO"), size=16)
+    assert img.shape == (N_CHANNELS, 16, 16)

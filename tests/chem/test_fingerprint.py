@@ -1,0 +1,116 @@
+"""Tests for circular fingerprints and diversity selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.fingerprint import (
+    bulk_tanimoto,
+    diversity_pick,
+    morgan_fingerprint,
+    tanimoto,
+)
+from repro.chem.library import _random_molecule
+from repro.chem.smiles import parse_smiles
+from repro.util.rng import rng_stream
+
+
+def test_fingerprint_deterministic():
+    mol = parse_smiles("c1ccccc1C(=O)O")
+    a = morgan_fingerprint(mol)
+    b = morgan_fingerprint(mol)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_fingerprint_shape_and_dtype():
+    fp = morgan_fingerprint(parse_smiles("CCO"), n_bits=256)
+    assert fp.shape == (256,)
+    assert fp.dtype == np.uint8
+    assert set(np.unique(fp)) <= {0, 1}
+
+
+def test_count_fingerprint():
+    fp = morgan_fingerprint(parse_smiles("CCCCCC"), counts=True)
+    assert fp.dtype == np.float32
+    assert fp.max() >= 2  # repeated CH2 environments collide into counts
+
+
+def test_identical_molecules_unit_similarity():
+    a = morgan_fingerprint(parse_smiles("c1ccncc1"))
+    b = morgan_fingerprint(parse_smiles("c1ccncc1"))
+    assert tanimoto(a, b) == 1.0
+
+
+def test_different_molecules_lower_similarity():
+    a = morgan_fingerprint(parse_smiles("c1ccccc1"))
+    b = morgan_fingerprint(parse_smiles("CC(=O)[O-]"))
+    assert tanimoto(a, b) < 0.5
+
+
+def test_similar_molecules_more_similar_than_dissimilar():
+    benzene = morgan_fingerprint(parse_smiles("c1ccccc1"))
+    toluene = morgan_fingerprint(parse_smiles("Cc1ccccc1"))
+    hexane = morgan_fingerprint(parse_smiles("CCCCCC"))
+    assert tanimoto(benzene, toluene) > tanimoto(benzene, hexane)
+
+
+def test_radius_zero_still_sets_bits():
+    fp = morgan_fingerprint(parse_smiles("CCO"), radius=0)
+    assert fp.sum() > 0
+
+
+def test_negative_radius_rejected():
+    with pytest.raises(ValueError):
+        morgan_fingerprint(parse_smiles("C"), radius=-1)
+
+
+def test_bulk_tanimoto_matches_scalar():
+    mols = [parse_smiles(s) for s in ["CCO", "c1ccccc1", "CC(=O)O", "CCN"]]
+    fps = np.stack([morgan_fingerprint(m) for m in mols])
+    bulk = bulk_tanimoto(fps[0], fps)
+    for i in range(len(mols)):
+        assert bulk[i] == pytest.approx(tanimoto(fps[0], fps[i]))
+
+
+def test_diversity_pick_properties():
+    rng = rng_stream(0, "test/divpick")
+    mols = [_random_molecule(rng) for _ in range(40)]
+    fps = np.stack([morgan_fingerprint(m) for m in mols])
+    picks = diversity_pick(fps, 10)
+    assert len(picks) == 10
+    assert len(set(picks)) == 10
+    # k >= n returns everything
+    assert diversity_pick(fps, 100) == list(range(40))
+    assert diversity_pick(fps, 0) == []
+
+
+def test_diversity_pick_spreads_more_than_prefix():
+    """MaxMin picks should be mutually less similar than the first-k prefix."""
+    rng = rng_stream(1, "test/divpick2")
+    mols = [_random_molecule(rng) for _ in range(60)]
+    fps = np.stack([morgan_fingerprint(m) for m in mols])
+
+    def mean_pairwise_sim(indices):
+        sims = [
+            tanimoto(fps[i], fps[j])
+            for k, i in enumerate(indices)
+            for j in indices[k + 1 :]
+        ]
+        return np.mean(sims)
+
+    picked = diversity_pick(fps, 12)
+    assert mean_pairwise_sim(picked) <= mean_pairwise_sim(list(range(12))) + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=5_000),
+    st.integers(min_value=0, max_value=5_000),
+)
+def test_tanimoto_bounds_and_symmetry(seed_a, seed_b):
+    fa = morgan_fingerprint(_random_molecule(rng_stream(seed_a, "t/fpa")))
+    fb = morgan_fingerprint(_random_molecule(rng_stream(seed_b, "t/fpb")))
+    s = tanimoto(fa, fb)
+    assert 0.0 <= s <= 1.0
+    assert s == pytest.approx(tanimoto(fb, fa))

@@ -1,0 +1,162 @@
+"""Tests for the molecular graph model."""
+
+import pytest
+
+from repro.chem.mol import Atom, Bond, Molecule
+
+
+def _ethanol() -> Molecule:
+    m = Molecule()
+    m.add_atom(Atom("C"))
+    m.add_atom(Atom("C"))
+    m.add_atom(Atom("O"))
+    m.add_bond(0, 1)
+    m.add_bond(1, 2)
+    return m
+
+
+def test_add_atom_assigns_indices():
+    m = _ethanol()
+    assert [a.index for a in m.atoms] == [0, 1, 2]
+
+
+def test_implicit_hydrogens_ethanol():
+    m = _ethanol()
+    assert m.implicit_hydrogens(0) == 3
+    assert m.implicit_hydrogens(1) == 2
+    assert m.implicit_hydrogens(2) == 1
+    assert m.total_hydrogens() == 6
+
+
+def test_double_bond_valence():
+    m = Molecule()
+    m.add_atom(Atom("C"))
+    m.add_atom(Atom("O"))
+    m.add_bond(0, 1, order=2)
+    assert m.implicit_hydrogens(0) == 2  # formaldehyde
+    assert m.implicit_hydrogens(1) == 0
+
+
+def test_charged_nitrogen_gains_valence():
+    m = Molecule()
+    m.add_atom(Atom("N", charge=1))
+    assert m.implicit_hydrogens(0) == 4  # ammonium
+
+
+def test_charged_oxygen_anion_loses_valence():
+    m = Molecule()
+    m.add_atom(Atom("O", charge=-1))
+    m.add_atom(Atom("C"))
+    m.add_bond(0, 1)
+    assert m.implicit_hydrogens(0) == 0  # alkoxide
+
+
+def test_bond_to_missing_atom_raises():
+    m = Molecule()
+    m.add_atom(Atom("C"))
+    with pytest.raises(IndexError):
+        m.add_bond(0, 5)
+
+
+def test_self_bond_raises():
+    m = Molecule()
+    m.add_atom(Atom("C"))
+    with pytest.raises(ValueError):
+        m.add_bond(0, 0)
+
+
+def test_duplicate_bond_raises():
+    m = _ethanol()
+    with pytest.raises(ValueError):
+        m.add_bond(0, 1)
+
+
+def test_bad_bond_order_raises():
+    m = _ethanol()
+    with pytest.raises(ValueError):
+        m.add_bond(0, 2, order=4)
+
+
+def test_overvalent_validation():
+    m = Molecule()
+    m.add_atom(Atom("O"))
+    for _ in range(3):
+        j = m.add_atom(Atom("C"))
+        m.add_bond(0, j)
+    with pytest.raises(ValueError, match="over-valent"):
+        m.validate()
+
+
+def test_aromatic_atom_outside_ring_rejected():
+    m = Molecule()
+    m.add_atom(Atom("C", aromatic=True))
+    m.add_atom(Atom("C"))
+    m.add_bond(0, 1)
+    with pytest.raises(ValueError, match="not in a ring"):
+        m.validate()
+
+
+def test_aromatic_halogen_rejected():
+    m = Molecule()
+    for _ in range(6):
+        m.add_atom(Atom("F", aromatic=True))
+    for i in range(6):
+        m.add_bond(i, (i + 1) % 6, aromatic=True)
+    with pytest.raises(ValueError):
+        m.validate()
+
+
+def test_benzene_ring_detection_and_hydrogens():
+    m = Molecule()
+    for _ in range(6):
+        m.add_atom(Atom("C", aromatic=True))
+    for i in range(6):
+        m.add_bond(i, (i + 1) % 6, order=1, aromatic=True)
+    m.validate()
+    assert len(m.rings()) == 1
+    assert m.total_hydrogens() == 6
+
+
+def test_fused_ring_fusion_atom_hydrogens():
+    # naphthalene skeleton: fusion atoms carry three aromatic bonds, 0 H
+    m = Molecule()
+    for _ in range(10):
+        m.add_atom(Atom("C", aromatic=True))
+    ring1 = [0, 1, 2, 3, 4, 5]
+    for i in range(6):
+        m.add_bond(ring1[i], ring1[(i + 1) % 6], aromatic=True)
+    ring2 = [4, 6, 7, 8, 9, 3]
+    for i in range(5):
+        m.add_bond(ring2[i], ring2[i + 1], aromatic=True)
+    m.validate()
+    assert m.implicit_hydrogens(3) == 0
+    assert m.implicit_hydrogens(4) == 0
+    assert m.total_hydrogens() == 8
+
+
+def test_neighbors_and_degree():
+    m = _ethanol()
+    assert set(m.neighbors(1)) == {0, 2}
+    assert m.degree(1) == 2
+    assert m.degree(0) == 1
+
+
+def test_bond_other_raises_for_foreign_atom():
+    b = Bond(0, 1)
+    with pytest.raises(ValueError):
+        b.other(5)
+
+
+def test_connectivity():
+    m = _ethanol()
+    assert m.is_connected()
+    m.add_atom(Atom("C"))  # stray atom
+    assert not m.is_connected()
+
+
+def test_adjacency_cache_invalidated_on_mutation():
+    m = _ethanol()
+    assert m.degree(2) == 1
+    j = m.add_atom(Atom("C"))
+    m.add_bond(2, j)
+    assert m.degree(2) == 2

@@ -1,0 +1,223 @@
+"""Tests for the SMILES parser, writer and canonicalizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.library import _random_molecule
+from repro.chem.smiles import (
+    SmilesError,
+    canonical_smiles,
+    parse_smiles,
+    write_smiles,
+)
+from repro.util.rng import rng_stream
+
+
+# ------------------------------------------------------------------ parsing
+
+
+@pytest.mark.parametrize(
+    "smiles, n_atoms, n_h",
+    [
+        ("C", 1, 4),  # methane
+        ("CC", 2, 6),  # ethane
+        ("C=C", 2, 4),  # ethene
+        ("C#C", 2, 2),  # ethyne
+        ("CO", 2, 4),  # methanol
+        ("C(=O)O", 3, 2),  # formic acid
+        ("c1ccccc1", 6, 6),  # benzene
+        ("c1ccncc1", 6, 5),  # pyridine
+        ("c1ccoc1", 5, 4),  # furan
+        ("c1ccsc1", 5, 4),  # thiophene
+        ("C1CCCCC1", 6, 12),  # cyclohexane
+        ("CCl", 2, 3),
+        ("CBr", 2, 3),
+        ("C(F)(F)F", 4, 1),
+        ("C#N", 2, 1),  # hydrogen cyanide
+        ("c1ccc2ccccc2c1", 10, 8),  # naphthalene
+    ],
+)
+def test_parse_known_molecules(smiles, n_atoms, n_h):
+    mol = parse_smiles(smiles)
+    assert mol.n_atoms == n_atoms
+    assert mol.total_hydrogens() == n_h
+
+
+def test_parse_bracket_charges():
+    mol = parse_smiles("C[N+](C)(C)C")  # tetramethylammonium
+    n = [a for a in mol.atoms if a.symbol == "N"][0]
+    assert n.charge == 1
+    assert mol.implicit_hydrogens(n.index) == 0
+
+    mol2 = parse_smiles("CC(=O)[O-]")  # acetate
+    o = [a for a in mol2.atoms if a.charge == -1][0]
+    assert mol2.implicit_hydrogens(o.index) == 0
+
+
+def test_parse_explicit_bond_in_ring_closure():
+    mol = parse_smiles("C1CC=1")  # cyclopropene via closure bond order
+    orders = sorted(b.order for b in mol.bonds)
+    assert orders == [1, 1, 2]
+
+
+def test_parse_branches():
+    mol = parse_smiles("CC(C)(C)C")  # neopentane
+    center = [a.index for a in mol.atoms if mol.degree(a.index) == 4]
+    assert len(center) == 1
+
+
+def test_parse_percent_ring_closure():
+    mol = parse_smiles("C%11CCCCC%11")
+    assert len(mol.rings()) == 1
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "C(",
+        "C)",
+        "C1CC",  # unclosed ring
+        "C==C",
+        "C.C",  # multi-fragment unsupported
+        "C/C=C/C",  # stereo unsupported
+        "[C@H](N)C",  # chirality unsupported
+        "1CC1",  # ring digit before atom
+        "(CC)",  # branch before atom
+        "C=",  # dangling bond
+        "Xx",  # unknown element
+        "[Zz]",
+        "c1ccccc1c",  # aromatic atom outside ring
+    ],
+)
+def test_parse_rejects_malformed(bad):
+    with pytest.raises((SmilesError, ValueError, KeyError)):
+        parse_smiles(bad)
+
+
+def test_error_reports_position():
+    with pytest.raises(SmilesError) as exc:
+        parse_smiles("CC(C")
+    assert "position" in str(exc.value)
+
+
+# ------------------------------------------------------------------ writing
+
+
+@pytest.mark.parametrize(
+    "smiles",
+    [
+        "C",
+        "CCO",
+        "c1ccccc1",
+        "c1ccc2ccccc2c1",
+        "CC(=O)[O-]",
+        "C[N+](C)(C)C",
+        "c1ccccc1C(=O)O",
+        "C1CC2CCC1CC2",  # bicyclic bridged
+        "c1ccc(cc1)c1ccccc1",  # biphenyl (reused digit)
+        "N#Cc1ccccc1",
+    ],
+)
+def test_roundtrip_preserves_canonical_form(smiles):
+    mol = parse_smiles(smiles)
+    out = write_smiles(mol)
+    mol2 = parse_smiles(out)
+    assert canonical_smiles(mol) == canonical_smiles(mol2)
+    assert mol.n_atoms == mol2.n_atoms
+    assert mol.n_bonds == mol2.n_bonds
+    assert mol.total_hydrogens() == mol2.total_hydrogens()
+
+
+def test_write_empty_molecule_raises():
+    from repro.chem.mol import Molecule
+
+    with pytest.raises(ValueError):
+        write_smiles(Molecule())
+
+
+def test_write_disconnected_raises():
+    from repro.chem.mol import Atom, Molecule
+
+    m = Molecule()
+    m.add_atom(Atom("C"))
+    m.add_atom(Atom("C"))
+    with pytest.raises(ValueError):
+        write_smiles(m)
+
+
+# ---------------------------------------------------------------- canonical
+
+
+def test_canonical_independent_of_input_order():
+    # same molecule written three ways
+    variants = ["OC(=O)c1ccccc1", "c1ccccc1C(=O)O", "c1ccc(C(O)=O)cc1"]
+    forms = {canonical_smiles(v) for v in variants}
+    assert len(forms) == 1
+
+
+def test_canonical_distinguishes_isomers():
+    assert canonical_smiles("CCO") != canonical_smiles("COC")
+    assert canonical_smiles("c1ccncc1") != canonical_smiles("c1ccccc1")
+
+
+def test_canonical_idempotent():
+    c = canonical_smiles("c1ccc2ccccc2c1")
+    assert canonical_smiles(c) == c
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_molecule_roundtrip_property(seed):
+    """Any generator output parses, writes, re-parses to the same canonical form."""
+    mol = _random_molecule(rng_stream(seed, "test/molgen"))
+    smi = write_smiles(mol)
+    mol2 = parse_smiles(smi)
+    assert canonical_smiles(mol) == canonical_smiles(mol2)
+    assert mol.total_hydrogens() == mol2.total_hydrogens()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_canonical_invariant_under_relabeling(seed):
+    """Canonical SMILES must not depend on atom numbering."""
+    import numpy as np
+
+    from repro.chem.mol import Atom, Molecule
+
+    mol = _random_molecule(rng_stream(seed, "test/molgen2"))
+    perm = rng_stream(seed, "test/perm").permutation(mol.n_atoms)
+    inv = np.argsort(perm)
+    shuffled = Molecule()
+    for new_idx in range(mol.n_atoms):
+        old = mol.atoms[int(inv[new_idx])]
+        shuffled.add_atom(Atom(old.symbol, old.charge, old.aromatic))
+    for bond in mol.bonds:
+        shuffled.add_bond(
+            int(perm[bond.a]), int(perm[bond.b]), bond.order, bond.aromatic
+        )
+    assert canonical_smiles(shuffled) == canonical_smiles(mol)
+
+
+def test_writer_two_digit_ring_closures():
+    """A dense 4-regular carbon cage forces >9 simultaneous ring
+    closures, exercising the %nn writer path."""
+    from repro.chem.mol import Atom, Molecule
+
+    n = 12
+    mol = Molecule()
+    for _ in range(n):
+        mol.add_atom(Atom("C"))
+    for i in range(n):
+        for step in (1, 2):  # circulant C12(1,2): 4-regular
+            j = (i + step) % n
+            if mol.bond_between(i, j) is None:
+                mol.add_bond(i, j)
+    mol.validate()
+    smi = write_smiles(mol)
+    assert "%1" in smi  # two-digit closures were needed
+    back = parse_smiles(smi)
+    assert back.n_atoms == n
+    assert back.n_bonds == mol.n_bonds
+    assert canonical_smiles(back) == canonical_smiles(mol)

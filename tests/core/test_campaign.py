@@ -1,0 +1,111 @@
+"""Integration tests for the full IMPECCABLE campaign loop.
+
+One tiny-but-complete campaign is run once (module-scoped fixture) and
+inspected from many angles; this is the deepest integration test in the
+suite, exercising every stage hand-off with real data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignConfig, ImpeccableCampaign
+from repro.esmacs.protocol import EsmacsConfig
+
+TINY = CampaignConfig(
+    library_size=30,
+    seed_train_size=10,
+    iterations=1,
+    cg_compounds=3,
+    s2_top_compounds=2,
+    s2_outliers_per_compound=2,
+    cg=EsmacsConfig(
+        replicas=3,
+        equilibration_ns=1,
+        production_ns=4,
+        steps_per_ns=4,
+        n_residues=40,
+        record_every=4,
+        minimize_iterations=10,
+    ),
+    fg=EsmacsConfig(
+        replicas=6,
+        equilibration_ns=2,
+        production_ns=10,
+        steps_per_ns=4,
+        n_residues=40,
+        record_every=10,
+        minimize_iterations=10,
+    ),
+    compute_enrichment=False,  # oracle docking is the slow part
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign_result():
+    return ImpeccableCampaign(TINY).run()
+
+
+def test_iterations_present(campaign_result):
+    assert len(campaign_result.iterations) == 1
+    it = campaign_result.iterations[0]
+    assert it.iteration == 0
+
+
+def test_every_stage_ran(campaign_result):
+    it = campaign_result.iterations[0]
+    assert len(it.docked) > 0
+    assert len(it.cg_results) == 3
+    assert it.s2_result is not None
+    assert len(it.fg_results) == 2 * 2  # top_compounds × outliers
+    assert set(it.metrics.stages) == {"ML1", "S1", "S3-CG", "S2", "S3-FG"}
+
+
+def test_fg_parents_are_s2_top_compounds(campaign_result):
+    it = campaign_result.iterations[0]
+    assert set(it.fg_parents) <= set(it.s2_result.top_compound_ids)
+    assert len(it.fg_parents) == len(it.fg_results)
+
+
+def test_cg_inputs_come_from_docked_pool(campaign_result):
+    it = campaign_result.iterations[0]
+    docked_ids = set(campaign_result.docked_scores)
+    for r in it.cg_results:
+        assert r.compound_id in docked_ids
+
+
+def test_surrogate_retrained_on_all_docked(campaign_result):
+    assert campaign_result.surrogate is not None
+    n_docked = len(campaign_result.docked_scores)
+    assert n_docked >= TINY.seed_train_size
+    # predictions exist for library compounds
+    preds = campaign_result.surrogate.predict_normalized(
+        campaign_result.library.smiles()[:5]
+    )
+    assert preds.shape == (5,)
+
+
+def test_node_hour_accounting_positive(campaign_result):
+    m = campaign_result.iterations[0].metrics
+    assert m.total_node_hours() > 0
+    # FG must dominate CG per ligand (Table 2 ordering)
+    cg = m.stages["S3-CG"]
+    fg = m.stages["S3-FG"]
+    assert fg.node_hours / max(1, fg.n_ligands) > cg.node_hours / max(1, cg.n_ligands)
+
+
+def test_deterministic_campaign():
+    a = ImpeccableCampaign(TINY).run()
+    b = ImpeccableCampaign(TINY).run()
+    assert a.docked_scores == b.docked_scores
+    np.testing.assert_array_equal(
+        a.iterations[0].cg_results[0].replica_dgs,
+        b.iterations[0].cg_results[0].replica_dgs,
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CampaignConfig(library_size=10, seed_train_size=10)
+    with pytest.raises(ValueError):
+        CampaignConfig(ml1_keep_fraction=1.5)

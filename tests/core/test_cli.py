@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["dock", "CCO", "--target", "3CLPro"])
+    assert args.command == "dock"
+    assert args.smiles == ["CCO"]
+    args = parser.parse_args(["campaign", "--library-size", "30"])
+    assert args.library_size == 30
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_costs_command(capsys):
+    assert main(["costs"]) == 0
+    out = capsys.readouterr().out
+    assert "S3-CG" in out
+    assert "0.50000" in out
+
+
+def test_dock_command(capsys):
+    assert main(["dock", "CCO", "c1ccccc1", "--target", "PLPro"]) == 0
+    out = capsys.readouterr().out
+    assert "CLI0000" in out
+    assert "c1ccccc1" in out
+
+
+def test_simulate_command(capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                "--nodes", "20",
+                "--cg", "8",
+                "--s2", "2",
+                "--fg", "4",
+                "--cohorts", "2",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "utilization" in out
+
+
+def test_bad_local_search_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["dock", "CCO", "--local-search", "newton"])

@@ -1,0 +1,86 @@
+"""Tests for the Summit cost model (Table 2 derivation)."""
+
+import pytest
+
+from repro.core.costs import PAPER_TABLE2, CostModel
+from repro.esmacs.protocol import CG, FG
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CostModel()
+
+
+def test_table2_s1_matches_paper(cm):
+    assert cm.node_hours_per_ligand("S1") == pytest.approx(
+        PAPER_TABLE2["S1"], rel=0.25
+    )
+
+
+def test_table2_cg_matches_paper(cm):
+    assert cm.node_hours_per_ligand("S3-CG") == pytest.approx(
+        PAPER_TABLE2["S3-CG"], rel=0.05
+    )
+
+
+def test_table2_fg_matches_paper(cm):
+    assert cm.node_hours_per_ligand("S3-FG") == pytest.approx(
+        PAPER_TABLE2["S3-FG"], rel=0.1
+    )
+
+
+def test_table2_s2_and_ti(cm):
+    assert cm.node_hours_per_ligand("S2") == pytest.approx(PAPER_TABLE2["S2"])
+    assert cm.node_hours_per_ligand("TI") == pytest.approx(PAPER_TABLE2["TI"])
+
+
+def test_nodes_per_ligand_column(cm):
+    # Table 2's "nodes per ligand": 1/6, 1, 2, 4, 64
+    assert cm.nodes_per_ligand("S1") == pytest.approx(1 / 6)
+    assert cm.nodes_per_ligand("S3-CG") == 1.0
+    assert cm.nodes_per_ligand("S2") == 2.0
+    assert cm.nodes_per_ligand("S3-FG") == 4.0
+    assert cm.nodes_per_ligand("TI") == 64.0
+
+
+def test_cost_ordering_spans_orders_of_magnitude(cm):
+    """§3.2: methods span >6 orders of magnitude in cost per ligand."""
+    s1 = cm.node_hours_per_ligand("S1")
+    ti = cm.node_hours_per_ligand("TI")
+    assert ti / s1 > 1e6
+
+
+def test_unknown_stage_rejected(cm):
+    with pytest.raises(ValueError):
+        cm.node_hours_per_ligand("S9")
+    with pytest.raises(ValueError):
+        cm.nodes_per_ligand("S9")
+
+
+def test_esmacs_nodes(cm):
+    assert cm.esmacs_nodes(CG) == 1  # 6 replicas on 6 GPUs
+    assert cm.esmacs_nodes(FG) == 4  # 24 replicas on 24 GPUs
+
+
+def test_task_specs_shapes(cm):
+    cg_task = cm.esmacs_task(CG, "X", "S3-CG")
+    assert cg_task.nodes == 1
+    assert cg_task.gpus == 6
+    fg_task = cm.esmacs_task(FG, "X", "S3-FG")
+    assert fg_task.nodes == 4
+    s2 = cm.s2_task("X")
+    assert s2.nodes == 2
+    assert s2.duration == pytest.approx(7200.0)
+    dock = cm.docking_task(1000)
+    assert dock.gpus == 1
+    assert dock.duration > 0
+
+
+def test_fg_cg_duration_ratio(cm):
+    """FG wall time per ensemble is (2+10)/(1+4) = 2.4× CG."""
+    assert cm.esmacs_wall_seconds(FG) / cm.esmacs_wall_seconds(CG) == pytest.approx(2.4)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CostModel(md_ns_per_gpu_hour=0)

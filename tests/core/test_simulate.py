@@ -1,0 +1,96 @@
+"""Tests for the paper-scale simulated campaign (Fig 7 machinery)."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.core.simulate import (
+    SimulatedCampaignConfig,
+    build_integrated_pipelines,
+    simulate_integrated_run,
+)
+
+SMALL = SimulatedCampaignConfig(
+    n_nodes=30, cg_compounds=16, s2_compounds=4, fg_compounds=8, cohorts=2
+)
+
+
+def test_pipelines_have_three_stages_per_cohort():
+    pipelines = build_integrated_pipelines(SMALL, CostModel())
+    assert len(pipelines) == 2
+    for p in pipelines:
+        assert [s.name.split("-")[0] for s in p.stages] == ["cg", "s2", "fg"]
+
+
+def test_stage_tasks_carry_stage_labels():
+    pipelines = build_integrated_pipelines(SMALL, CostModel())
+    stages = {t.stage for p in pipelines for s in p.stages for t in s.tasks}
+    assert stages == {"S3-CG", "S2", "S3-FG"}
+
+
+def test_simulated_run_completes_with_utilization():
+    pilot = simulate_integrated_run(SMALL)
+    series = pilot.utilization.series()
+    assert series.times[-1] > 0
+    assert 0.0 < series.average_utilization() <= 1.0
+    assert set(series.per_stage) == {"S3-CG", "S2", "S3-FG"}
+
+
+def test_stage_ordering_within_cohort():
+    """Within a cohort the FG stage starts only after its S2 stage ends."""
+    pilot = simulate_integrated_run(SMALL)
+    recs = pilot.records
+    for cohort in range(SMALL.cohorts):
+        s2_end = max(
+            r.end_time
+            for r in recs
+            if r.spec.stage == "S2" and r.spec.name == f"s2-c{cohort}-0"
+        )
+        fg_start = min(
+            r.start_time
+            for r in recs
+            if r.spec.stage == "S3-FG" and f"c{cohort}-" in r.spec.name
+        )
+        assert fg_start >= s2_end - 1e-9
+
+
+def test_overheads_scale_invariant():
+    """Fig 7's claim: overhead fraction does not grow with node count."""
+    small = simulate_integrated_run(
+        SimulatedCampaignConfig(
+            n_nodes=30, cg_compounds=16, s2_compounds=4, fg_compounds=8, cohorts=2
+        )
+    )
+    large = simulate_integrated_run(
+        SimulatedCampaignConfig(
+            n_nodes=120, cg_compounds=64, s2_compounds=16, fg_compounds=32, cohorts=8
+        )
+    )
+    f_small = small.utilization.overhead_fraction(1.0, len(small.records))
+    f_large = large.utilization.overhead_fraction(1.0, len(large.records))
+    assert f_large <= f_small * 2.0  # flat within tolerance
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SimulatedCampaignConfig(n_nodes=0)
+    with pytest.raises(ValueError):
+        SimulatedCampaignConfig(cohorts=0)
+
+
+def test_heterogeneity_validation():
+    with pytest.raises(ValueError):
+        SimulatedCampaignConfig(heterogeneity=-0.1)
+
+
+def test_zero_heterogeneity_gives_cost_model_durations():
+    cfg = SimulatedCampaignConfig(
+        n_nodes=10, cg_compounds=4, s2_compounds=2, fg_compounds=2,
+        cohorts=1, heterogeneity=0.0,
+    )
+    cm = CostModel()
+    pipelines = build_integrated_pipelines(cfg, cm)
+    from repro.esmacs.protocol import CG
+
+    cg_tasks = [t for p in pipelines for s in p.stages for t in s.tasks if t.stage == "S3-CG"]
+    for t in cg_tasks:
+        assert t.duration == pytest.approx(cm.esmacs_wall_seconds(CG))

@@ -1,0 +1,149 @@
+"""Tests for the S2 adaptive driver and point-cloud dataset building.
+
+Uses a real (tiny) S3-CG run so the integration path ESMACS → S2 is
+exercised end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.library import generate_library
+from repro.ddmd.aae import AAEConfig
+from repro.ddmd.adaptive import AdaptiveConfig, run_s2
+from repro.ddmd.pointcloud import build_dataset, normalize_cloud
+from repro.docking.receptor import make_receptor
+from repro.esmacs.protocol import EsmacsConfig, EsmacsRunner
+from repro.md.builder import build_lpc
+from repro.util.rng import rng_stream
+
+TINY_ESMACS = EsmacsConfig(
+    replicas=2,
+    equilibration_ns=0.5,
+    production_ns=1.0,
+    steps_per_ns=16,
+    n_residues=40,
+    record_every=2,
+    minimize_iterations=10,
+)
+TINY_S2 = AdaptiveConfig(
+    top_compounds=2,
+    outliers_per_compound=3,
+    lof_neighbors=5,
+    aae=AAEConfig(epochs=3, latent_dim=4, hidden=8, batch_size=8),
+)
+
+
+@pytest.fixture(scope="module")
+def cg_results():
+    receptor = make_receptor("PLPro", "6W9C", seed=7)
+    lib = generate_library(4, seed=41)
+    runner = EsmacsRunner(receptor, TINY_ESMACS, seed=0)
+    results = []
+    ligand_atoms = {}
+    for i in range(4):
+        mol = lib.molecule(i)
+        coords = rng_stream(i, "t/s2lig").normal(scale=2.0, size=(mol.n_atoms, 3))
+        res = runner.run(mol, coords, lib[i].compound_id)
+        results.append(res)
+        system = build_lpc(receptor, mol, coords, seed=0, n_residues=40)
+        ligand_atoms[lib[i].compound_id] = system.topology.ligand_atoms
+        reference = system.positions[system.topology.protein_atoms]
+    return results, ligand_atoms, reference
+
+
+def test_normalize_cloud_properties():
+    rng = rng_stream(0, "t/norm")
+    c = rng.normal(loc=5.0, scale=3.0, size=(30, 3))
+    n = normalize_cloud(c)
+    np.testing.assert_allclose(n.mean(axis=0), 0.0, atol=1e-10)
+    assert np.sqrt((n**2).sum(axis=1).mean()) == pytest.approx(1.0)
+
+
+def test_build_dataset_counts(cg_results):
+    results, ligand_atoms, reference = cg_results
+    r = results[0]
+    ds = build_dataset(
+        {r.compound_id: r.trajectories},
+        protein_atoms=r.protein_atoms,
+        ligand_atoms=ligand_atoms[r.compound_id],
+        reference=reference,
+    )
+    expected = sum(t.n_frames for t in r.trajectories)
+    assert len(ds) == expected
+    assert ds.clouds.shape == (expected, 40, 3)
+    assert len(ds.provenance) == expected
+    assert np.isfinite(ds.rmsd).all()
+    assert (ds.contacts >= 0).all()
+
+
+def test_build_dataset_empty_rejected(cg_results):
+    results, ligand_atoms, reference = cg_results
+    with pytest.raises(ValueError):
+        build_dataset(
+            {},
+            protein_atoms=results[0].protein_atoms,
+            ligand_atoms=ligand_atoms[results[0].compound_id],
+            reference=reference,
+        )
+
+
+def test_dataset_split(cg_results):
+    results, ligand_atoms, reference = cg_results
+    r = results[0]
+    ds = build_dataset(
+        {r.compound_id: r.trajectories},
+        protein_atoms=r.protein_atoms,
+        ligand_atoms=ligand_atoms[r.compound_id],
+        reference=reference,
+    )
+    train, val = ds.split(0.2, rng_stream(1, "t/split"))
+    assert len(train) + len(val) == len(ds)
+    assert len(set(train) & set(val)) == 0
+    with pytest.raises(ValueError):
+        ds.split(1.5, rng_stream(1, "x"))
+
+
+def test_run_s2_end_to_end(cg_results):
+    results, ligand_atoms, reference = cg_results
+    out = run_s2(results, reference, ligand_atoms, TINY_S2, seed=0)
+    # top compounds are the best CG binders
+    ranked = sorted(results, key=lambda r: r.binding_free_energy)
+    assert out.top_compound_ids == [r.compound_id for r in ranked[:2]]
+    # selections: per-compound outlier conformations with provenance
+    assert len(out.selections) == 2 * 3
+    for sel in out.selections:
+        assert sel.compound_id in out.top_compound_ids
+        assert sel.coordinates.ndim == 2
+        assert sel.lof_score > 0
+    # embeddings cover every aggregated frame
+    assert len(out.embeddings) == len(out.dataset)
+    assert out.lof.shape == (len(out.dataset),)
+
+
+def test_run_s2_selected_frames_match_trajectories(cg_results):
+    results, ligand_atoms, reference = cg_results
+    out = run_s2(results, reference, ligand_atoms, TINY_S2, seed=0)
+    by_id = {r.compound_id: r for r in results}
+    for sel in out.selections:
+        traj = by_id[sel.compound_id].trajectories[sel.replica]
+        np.testing.assert_array_equal(sel.coordinates, traj.frames[sel.frame])
+
+
+def test_run_s2_requires_trajectories(cg_results):
+    results, ligand_atoms, reference = cg_results
+    stripped = []
+    for r in results:
+        import copy
+
+        r2 = copy.copy(r)
+        r2.trajectories = []
+        stripped.append(r2)
+    with pytest.raises(ValueError):
+        run_s2(stripped, reference, ligand_atoms, TINY_S2)
+
+
+def test_adaptive_config_validation():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(top_compounds=0)
+    with pytest.raises(ValueError):
+        AdaptiveConfig(outliers_per_compound=-1)

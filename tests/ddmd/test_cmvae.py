@@ -1,0 +1,78 @@
+"""Tests for the contact-map VAE baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ddmd.cmvae import CMVAEConfig, ContactMapVAE, contact_map
+from repro.util.rng import rng_stream
+
+TINY = CMVAEConfig(epochs=4, hidden=16, latent_dim=4, batch_size=16)
+
+
+def _structures(n=40, n_res=20, n_folds=3, seed=0):
+    out = []
+    for i in range(n):
+        r = rng_stream(seed + (i % n_folds), "t/cmstruct")
+        pos = np.cumsum(r.normal(scale=1.5, size=(n_res, 3)), axis=0)
+        jitter = rng_stream(1000 + i, "t/cmjit").normal(scale=0.2, size=pos.shape)
+        out.append(pos - pos.mean(0) + jitter)
+    return out
+
+
+def test_contact_map_shape_and_values():
+    coords = rng_stream(0, "t/cm").normal(scale=3, size=(10, 3))
+    m = contact_map(coords, cutoff=8.0)
+    assert m.shape == (45,)
+    assert set(np.unique(m)) <= {0.0, 1.0}
+
+
+def test_contact_map_cutoff_monotone():
+    coords = rng_stream(1, "t/cm2").normal(scale=3, size=(12, 3))
+    tight = contact_map(coords, cutoff=4.0)
+    loose = contact_map(coords, cutoff=12.0)
+    assert loose.sum() >= tight.sum()
+
+
+def test_contact_map_validates():
+    with pytest.raises(ValueError):
+        contact_map(np.zeros((5, 2)))
+    with pytest.raises(ValueError):
+        contact_map(np.zeros((5, 3)), cutoff=0)
+
+
+def test_vae_training_reduces_loss():
+    structures = _structures()
+    maps = np.stack([contact_map(c) for c in structures])
+    vae = ContactMapVAE(TINY, n_inputs=maps.shape[1], seed=0)
+    losses = vae.fit(maps)
+    assert losses[-1] < losses[0]
+    assert len(vae.val_losses) == TINY.epochs
+
+
+def test_vae_embedding_shapes():
+    structures = _structures()
+    maps = np.stack([contact_map(c) for c in structures])
+    vae = ContactMapVAE(TINY, n_inputs=maps.shape[1], seed=0)
+    vae.fit(maps)
+    z = vae.embed(maps[:7])
+    assert z.shape == (7, TINY.latent_dim)
+    z2 = vae.embed_coords(np.stack(structures[:7]))
+    np.testing.assert_allclose(z, z2)
+
+
+def test_vae_deterministic():
+    structures = _structures()
+    maps = np.stack([contact_map(c) for c in structures])
+    a = ContactMapVAE(TINY, n_inputs=maps.shape[1], seed=5)
+    a.fit(maps)
+    b = ContactMapVAE(TINY, n_inputs=maps.shape[1], seed=5)
+    b.fit(maps)
+    np.testing.assert_array_equal(a.embed(maps), b.embed(maps))
+
+
+def test_vae_validates_inputs():
+    vae = ContactMapVAE(TINY, n_inputs=45, seed=0)
+    with pytest.raises(ValueError):
+        vae.fit(np.zeros((10, 44)))
+    with pytest.raises(ValueError):
+        vae.fit(np.zeros((2, 45)))

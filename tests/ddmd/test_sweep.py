@@ -1,0 +1,67 @@
+"""Tests for the AAE hyper-parameter sweep."""
+
+import numpy as np
+import pytest
+
+from repro.ddmd.aae import AAEConfig
+from repro.ddmd.sweep import sweep_aae
+from repro.util.rng import rng_stream
+
+
+def _clouds(n=30, n_points=15):
+    rng = rng_stream(0, "t/sweep")
+    v = rng.normal(size=(n, n_points, 3))
+    v /= np.linalg.norm(v, axis=2, keepdims=True)
+    return v
+
+
+BASE = AAEConfig(epochs=2, hidden=8)
+
+
+def test_sweep_covers_full_grid():
+    result = sweep_aae(
+        _clouds(),
+        learning_rates=(1e-3,),
+        batch_sizes=(8, 16),
+        latent_dims=(4, 8),
+        base=BASE,
+        seed=0,
+    )
+    assert len(result.table) == 4
+    losses = [loss for _, loss in result.table]
+    assert result.best_val_loss == min(losses)
+    assert result.best_config in [cfg for cfg, _ in result.table]
+
+
+def test_sweep_deterministic():
+    kwargs = dict(
+        learning_rates=(1e-3,), batch_sizes=(8,), latent_dims=(4, 8),
+        base=BASE, seed=3,
+    )
+    a = sweep_aae(_clouds(), **kwargs)
+    b = sweep_aae(_clouds(), **kwargs)
+    assert a.best_val_loss == b.best_val_loss
+    assert a.best_config == b.best_config
+
+
+def test_sweep_summary_mentions_best():
+    result = sweep_aae(
+        _clouds(), learning_rates=(1e-3,), batch_sizes=(8,), latent_dims=(4,),
+        base=BASE, seed=0,
+    )
+    assert "best" in result.summary()
+
+
+def test_sweep_validates_axes():
+    with pytest.raises(ValueError):
+        sweep_aae(_clouds(), learning_rates=(), base=BASE)
+
+
+def test_best_config_carries_swept_values():
+    result = sweep_aae(
+        _clouds(), learning_rates=(1e-3, 1e-4), batch_sizes=(8,),
+        latent_dims=(4,), base=BASE, seed=0,
+    )
+    assert result.best_config.learning_rate in (1e-3, 1e-4)
+    assert result.best_config.batch_size == 8
+    assert result.best_config.epochs == BASE.epochs  # base preserved

@@ -1,0 +1,67 @@
+"""Tests for the t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.ddmd.tsne import tsne
+from repro.util.rng import rng_stream
+
+
+def test_output_shape_and_centering():
+    rng = rng_stream(0, "t/tsne")
+    pts = rng.normal(size=(40, 6))
+    y = tsne(pts, n_iter=100)
+    assert y.shape == (40, 2)
+    np.testing.assert_allclose(y.mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_separates_well_separated_clusters():
+    rng = rng_stream(1, "t/tsne2")
+    a = rng.normal(size=(25, 5))
+    b = rng.normal(loc=10.0, size=(25, 5))
+    y = tsne(np.vstack([a, b]), n_iter=200, seed=1)
+    centre_gap = np.linalg.norm(y[:25].mean(axis=0) - y[25:].mean(axis=0))
+    spread = max(y[:25].std(), y[25:].std())
+    assert centre_gap > 2.0 * spread
+
+
+def test_preserves_neighbourhoods_better_than_random():
+    """Nearest neighbour in embedding should often be a high-dim neighbour."""
+    rng = rng_stream(2, "t/tsne3")
+    pts = rng.normal(size=(60, 8))
+    y = tsne(pts, n_iter=200, seed=2)
+
+    def nn(matrix):
+        d = ((matrix[:, None] - matrix[None]) ** 2).sum(-1)
+        np.fill_diagonal(d, np.inf)
+        return np.argsort(d, axis=1)[:, :5]
+
+    hi = nn(pts)
+    lo = nn(y)
+    overlap = np.mean([len(set(hi[i]) & set(lo[i])) / 5 for i in range(60)])
+    assert overlap > 0.3  # random would be ~5/59 ≈ 0.08
+
+
+def test_deterministic_given_seed():
+    rng = rng_stream(3, "t/tsne4")
+    pts = rng.normal(size=(30, 4))
+    np.testing.assert_array_equal(
+        tsne(pts, n_iter=50, seed=7), tsne(pts, n_iter=50, seed=7)
+    )
+
+
+def test_three_components():
+    rng = rng_stream(4, "t/tsne5")
+    y = tsne(rng.normal(size=(20, 6)), n_components=3, n_iter=50)
+    assert y.shape == (20, 3)
+
+
+def test_validates_minimum_points():
+    with pytest.raises(ValueError):
+        tsne(np.zeros((3, 4)))
+
+
+def test_perplexity_clamped_for_small_sets():
+    rng = rng_stream(5, "t/tsne6")
+    y = tsne(rng.normal(size=(10, 3)), perplexity=500.0, n_iter=50)
+    assert np.isfinite(y).all()

@@ -1,0 +1,81 @@
+"""Tests for ensemble docking across crystal structures."""
+
+import numpy as np
+import pytest
+
+from repro.chem.library import generate_library
+from repro.docking.ensemble import dock_against_ensemble
+from repro.docking.lga import LGAConfig
+
+FAST = LGAConfig(population=8, generations=3)
+
+
+@pytest.fixture(scope="module")
+def ensemble_result():
+    lib = generate_library(6, seed=61)
+    return dock_against_ensemble("PLPro", lib, seed=0, config=FAST), lib
+
+
+def test_all_structures_docked(ensemble_result):
+    result, lib = ensemble_result
+    assert set(result.per_structure) == {"6W9C", "6WX4"}
+    for results in result.per_structure.values():
+        assert len(results) == len(lib)
+
+
+def test_consensus_is_per_compound_minimum(ensemble_result):
+    result, lib = ensemble_result
+    for entry in lib:
+        scores = [
+            r.score
+            for results in result.per_structure.values()
+            for r in results
+            if r.compound_id == entry.compound_id
+        ]
+        assert result.consensus[entry.compound_id] == pytest.approx(min(scores))
+
+
+def test_best_structure_lookup(ensemble_result):
+    result, lib = ensemble_result
+    cid = lib[0].compound_id
+    pdb = result.best_structure_for(cid)
+    assert pdb in result.per_structure
+    best = result.consensus[cid]
+    assert any(
+        r.compound_id == cid and r.score == pytest.approx(best)
+        for r in result.per_structure[pdb]
+    )
+    with pytest.raises(KeyError):
+        result.best_structure_for("NOPE")
+
+
+def test_top_compounds_ranked(ensemble_result):
+    result, _ = ensemble_result
+    top = result.top_compounds(3)
+    assert len(top) == 3
+    scores = [result.consensus[c] for c in top]
+    assert scores == sorted(scores)
+
+
+def test_structures_disagree_sometimes(ensemble_result):
+    """Different crystal structures rank compounds differently — the
+    reason the paper docks against several."""
+    result, lib = ensemble_result
+    a = {r.compound_id: r.score for r in result.per_structure["6W9C"]}
+    b = {r.compound_id: r.score for r in result.per_structure["6WX4"]}
+    diffs = [abs(a[e.compound_id] - b[e.compound_id]) for e in lib]
+    assert max(diffs) > 0.5
+
+
+def test_subset_of_pdb_ids():
+    lib = generate_library(3, seed=62)
+    result = dock_against_ensemble(
+        "PLPro", lib, pdb_ids=["6W9C"], seed=0, config=FAST
+    )
+    assert list(result.per_structure) == ["6W9C"]
+
+
+def test_empty_pdb_ids_rejected():
+    lib = generate_library(2, seed=63)
+    with pytest.raises(ValueError):
+        dock_against_ensemble("PLPro", lib, pdb_ids=[], config=FAST)

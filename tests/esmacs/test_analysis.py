@@ -1,0 +1,81 @@
+"""Tests for ensemble statistics and ranking reliability."""
+
+import numpy as np
+import pytest
+
+from repro.esmacs.analysis import (
+    bootstrap_sem,
+    confidence_interval,
+    ranking_correlation,
+    repeat_reliability,
+)
+from repro.util.rng import rng_stream
+
+
+def test_bootstrap_sem_matches_analytic():
+    rng = rng_stream(0, "t/boot")
+    x = rng.normal(scale=2.0, size=400)
+    sem = bootstrap_sem(x, rng_stream(1, "t/boot2"), n_boot=800)
+    assert sem == pytest.approx(2.0 / 20.0, rel=0.25)
+
+
+def test_bootstrap_sem_validates():
+    with pytest.raises(ValueError):
+        bootstrap_sem(np.array([1.0]), rng_stream(0, "x"))
+
+
+def test_confidence_interval_contains_mean():
+    rng = rng_stream(2, "t/ci")
+    x = rng.normal(loc=5.0, size=100)
+    lo, hi = confidence_interval(x, rng_stream(3, "t/ci2"))
+    assert lo < 5.0 < hi
+    assert lo < x.mean() < hi
+
+
+def test_confidence_interval_validates():
+    with pytest.raises(ValueError):
+        confidence_interval(np.ones(10), rng_stream(0, "x"), level=1.5)
+    with pytest.raises(ValueError):
+        confidence_interval(np.array([1.0]), rng_stream(0, "x"))
+
+
+def test_ranking_correlation_perfect_and_inverted():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    assert ranking_correlation(x, x * 10 + 3) == pytest.approx(1.0)
+    assert ranking_correlation(x, -x) == pytest.approx(-1.0)
+
+
+def test_ranking_correlation_validates():
+    with pytest.raises(ValueError):
+        ranking_correlation(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        ranking_correlation(np.ones(2), np.ones(2))
+
+
+def _synthetic_pools(n_compounds=12, n_replicas=48, noise=3.0, seed=0):
+    """Per-compound replica ΔG pools: true signal + replica noise."""
+    rng = rng_stream(seed, "t/pools")
+    truth = np.linspace(-30, -5, n_compounds)
+    return [
+        truth[i] + rng.normal(scale=noise, size=n_replicas)
+        for i in range(n_compounds)
+    ], truth
+
+
+def test_repeat_reliability_increases_with_ensemble_size():
+    """The §5.1.3 claim: bigger ensembles give more reproducible rankings."""
+    pools, _ = _synthetic_pools()
+    rng = rng_stream(1, "t/rel")
+    r1 = repeat_reliability(pools, ensemble_size=1, rng=rng, n_repeats=30)
+    r6 = repeat_reliability(pools, ensemble_size=6, rng=rng, n_repeats=30)
+    r24 = repeat_reliability(pools, ensemble_size=24, rng=rng, n_repeats=30)
+    assert r1 < r6 <= r24 + 0.05
+    assert r24 > 0.9
+
+
+def test_repeat_reliability_validates():
+    pools, _ = _synthetic_pools(n_replicas=4)
+    with pytest.raises(ValueError):
+        repeat_reliability(pools, ensemble_size=3, rng=rng_stream(0, "x"))
+    with pytest.raises(ValueError):
+        repeat_reliability(pools, ensemble_size=0, rng=rng_stream(0, "x"))

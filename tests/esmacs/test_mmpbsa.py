@@ -1,0 +1,92 @@
+"""Tests for the MMPBSA-style estimator."""
+
+import numpy as np
+import pytest
+
+from repro.esmacs.mmpbsa import BindingEstimator
+from repro.md.forcefield import ForceField
+from repro.md.system import Topology
+from repro.util.rng import rng_stream
+
+
+def _topology(n_p=20, n_l=5, seed=0):
+    rng = rng_stream(seed, "t/mmpbsa")
+    n = n_p + n_l
+    return Topology(
+        masses=np.full(n, 50.0),
+        charges=rng.normal(scale=0.2, size=n),
+        hydro=rng.uniform(-0.8, 0.8, size=n),
+        radii=np.full(n, 2.0),
+        bonds=np.zeros((0, 2), dtype=int),
+        bond_lengths=np.zeros(0),
+        bond_k=np.zeros(0),
+        protein_atoms=np.arange(n_p),
+        ligand_atoms=np.arange(n_p, n),
+    )
+
+
+def test_burial_in_unit_range():
+    topo = _topology()
+    pos = rng_stream(1, "t/bur").normal(scale=4.0, size=(25, 3))
+    b = BindingEstimator().burial(topo, pos)
+    assert b.shape == (5,)
+    assert (b >= 0).all() and (b <= 1).all()
+
+
+def test_burial_zero_when_far():
+    topo = _topology()
+    pos = rng_stream(2, "t/bur2").normal(scale=4.0, size=(25, 3))
+    pos[topo.ligand_atoms] += 100.0
+    np.testing.assert_array_equal(BindingEstimator().burial(topo, pos), 0.0)
+
+
+def test_burial_saturates_when_engulfed():
+    topo = _topology(n_p=30, n_l=1)
+    pos = np.zeros((31, 3))
+    # protein beads packed around the single ligand bead at the origin
+    pos[:30] = rng_stream(3, "t/bur3").normal(scale=2.0, size=(30, 3))
+    b = BindingEstimator().burial(topo, pos)
+    assert b[0] == 1.0
+
+
+def test_estimate_far_apart_near_zero():
+    topo = _topology()
+    pos = rng_stream(4, "t/est").normal(scale=4.0, size=(25, 3))
+    pos[topo.ligand_atoms] += 200.0
+    dg = BindingEstimator().estimate_frame(ForceField(), topo, pos)
+    assert abs(dg) < 0.1
+
+
+def test_hydrophobic_burial_is_favourable():
+    """Burying a greasy bead must lower ΔG vs burying a polar one."""
+    n_p = 20
+    base = _topology(n_p=n_p, n_l=1, seed=5)
+    pos = np.zeros((n_p + 1, 3))
+    pos[:n_p] = rng_stream(6, "t/hyd").normal(scale=3.0, size=(n_p, 3))
+
+    greasy = _topology(n_p=n_p, n_l=1, seed=5)
+    greasy.hydro[n_p] = 0.9
+    greasy.charges[n_p] = 0.0
+    polar = _topology(n_p=n_p, n_l=1, seed=5)
+    polar.hydro[n_p] = -0.9
+    polar.charges[n_p] = 0.8
+
+    est = BindingEstimator()
+    dg_greasy = est.estimate_frame(ForceField(hydro_strength=0.0), greasy, pos)
+    dg_polar = est.estimate_frame(ForceField(hydro_strength=0.0), polar, pos)
+    assert dg_greasy < dg_polar
+
+
+def test_trajectory_estimates_shape():
+    topo = _topology()
+    frames = rng_stream(7, "t/traj").normal(scale=4.0, size=(6, 25, 3))
+    dgs = BindingEstimator().estimate_trajectory(ForceField(), topo, frames)
+    assert dgs.shape == (6,)
+    assert np.isfinite(dgs).all()
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        BindingEstimator(interaction_scale=0)
+    with pytest.raises(ValueError):
+        BindingEstimator(burial_cutoff=-1)

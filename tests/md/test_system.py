@@ -1,0 +1,119 @@
+"""Tests for the MD system model."""
+
+import numpy as np
+import pytest
+
+from repro.md.system import MDSystem, Topology
+from repro.util.rng import rng_stream
+
+
+def _topology(n=5, bonds=None):
+    bonds = np.array(bonds if bonds is not None else [[0, 1], [1, 2]])
+    return Topology(
+        masses=np.full(n, 12.0),
+        charges=np.zeros(n),
+        hydro=np.zeros(n),
+        radii=np.full(n, 1.7),
+        bonds=bonds,
+        bond_lengths=np.full(len(bonds), 1.5),
+        bond_k=np.full(len(bonds), 10.0),
+        protein_atoms=np.arange(3),
+        ligand_atoms=np.arange(3, n),
+    )
+
+
+def test_topology_validation_lengths():
+    with pytest.raises(ValueError, match="charges"):
+        Topology(
+            masses=np.ones(3),
+            charges=np.zeros(2),
+            hydro=np.zeros(3),
+            radii=np.ones(3),
+            bonds=np.zeros((0, 2), dtype=int),
+            bond_lengths=np.zeros(0),
+            bond_k=np.zeros(0),
+            protein_atoms=np.arange(2),
+            ligand_atoms=np.array([2]),
+        )
+
+
+def test_topology_rejects_bad_bond_index():
+    with pytest.raises(ValueError, match="missing bead"):
+        _topology(n=3, bonds=[[0, 7]])
+
+
+def test_topology_rejects_group_overlap():
+    topo = _topology()
+    with pytest.raises(ValueError, match="both protein and ligand"):
+        Topology(
+            masses=topo.masses,
+            charges=topo.charges,
+            hydro=topo.hydro,
+            radii=topo.radii,
+            bonds=topo.bonds,
+            bond_lengths=topo.bond_lengths,
+            bond_k=topo.bond_k,
+            protein_atoms=np.arange(3),
+            ligand_atoms=np.arange(2, 5),
+        )
+
+
+def test_exclusion_mask_symmetric_and_cached():
+    topo = _topology()
+    m = topo.exclusion_mask()
+    assert m[0, 1] and m[1, 0] and m[1, 2]
+    assert not m[0, 2]
+    assert np.diag(m).all()
+    assert topo.exclusion_mask() is m  # cached
+
+
+def test_system_shape_validation():
+    topo = _topology()
+    with pytest.raises(ValueError):
+        MDSystem(topology=topo, positions=np.zeros((3, 3)))
+
+
+def test_velocities_default_zero_and_reference_copied():
+    topo = _topology()
+    pos = rng_stream(0, "t/sys").normal(size=(5, 3))
+    system = MDSystem(topology=topo, positions=pos)
+    assert (system.velocities == 0).all()
+    np.testing.assert_array_equal(system.reference_positions, pos)
+    system.positions += 1.0
+    assert not np.allclose(system.reference_positions, system.positions)
+
+
+def test_maxwell_boltzmann_temperature():
+    topo = _topology(n=5)
+    # bigger system for better statistics
+    big = Topology(
+        masses=np.full(500, 12.0),
+        charges=np.zeros(500),
+        hydro=np.zeros(500),
+        radii=np.full(500, 1.7),
+        bonds=np.zeros((0, 2), dtype=int),
+        bond_lengths=np.zeros(0),
+        bond_k=np.zeros(0),
+        protein_atoms=np.arange(250),
+        ligand_atoms=np.arange(250, 500),
+    )
+    system = MDSystem(topology=big, positions=np.zeros((500, 3)))
+    system.initialize_velocities(300.0, rng_stream(1, "t/mb"))
+    assert system.temperature() == pytest.approx(300.0, rel=0.1)
+
+
+def test_velocity_initialization_removes_drift():
+    topo = _topology()
+    system = MDSystem(topology=topo, positions=np.zeros((5, 3)))
+    system.initialize_velocities(300.0, rng_stream(2, "t/drift"))
+    m = topo.masses[:, None]
+    momentum = (m * system.velocities).sum(axis=0)
+    np.testing.assert_allclose(momentum, 0.0, atol=1e-10)
+
+
+def test_kinetic_energy_nonnegative():
+    topo = _topology()
+    system = MDSystem(topology=topo, positions=np.zeros((5, 3)))
+    assert system.kinetic_energy() == 0.0
+    system.initialize_velocities(100.0, rng_stream(3, "t/ke"))
+    assert system.kinetic_energy() > 0.0

@@ -1,0 +1,140 @@
+"""Tests for the sharded, threaded data pipeline."""
+
+import gzip
+import pickle
+
+import pytest
+
+from repro.nn.dataloader import PrefetchLoader, ShardReader, partition_shards
+
+
+def _write_shards(tmp_path, n_shards=4, per_shard=10):
+    paths = []
+    for s in range(n_shards):
+        records = [(f"ID{s}-{i}", f"C" * (i + 1)) for i in range(per_shard)]
+        p = tmp_path / f"shard-{s}.pkl.gz"
+        with gzip.open(p, "wb") as fh:
+            pickle.dump(records, fh)
+        paths.append(p)
+    return paths
+
+
+def test_partition_round_robin():
+    paths = [f"s{i}" for i in range(7)]
+    p0 = partition_shards(paths, 0, 3)
+    p1 = partition_shards(paths, 1, 3)
+    p2 = partition_shards(paths, 2, 3)
+    assert [str(p) for p in p0] == ["s0", "s3", "s6"]
+    assert [str(p) for p in p1] == ["s1", "s4"]
+    assert len(p0) + len(p1) + len(p2) == 7
+
+
+def test_partition_validates():
+    with pytest.raises(ValueError):
+        partition_shards(["a"], 2, 2)
+    with pytest.raises(ValueError):
+        partition_shards(["a"], 0, 0)
+
+
+def test_reader_yields_all_records(tmp_path):
+    paths = _write_shards(tmp_path)
+    reader = ShardReader(paths)
+    records = list(reader)
+    assert len(records) == 40
+    assert reader.stats.shards_read == 4
+    assert reader.stats.records_yielded == 40
+    assert reader.stats.io_errors == 0
+
+
+def test_reader_skips_corrupt_shard(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=3)
+    paths[1].write_bytes(b"this is not gzip")
+    reader = ShardReader(paths)
+    records = list(reader)
+    assert len(records) == 20
+    assert reader.stats.io_errors == 1
+    assert reader.stats.shards_read == 2
+
+
+def test_reader_skips_missing_shard(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=2)
+    paths.append(tmp_path / "missing.pkl.gz")
+    reader = ShardReader(paths)
+    assert len(list(reader)) == 20
+    assert reader.stats.io_errors == 1
+
+
+def test_reader_strict_mode_raises(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=2)
+    paths[0].write_bytes(b"garbage")
+    with pytest.raises(OSError):
+        list(ShardReader(paths, strict=True))
+
+
+def test_prefetch_loader_batches(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=2, per_shard=7)  # 14 records
+    loader = PrefetchLoader(ShardReader(paths), batch_size=4)
+    batches = list(loader)
+    assert [len(b) for b in batches] == [4, 4, 4, 2]
+    flat = [r for b in batches for r in b]
+    assert len({r[0] for r in flat}) == 14
+
+
+def test_prefetch_loader_transform(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=1, per_shard=5)
+    loader = PrefetchLoader(
+        ShardReader(paths), batch_size=2, transform=lambda rec: len(rec[1])
+    )
+    flat = [x for b in loader for x in b]
+    assert flat == [1, 2, 3, 4, 5]
+
+
+def test_prefetch_loader_reiterable(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=1, per_shard=6)
+    loader = PrefetchLoader(ShardReader(paths), batch_size=3)
+    first = [r for b in loader for r in b]
+    second = [r for b in loader for r in b]
+    assert first == second
+
+
+def test_prefetch_loader_validates_batch_size(tmp_path):
+    with pytest.raises(ValueError):
+        PrefetchLoader(ShardReader([]), batch_size=0)
+
+
+def test_loader_with_library_shards(tmp_path):
+    """Integration with CompoundLibrary's shard format."""
+    from repro.chem.library import generate_library
+
+    lib = generate_library(12, seed=21)
+    paths = lib.to_shards(tmp_path, shard_size=5)
+    loader = PrefetchLoader(ShardReader(paths), batch_size=4)
+    records = [r for b in loader for r in b]
+    assert [r[0] for r in records] == [e.compound_id for e in lib]
+
+
+def test_staging_copies_shards_locally(tmp_path):
+    """§6.1.1: shards are staged GPFS → node-local storage before reading."""
+    src = tmp_path / "gpfs"
+    src.mkdir()
+    paths = _write_shards(src, n_shards=3, per_shard=4)
+    staging = tmp_path / "nvme"
+    reader = ShardReader(paths, staging_dir=staging)
+    records = list(reader)
+    assert len(records) == 12
+    assert reader.stats.shards_staged == 3
+    assert sorted(p.name for p in staging.iterdir()) == sorted(p.name for p in paths)
+    # second pass reads the staged copies without re-staging
+    records2 = list(reader)
+    assert records2 == records
+    assert reader.stats.shards_staged == 3
+
+
+def test_staging_tolerates_missing_source(tmp_path):
+    src = tmp_path / "gpfs"
+    src.mkdir()
+    paths = _write_shards(src, n_shards=2, per_shard=4)
+    paths.append(src / "gone.pkl.gz")
+    reader = ShardReader(paths, staging_dir=tmp_path / "nvme")
+    assert len(list(reader)) == 8
+    assert reader.stats.io_errors == 1

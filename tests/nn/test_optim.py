@@ -1,0 +1,87 @@
+"""Tests for optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, RMSprop, clip_grad_norm
+
+
+def _quadratic_step(opt_cls, steps=200, **kwargs):
+    """Minimize f(w) = sum((w - 3)^2); returns final w."""
+    w = Parameter(np.zeros(4))
+    opt = opt_cls([w], **kwargs)
+    for _ in range(steps):
+        loss = ((w - Tensor(np.full(4, 3.0))) ** 2).sum()
+        opt.zero_grad()
+        loss.backward()
+        opt.step()
+    return w.data
+
+
+@pytest.mark.parametrize(
+    "opt_cls, kwargs",
+    [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.1}),
+        (RMSprop, {"lr": 0.05}),
+    ],
+)
+def test_optimizers_converge_on_quadratic(opt_cls, kwargs):
+    w = _quadratic_step(opt_cls, **kwargs)
+    np.testing.assert_allclose(w, 3.0, atol=0.05)
+
+
+def test_invalid_lr_rejected():
+    with pytest.raises(ValueError):
+        SGD([Parameter(np.zeros(2))], lr=0.0)
+
+
+def test_empty_params_rejected():
+    with pytest.raises(ValueError):
+        Adam([], lr=0.1)
+
+
+def test_skips_params_without_grad():
+    a = Parameter(np.zeros(2))
+    b = Parameter(np.zeros(2))
+    opt = SGD([a, b], lr=0.1)
+    (a * 2.0).sum().backward()
+    opt.step()
+    assert (a.data != 0).all()
+    assert (b.data == 0).all()
+
+
+def test_zero_grad_clears():
+    p = Parameter(np.zeros(2))
+    (p * 1.0).sum().backward()
+    assert p.grad is not None
+    SGD([p], lr=0.1).zero_grad()
+    assert p.grad is None
+
+
+def test_adam_bias_correction_first_step():
+    """First Adam step should be ≈ lr in the gradient direction."""
+    p = Parameter(np.zeros(3))
+    opt = Adam([p], lr=0.1)
+    (p * Tensor(np.array([1.0, 2.0, -3.0]))).sum().backward()
+    opt.step()
+    np.testing.assert_allclose(p.data, [-0.1, -0.1, 0.1], atol=1e-6)
+
+
+def test_clip_grad_norm():
+    p = Parameter(np.zeros(4))
+    (p * 10.0).sum().backward()
+    norm = clip_grad_norm([p], max_norm=1.0)
+    assert norm == pytest.approx(20.0)  # sqrt(4 * 100)
+    assert np.linalg.norm(p.grad.data) == pytest.approx(1.0)
+
+
+def test_clip_grad_norm_noop_below_threshold():
+    p = Parameter(np.zeros(4))
+    (p * 0.1).sum().backward()
+    before = p.grad.data.copy()
+    clip_grad_norm([p], max_norm=10.0)
+    np.testing.assert_array_equal(p.grad.data, before)

@@ -1,0 +1,54 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import BatchNorm, Dense, ReLU, Sequential
+from repro.nn.serialization import load_model, save_model
+
+
+def _model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(Dense(4, 8, rng), BatchNorm(8), ReLU(), Dense(8, 2, rng))
+
+
+def test_roundtrip_preserves_outputs(tmp_path):
+    a = _model(0)
+    rng = np.random.default_rng(9)
+    for _ in range(3):  # populate BatchNorm running stats
+        a(Tensor(rng.normal(size=(16, 4))))
+    a.eval()
+    path = save_model(a, tmp_path / "model.npz")
+
+    b = _model(1)
+    load_model(b, path)
+    b.eval()
+    x = Tensor(rng.normal(size=(5, 4)))
+    np.testing.assert_allclose(a(x).data, b(x).data)
+
+
+def test_batchnorm_stats_restored(tmp_path):
+    a = _model(0)
+    a(Tensor(np.random.default_rng(1).normal(loc=7, size=(32, 4))))
+    path = save_model(a, tmp_path / "m.npz")
+    b = _model(2)
+    load_model(b, path)
+    bn_a = [m for m in a.modules() if isinstance(m, BatchNorm)][0]
+    bn_b = [m for m in b.modules() if isinstance(m, BatchNorm)][0]
+    np.testing.assert_allclose(bn_a.running_mean, bn_b.running_mean)
+    np.testing.assert_allclose(bn_a.running_var, bn_b.running_var)
+
+
+def test_architecture_mismatch_rejected(tmp_path):
+    path = save_model(_model(0), tmp_path / "m.npz")
+    rng = np.random.default_rng(3)
+    wrong = Sequential(Dense(4, 9, rng))
+    with pytest.raises(ValueError):
+        load_model(wrong, path)
+
+
+def test_file_is_compressed_npz(tmp_path):
+    path = save_model(_model(0), tmp_path / "m.npz")
+    with open(path, "rb") as fh:
+        assert fh.read(2) == b"PK"  # zip container

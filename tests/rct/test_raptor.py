@@ -1,0 +1,132 @@
+"""Tests for the RAPTOR master/worker overlay."""
+
+import numpy as np
+import pytest
+
+from repro.rct.raptor import RaptorConfig, run_raptor, simulate_raptor
+from repro.util.rng import rng_stream
+
+
+def _durations(n=2000, seed=0):
+    # lognormal: the long-tailed docking-time distribution of §6.1.2
+    return rng_stream(seed, "t/raptor").lognormal(
+        mean=np.log(0.2), sigma=0.8, size=n
+    )
+
+
+def test_all_items_complete_and_work_conserved():
+    d = _durations(500)
+    res = simulate_raptor(d, RaptorConfig(n_workers=20, bulk_size=8))
+    assert res.n_items == 500
+    assert res.worker_busy.sum() == pytest.approx(d.sum())
+
+
+def test_makespan_bounded_below_by_ideal():
+    d = _durations(1000)
+    cfg = RaptorConfig(n_workers=50, bulk_size=16)
+    res = simulate_raptor(d, cfg)
+    ideal = d.sum() / 50
+    assert res.makespan >= ideal
+    assert res.makespan < 3.0 * ideal  # load balancing keeps it close
+
+
+def test_more_workers_faster():
+    d = _durations(4000)
+    slow = simulate_raptor(d, RaptorConfig(n_workers=20, n_masters=1, bulk_size=32))
+    fast = simulate_raptor(d, RaptorConfig(n_workers=80, n_masters=2, bulk_size=32))
+    assert fast.makespan < slow.makespan
+
+
+def test_single_master_saturates_at_scale():
+    """The bottleneck multiple masters exist to avoid (§6.1.2)."""
+    d = _durations(20_000)
+    one = simulate_raptor(
+        d, RaptorConfig(n_workers=600, n_masters=1, bulk_size=32, dispatch_overhead=0.05)
+    )
+    many = simulate_raptor(
+        d, RaptorConfig(n_workers=600, n_masters=8, bulk_size=32, dispatch_overhead=0.05)
+    )
+    assert many.makespan < 0.7 * one.makespan
+    assert many.worker_utilization > one.worker_utilization
+
+
+def test_bulking_amortizes_dispatch_overhead():
+    d = _durations(5000)
+    tiny_bulks = simulate_raptor(
+        d, RaptorConfig(n_workers=100, n_masters=1, bulk_size=1, dispatch_overhead=0.05)
+    )
+    big_bulks = simulate_raptor(
+        d, RaptorConfig(n_workers=100, n_masters=1, bulk_size=64, dispatch_overhead=0.05)
+    )
+    assert big_bulks.makespan < tiny_bulks.makespan
+
+
+def test_near_linear_scaling_with_scaled_masters():
+    """Paper claim: near-linear scaling to thousands of nodes when
+    masters scale with workers."""
+    throughputs = {}
+    for workers in (128, 512, 2048):
+        d = _durations(n=workers * 40, seed=workers)
+        cfg = RaptorConfig(
+            n_workers=workers,
+            n_masters=max(1, workers // 128),
+            bulk_size=32,
+            dispatch_overhead=0.05,
+        )
+        throughputs[workers] = simulate_raptor(d, cfg).throughput
+    speedup = throughputs[2048] / throughputs[128]
+    assert speedup > 0.75 * (2048 / 128)
+
+
+def test_dynamic_balancing_absorbs_skewed_masters():
+    """All long tasks dealt to one master: stealing keeps utilization up."""
+    # round-robin dealing sends every 4th item to each master; make one
+    # master's share pathologically heavy
+    d = np.full(4000, 0.05)
+    d[0::4] = 2.0  # master 0's items are 40× longer
+    res = simulate_raptor(
+        d, RaptorConfig(n_workers=40, n_masters=4, bulk_size=8, dispatch_overhead=0.01)
+    )
+    ideal = d.sum() / 40
+    assert res.makespan < 2.0 * ideal
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        simulate_raptor([], RaptorConfig(n_workers=4))
+    with pytest.raises(ValueError):
+        simulate_raptor([-1.0], RaptorConfig(n_workers=1))
+    with pytest.raises(ValueError):
+        RaptorConfig(n_workers=0)
+    with pytest.raises(ValueError):
+        RaptorConfig(n_workers=2, n_masters=4)
+    with pytest.raises(ValueError):
+        RaptorConfig(n_workers=2, dispatch_overhead=-1)
+
+
+def test_run_raptor_real_callable():
+    items = list(range(100))
+    res = run_raptor(items, lambda x: x * x, RaptorConfig(n_workers=4, bulk_size=10))
+    assert res.results == [x * x for x in items]
+    assert res.n_items == 100
+    assert res.makespan > 0
+
+
+def test_run_raptor_empty_rejected():
+    with pytest.raises(ValueError):
+        run_raptor([], lambda x: x, RaptorConfig(n_workers=2))
+
+
+def test_run_raptor_isolates_task_failures():
+    """One failing item must not sink its bulk or the run (RP isolates
+    task execution)."""
+
+    def flaky(x):
+        if x == 7:
+            raise ValueError("bad ligand")
+        return x + 1
+
+    res = run_raptor(list(range(20)), flaky, RaptorConfig(n_workers=3, bulk_size=5))
+    assert isinstance(res.results[7], ValueError)
+    ok = [r for i, r in enumerate(res.results) if i != 7]
+    assert ok == [i + 1 for i in range(20) if i != 7]

@@ -1,0 +1,25 @@
+"""Tests for the ML1 → S1 CSV hand-off."""
+
+import pytest
+
+from repro.surrogate.infer import InferenceEngine, ScoredCompound
+
+
+def test_csv_roundtrip(tmp_path):
+    rows = [
+        ScoredCompound("C1", "CCO", 0.91),
+        ScoredCompound("C2", "c1ccccc1", 0.123456),
+    ]
+    path = InferenceEngine.write_csv(rows, tmp_path / "ml1.csv")
+    back = InferenceEngine.read_csv(path)
+    assert [r.compound_id for r in back] == ["C1", "C2"]
+    assert back[1].smiles == "c1ccccc1"
+    assert back[1].score == pytest.approx(0.123456)
+
+
+def test_csv_has_header(tmp_path):
+    path = InferenceEngine.write_csv(
+        [ScoredCompound("X", "C", 0.5)], tmp_path / "a.csv"
+    )
+    first = path.read_text().splitlines()[0]
+    assert first == "compound_id,smiles,score"

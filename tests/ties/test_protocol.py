@@ -1,0 +1,100 @@
+"""Tests for the TIES protocol."""
+
+import numpy as np
+import pytest
+
+from repro.chem.smiles import parse_smiles
+from repro.docking.receptor import make_receptor
+from repro.ties.protocol import TiesConfig, TiesRunner
+from repro.util.rng import rng_stream
+
+TINY = TiesConfig(
+    n_windows=3,
+    replicas_per_window=2,
+    equilibration_steps=8,
+    production_steps=24,
+    record_every=4,
+    n_residues=40,
+    minimize_iterations=10,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    receptor = make_receptor("PLPro", "6W9C", seed=7)
+    mol_a = parse_smiles("c1ccccc1CC(=O)O")
+    mol_b = parse_smiles("c1ccccc1CC(=O)N")
+    coords = rng_stream(0, "t/ties").normal(scale=2.0, size=(mol_a.n_atoms, 3))
+    return receptor, mol_a, mol_b, coords
+
+
+@pytest.fixture(scope="module")
+def result(setup):
+    receptor, mol_a, mol_b, coords = setup
+    return TiesRunner(receptor, TINY, seed=0).run(mol_a, mol_b, coords, "A", "B")
+
+
+def test_result_structure(result):
+    assert result.compound_a == "A" and result.compound_b == "B"
+    for leg in (result.complex_leg, result.solvent_leg):
+        assert leg.lambdas.shape == (TINY.n_windows,)
+        assert leg.dudl_mean.shape == (TINY.n_windows,)
+        assert np.isfinite(leg.dudl_mean).all()
+        assert (leg.dudl_sem >= 0).all()
+    assert np.isfinite(result.ddg)
+    assert result.sem >= 0
+
+
+def test_ddg_is_leg_difference(result):
+    assert result.ddg == pytest.approx(
+        result.complex_leg.delta_g - result.solvent_leg.delta_g
+    )
+
+
+def test_identity_transform_is_zero(setup):
+    receptor, mol_a, _, coords = setup
+    res = TiesRunner(receptor, TINY, seed=0).run(mol_a, mol_a, coords, "A", "A")
+    assert res.ddg == pytest.approx(0.0, abs=1e-9)
+    np.testing.assert_allclose(res.complex_leg.dudl_mean, 0.0, atol=1e-9)
+
+
+def test_deterministic(setup):
+    receptor, mol_a, mol_b, coords = setup
+    a = TiesRunner(receptor, TINY, seed=3).run(mol_a, mol_b, coords)
+    b = TiesRunner(receptor, TINY, seed=3).run(mol_a, mol_b, coords)
+    assert a.ddg == b.ddg
+
+
+def test_solvent_leg_has_no_protein(setup):
+    receptor, mol_a, mol_b, coords = setup
+    runner = TiesRunner(receptor, TINY, seed=0)
+    from repro.ties.alchemical import build_hybrid
+
+    hybrid = build_hybrid(mol_a, mol_b)
+    system = runner._hybrid_base_system(mol_a, hybrid, coords, with_protein=False)
+    assert len(system.topology.protein_atoms) == 0
+    assert system.n_atoms == hybrid.n_beads
+
+
+def test_complex_leg_keeps_protein(setup):
+    receptor, mol_a, mol_b, coords = setup
+    runner = TiesRunner(receptor, TINY, seed=0)
+    from repro.ties.alchemical import build_hybrid
+
+    hybrid = build_hybrid(mol_a, mol_b)
+    system = runner._hybrid_base_system(mol_a, hybrid, coords, with_protein=True)
+    assert len(system.topology.protein_atoms) == TINY.n_residues
+    assert len(system.topology.ligand_atoms) == hybrid.n_beads
+
+
+def test_coords_shape_validated(setup):
+    receptor, mol_a, mol_b, _ = setup
+    with pytest.raises(ValueError):
+        TiesRunner(receptor, TINY).run(mol_a, mol_b, np.zeros((2, 3)))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TiesConfig(n_windows=1)
+    with pytest.raises(ValueError):
+        TiesConfig(dlambda=0)

@@ -1,0 +1,31 @@
+"""Tests for the logging helper."""
+
+import logging
+
+from repro.util.log import get_logger
+
+
+def test_logger_namespaced_under_repro():
+    log = get_logger("core.campaign")
+    assert log.name == "repro.core.campaign"
+    already = get_logger("repro.docking")
+    assert already.name == "repro.docking"
+
+
+def test_root_handler_installed_once():
+    get_logger("a")
+    get_logger("b")
+    root = logging.getLogger("repro")
+    assert len(root.handlers) == 1
+
+
+def test_default_level_warning():
+    get_logger("x")
+    assert logging.getLogger("repro").level == logging.WARNING
+
+
+def test_messages_propagate_to_root(caplog):
+    log = get_logger("test.module")
+    with caplog.at_level(logging.INFO, logger="repro"):
+        log.info("hello %d", 42)
+    assert "hello 42" in caplog.text
