@@ -1,0 +1,104 @@
+"""Fault tolerance — graceful degradation under injected task failures.
+
+The acceptance scenario for the fault layer: with a seeded per-task
+failure probability and ``RetryPolicy(max_retries=3)``, a simulated
+pilot completes *every* task, the failure ledger reconciles exactly
+(injected = retried + dropped), and the makespan inflates by less than
+2x even at a 10 % failure rate.  RAPTOR throughput degrades smoothly
+rather than collapsing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.rct import (
+    Cluster,
+    FaultModel,
+    Pilot,
+    RaptorConfig,
+    RetryPolicy,
+    SimExecutor,
+    TaskSpec,
+    simulate_raptor,
+)
+from repro.util.rng import rng_stream
+
+RATES = (0.0, 0.01, 0.05, 0.10)
+
+
+def _pilot_run(rate, durations):
+    tasks = [TaskSpec(gpus=1, duration=float(d), stage="mixed") for d in durations]
+    cluster = Cluster(100)
+    fault = FaultModel(failure_rate=rate, seed=7) if rate else None
+    with Pilot(
+        cluster.allocate(100, 0.0),
+        SimExecutor(launch_overhead=0.5, fault_model=fault),
+        retry=RetryPolicy(max_retries=3, backoff_base=5.0, seed=7),
+    ) as pilot:
+        records = pilot.run(tasks)
+    series = pilot.utilization.series()
+    return {
+        "rate": rate,
+        "makespan": pilot.executor.now,
+        "utilization": series.average_utilization(),
+        "records": records,
+        "failures": pilot.failures,
+    }
+
+
+def test_pilot_makespan_degrades_gracefully(benchmark):
+    durations = rng_stream(3, "bench/fault").lognormal(
+        np.log(300), 0.25, size=2000
+    )
+
+    def sweep():
+        return [_pilot_run(rate, durations) for rate in RATES]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    clean = rows[0]
+    print("\nfault tolerance — 2,000 tasks on 100 nodes, retries enabled")
+    print(f"  {'rate':>6s} {'makespan':>9s} {'util':>6s} {'retries':>8s} {'dropped':>8s}")
+    for row in rows:
+        f = row["failures"]
+        print(f"  {row['rate']:6.0%} {row['makespan']:8.0f}s "
+              f"{row['utilization']:6.2f} {f.n_retries:8d} {f.n_dropped:8d}")
+    for row in rows:
+        f = row["failures"]
+        # every task completed despite the injected failures
+        assert len(row["records"]) == 2000
+        # the ledger reconciles exactly: injected = retried + dropped
+        assert f.n_failures == f.n_retries + f.n_dropped
+        # graceful degradation, not collapse
+        assert row["makespan"] < 2.0 * clean["makespan"]
+        assert row["utilization"] > 0.5 * clean["utilization"]
+    # failures cost something: makespan is monotone-ish in the rate
+    assert rows[-1]["makespan"] > clean["makespan"]
+
+
+def test_raptor_throughput_degrades_gracefully(benchmark):
+    durations = rng_stream(4, "bench/fault-raptor").lognormal(
+        np.log(0.4), 0.7, size=4000
+    )
+    cfg = RaptorConfig(n_workers=64, n_masters=2, bulk_size=16, dispatch_overhead=0.05)
+
+    def sweep():
+        out = {}
+        for rate in RATES:
+            fault = FaultModel(failure_rate=rate, seed=9) if rate else None
+            retry = RetryPolicy(max_retries=3, backoff_base=0.1, seed=9)
+            out[rate] = simulate_raptor(durations, cfg, fault_model=fault, retry=retry)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    clean = results[0.0]
+    print("\nRAPTOR throughput under injected failures (64 workers)")
+    for rate, res in results.items():
+        print(f"  {rate:6.0%}  {res.throughput:8.1f} ligands/s  "
+              f"dropped {res.n_failed}")
+    for rate, res in results.items():
+        assert res.failure_summary is None or res.failure_summary.reconciles()
+        # 3 retries absorb nearly all failures (p_drop = rate^4); the
+        # rare exhausted item is reported, never silently lost
+        assert res.n_failed <= 0.005 * res.n_items
+        assert res.n_failed == len(res.failed_indices)
+        assert res.throughput > 0.5 * clean.throughput

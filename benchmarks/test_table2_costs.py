@@ -31,7 +31,6 @@ def cost_model():
 def measured(cost_model):
     """Measure node-hours/ligand by running tasks on a simulated pilot."""
     cluster = Cluster(64, cost_model.node)
-    pilot = Pilot(cluster.allocate(64, 0.0), SimExecutor(launch_overhead=0.0))
     n_ligands = {"S1": 600, "S3-CG": 12, "S2": 4, "S3-FG": 4}
     tasks = []
     # S1: one GPU task bundling many ligands, as RAPTOR workers run them
@@ -39,7 +38,8 @@ def measured(cost_model):
     tasks += [cost_model.esmacs_task(CG, f"cg{i}", "S3-CG") for i in range(n_ligands["S3-CG"])]
     tasks += [cost_model.s2_task(f"s2-{i}") for i in range(n_ligands["S2"])]
     tasks += [cost_model.esmacs_task(FG, f"fg{i}", "S3-FG") for i in range(n_ligands["S3-FG"])]
-    records = pilot.run(tasks)
+    with Pilot(cluster.allocate(64, 0.0), SimExecutor(launch_overhead=0.0)) as pilot:
+        records = pilot.run(tasks)
     spec = cost_model.node
     per_ligand = {}
     for stage, n in n_ligands.items():

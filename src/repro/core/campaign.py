@@ -38,6 +38,7 @@ from repro.docking.lga import LGAConfig
 from repro.docking.receptor import Receptor, make_receptor
 from repro.esmacs.protocol import EsmacsConfig, EsmacsResult, EsmacsRunner
 from repro.md.builder import build_lpc
+from repro.rct.fault import FAILURE_POLICIES, FailureSummary, TaskFailedError
 from repro.surrogate.infer import InferenceEngine
 from repro.surrogate.train import TrainConfig, TrainedSurrogate, train_surrogate
 from repro.util.config import FrozenConfig, validate_positive, validate_range
@@ -96,9 +97,24 @@ class CampaignConfig(FrozenConfig):
     cg: EsmacsConfig = _FAST_CG
     fg: EsmacsConfig = _FAST_FG
     compute_enrichment: bool = True
+    #: what a stage-task failure (a raising dock/CG/S2/FG unit) does to the
+    #: campaign: "fail_fast" re-raises immediately; "drop_and_continue"
+    #: drops the failing unit, records it in the failure summary, and
+    #: keeps the iteration going
+    failure_policy: str = "fail_fast"
+    #: with drop_and_continue, max drops tolerated per stage per iteration
+    #: before the campaign gives up (None = unlimited)
+    stage_failure_budget: int | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}"
+            )
+        if self.stage_failure_budget is not None and self.stage_failure_budget < 0:
+            raise ValueError("stage_failure_budget must be non-negative")
         validate_positive("library_size", self.library_size)
         validate_positive("seed_train_size", self.seed_train_size)
         validate_positive("iterations", self.iterations)
@@ -132,6 +148,9 @@ class CampaignResult:
     iterations: list[IterationResult] = field(default_factory=list)
     surrogate: TrainedSurrogate | None = None
     docked_scores: dict[str, float] = field(default_factory=dict)
+    #: ledger of stage-task failures (drops per stage, nothing silent);
+    #: empty under fail_fast, which raises instead
+    failure_summary: FailureSummary = field(default_factory=FailureSummary)
 
     def all_cg(self) -> list[EsmacsResult]:
         """Every CG result across iterations."""
@@ -177,21 +196,66 @@ class ImpeccableCampaign:
         self._docked_ids: set[str] = set()
         self._cg_done_ids: set[str] = set()
         self._entry_by_id = {e.compound_id: e for e in self.library}
+        self.failures = FailureSummary()
+        self._iter_drops: dict[str, int] = {}  # per-iteration, per-stage
+
+    # ---------------------------------------------------- failure handling
+    def _guard(self, stage: str, unit: str, fn):
+        """Run one stage work unit under the campaign failure policy.
+
+        Returns the unit's (non-``None``) result, or ``None`` when the
+        unit raised and ``drop_and_continue`` dropped it.  Every drop is
+        logged, recorded in :attr:`failures`, and charged against the
+        per-stage failure budget; ``fail_fast`` re-raises instead.
+        """
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - stage-task isolation
+            if self.config.failure_policy == "fail_fast":
+                raise TaskFailedError(
+                    f"{stage} unit {unit} failed: {type(exc).__name__}: {exc}"
+                ) from exc
+            self.failures.record_failure(0.0)
+            self.failures.record_drop(stage)
+            self._iter_drops[stage] = self._iter_drops.get(stage, 0) + 1
+            _log.warning(
+                "%s unit %s dropped: %s: %s", stage, unit, type(exc).__name__, exc
+            )
+            budget = self.config.stage_failure_budget
+            if budget is not None and self._iter_drops[stage] > budget:
+                raise TaskFailedError(
+                    f"stage {stage} failure budget exceeded: "
+                    f"{self._iter_drops[stage]} drops this iteration, "
+                    f"budget {budget}"
+                ) from exc
+            return None
 
     # ------------------------------------------------------------ pieces
     def _dock_batch(self, indices: list[int]) -> list[DockingResult]:
-        """Dock against every receptor structure; keep the consensus best."""
+        """Dock against every receptor structure; keep the consensus best.
+
+        A compound whose docking unit fails is dropped (per policy) and
+        stays undocked, so a later ML1 round may re-drive it.
+        """
         out = []
         for i in indices:
             entry = self.library[i]
             if entry.compound_id in self._docked_ids:
                 continue
-            best_result = None
-            best_pdb = None
-            for pdb, engine in self.engines.items():
-                result = engine.dock_smiles(entry.smiles, entry.compound_id)
-                if best_result is None or result.score < best_result.score:
-                    best_result, best_pdb = result, pdb
+
+            def dock_one(entry=entry):
+                best_result = None
+                best_pdb = None
+                for pdb, engine in self.engines.items():
+                    result = engine.dock_smiles(entry.smiles, entry.compound_id)
+                    if best_result is None or result.score < best_result.score:
+                        best_result, best_pdb = result, pdb
+                return best_result, best_pdb
+
+            docked = self._guard("S1", entry.compound_id, dock_one)
+            if docked is None:
+                continue
+            best_result, best_pdb = docked
             out.append(best_result)
             self._best_structure[entry.compound_id] = best_pdb
             self._docked_ids.add(entry.compound_id)
@@ -285,6 +349,7 @@ class ImpeccableCampaign:
 
         for it in range(cfg.iterations):
             _log.info("iteration %d starting", it)
+            self._iter_drops = {}  # the failure budget is per iteration
             metrics = CampaignMetrics(iteration=it)
             # ---------------------------------------------------------- ML1
             t0 = time.perf_counter()
@@ -334,16 +399,24 @@ class ImpeccableCampaign:
                     receptor, cfg.cg, seed=self.factory.spawn_seed(f"cg/{it}/{pdb}")
                 )
                 for dock in docks:
-                    mol = parse_smiles(dock.smiles)
-                    coords = self.engines[pdb].pose_coordinates(dock)
-                    res = runner_cg.run(mol, coords, dock.compound_id)
+
+                    def cg_one(dock=dock, receptor=receptor, runner_cg=runner_cg, pdb=pdb):
+                        mol = parse_smiles(dock.smiles)
+                        coords = self.engines[pdb].pose_coordinates(dock)
+                        res = runner_cg.run(mol, coords, dock.compound_id)
+                        system = build_lpc(
+                            receptor, mol, coords, seed=cfg.seed,
+                            n_residues=cfg.cg.n_residues,
+                        )
+                        return res, system
+
+                    unit = self._guard("S3-CG", dock.compound_id, cg_one)
+                    if unit is None:
+                        continue
+                    res, system = unit
                     cg_results.append(res)
                     cg_by_pdb.setdefault(pdb, []).append(res)
                     self._cg_done_ids.add(dock.compound_id)
-                    system = build_lpc(
-                        receptor, mol, coords, seed=cfg.seed,
-                        n_residues=cfg.cg.n_residues,
-                    )
                     ligand_atoms[dock.compound_id] = system.topology.ligand_atoms
                     reference_by_pdb[pdb] = system.positions[
                         system.topology.protein_atoms
@@ -366,17 +439,23 @@ class ImpeccableCampaign:
             for pdb, pdb_cg in cg_by_pdb.items():
                 if not pdb_cg:
                     continue
-                s2_by_structure[pdb] = run_s2(
-                    pdb_cg,
-                    reference_by_pdb[pdb],
-                    ligand_atoms,
-                    AdaptiveConfig(
-                        top_compounds=min(cfg.s2_top_compounds, len(pdb_cg)),
-                        outliers_per_compound=cfg.s2_outliers_per_compound,
-                        lof_neighbors=8,
-                    ),
-                    seed=self.factory.spawn_seed(f"s2/{it}/{pdb}"),
-                )
+
+                def s2_one(pdb=pdb, pdb_cg=pdb_cg):
+                    return run_s2(
+                        pdb_cg,
+                        reference_by_pdb[pdb],
+                        ligand_atoms,
+                        AdaptiveConfig(
+                            top_compounds=min(cfg.s2_top_compounds, len(pdb_cg)),
+                            outliers_per_compound=cfg.s2_outliers_per_compound,
+                            lof_neighbors=8,
+                        ),
+                        seed=self.factory.spawn_seed(f"s2/{it}/{pdb}"),
+                    )
+
+                s2_unit = self._guard("S2", pdb, s2_one)
+                if s2_unit is not None:
+                    s2_by_structure[pdb] = s2_unit
             s2_wall = time.perf_counter() - t0
             s2_result = None
             if s2_by_structure:
@@ -402,18 +481,29 @@ class ImpeccableCampaign:
                         seed=self.factory.spawn_seed(f"fg/{it}/{pdb}"),
                     )
                     for sel in s2.selections:
-                        mol = parse_smiles(
-                            self._entry_by_id[sel.compound_id].smiles
-                        )
-                        lig_coords = sel.coordinates[ligand_atoms[sel.compound_id]]
-                        fg_results.append(
-                            runner_fg.run(
+
+                        def fg_one(sel=sel, runner_fg=runner_fg):
+                            mol = parse_smiles(
+                                self._entry_by_id[sel.compound_id].smiles
+                            )
+                            lig_coords = sel.coordinates[
+                                ligand_atoms[sel.compound_id]
+                            ]
+                            return runner_fg.run(
                                 mol,
                                 lig_coords,
                                 f"{sel.compound_id}/r{sel.replica}f{sel.frame}",
                                 keep_trajectories=False,
                             )
+
+                        fg_unit = self._guard(
+                            "S3-FG",
+                            f"{sel.compound_id}/r{sel.replica}f{sel.frame}",
+                            fg_one,
                         )
+                        if fg_unit is None:
+                            continue
+                        fg_results.append(fg_unit)
                         fg_parents.append(sel.compound_id)
                 fg_wall = time.perf_counter() - t0
                 metrics.stages["S3-FG"] = StageAccounting(
@@ -459,4 +549,7 @@ class ImpeccableCampaign:
 
         result.surrogate = surrogate
         result.docked_scores = self._score_by_id()
+        result.failure_summary = self.failures
+        if self.failures.n_dropped:
+            _log.warning("campaign finished with drops: %s", self.failures.summary())
         return result

@@ -9,6 +9,13 @@ master/worker overlay, utilization tracking (Fig 7) and FLOP accounting
 from repro.rct.cluster import SUMMIT_NODE, Allocation, BatchSystem, Cluster, NodeSpec
 from repro.rct.entk import AppManager, Pipeline, Stage
 from repro.rct.executor import SimExecutor, ThreadExecutor
+from repro.rct.fault import (
+    FailureSummary,
+    FaultModel,
+    FaultOutcome,
+    RetryPolicy,
+    TaskFailedError,
+)
 from repro.rct.flops import (
     aae_training_step_flops,
     chamfer_flops,
@@ -26,8 +33,13 @@ __all__ = [
     "AppManager",
     "BatchSystem",
     "Cluster",
+    "FailureSummary",
+    "FaultModel",
+    "FaultOutcome",
     "NodeSpec",
     "Pilot",
+    "RetryPolicy",
+    "TaskFailedError",
     "Pipeline",
     "Placement",
     "RaptorConfig",

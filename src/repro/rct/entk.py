@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.rct.pilot import Pilot
-from repro.rct.task import TaskRecord, TaskSpec
+from repro.rct.task import TaskRecord, TaskSpec, TaskState
 
 __all__ = ["Stage", "Pipeline", "AppManager"]
 
@@ -79,6 +79,13 @@ class AppManager:
         """Run all pipelines to completion.
 
         Returns records grouped by pipeline name, in completion order.
+        Failure semantics follow the pilot's retry/propagation policies:
+        retried attempts keep their stage barrier closed until the task
+        finally resolves; under ``drop_and_continue`` a permanently failed
+        task appears in the results with ``state == TaskState.FAILED``
+        (and in ``pilot.failures``) and its stage proceeds without it;
+        under ``fail_fast`` the run raises
+        :class:`~repro.rct.fault.TaskFailedError`.
         """
         if not pipelines:
             raise ValueError("no pipelines to run")
@@ -103,15 +110,24 @@ class AppManager:
         for i in range(len(states)):
             launch_stage(i)
 
-        while pending or self.pilot.n_running:
+        while pending or self.pilot.n_running or self.pilot.n_waiting_retry:
             remaining = self.pilot.submit_ready(pending)
             pending.clear()
             pending.extend(remaining)
             if self.pilot.n_running == 0:
+                if self.pilot.n_waiting_retry:
+                    # all in-flight work is failed tasks waiting out their
+                    # backoff; idle the clock to the earliest retry
+                    self.pilot.advance_to_next_retry()
+                    continue
                 raise RuntimeError(
                     "deadlock: pipelines blocked but nothing is running"
                 )
             record = self.pilot.wait_one()
+            if record.state is TaskState.RETRYING:
+                # the attempt was re-queued: the task stays outstanding,
+                # its stage barrier stays closed
+                continue
             idx = task_owner[record.spec.uid]
             state = states[idx]
             state.outstanding.discard(record.spec.uid)

@@ -1,0 +1,252 @@
+"""Fault model, retry policy and failure accounting for the workflow stack.
+
+At leadership scale task failures are routine: the paper's EnTK/RP layers
+"isolate the execution of each task" precisely so a crashed docking run or
+a hung MD replica cannot sink a campaign.  This module makes failure a
+first-class, *testable* part of the execution model:
+
+* :class:`FaultModel` — seeded, per-(task, attempt) fault injection for the
+  simulated backend: crash probability, straggler slowdowns, and hangs.
+  Deterministic under a root seed, so thousand-node campaigns can be
+  simulated under realistic failure rates and replayed bit-identically.
+* :class:`RetryPolicy` — max retries, exponential backoff with jitter
+  (charged on whichever clock the executor runs), and a per-task timeout
+  that cancels/abandons hung tasks.
+* :class:`FailureSummary` — the reconciliation ledger: every observed
+  failure is either retried or dropped, never silently lost.  Attached to
+  pilot, RAPTOR and campaign results.
+* :class:`TaskFailedError` — raised by ``fail_fast`` propagation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.util.config import FrozenConfig, validate_range
+from repro.util.rng import rng_stream
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (task → fault)
+    from repro.rct.task import TaskRecord
+
+__all__ = [
+    "FaultModel",
+    "FaultOutcome",
+    "FailureSummary",
+    "RetryPolicy",
+    "TaskFailedError",
+]
+
+#: propagation policies understood by the pilot and campaign layers
+FAILURE_POLICIES = ("fail_fast", "drop_and_continue")
+
+
+class TaskFailedError(RuntimeError):
+    """A task exhausted its retries under ``fail_fast`` propagation."""
+
+    def __init__(self, message: str, record: "TaskRecord | None" = None) -> None:
+        super().__init__(message)
+        self.record = record
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """One fault draw: what happens to a single execution attempt.
+
+    ``busy`` is the time the attempt occupies its slots: the full task
+    duration for clean/straggler runs, a partial duration for crashes,
+    ``inf`` for hangs (bounded later by the retry policy's timeout).
+    """
+
+    kind: str  # "ok" | "fail" | "straggle" | "hang"
+    busy: float
+
+    @property
+    def failed(self) -> bool:
+        """Whether the attempt ends in failure (before timeout handling)."""
+        return self.kind in ("fail", "hang")
+
+
+@dataclass(frozen=True)
+class FaultModel(FrozenConfig):
+    """Seeded per-attempt fault injection for :class:`~repro.rct.executor.SimExecutor`.
+
+    Each execution attempt of each task draws independently from a stream
+    keyed on ``(seed, task uid, attempt)`` — so a retried task re-rolls the
+    dice, and adding tasks never perturbs other tasks' draws.
+
+    Attributes
+    ----------
+    failure_rate:
+        Probability an attempt crashes partway through (uniformly drawn
+        fraction of its duration is still charged to the slots it held).
+    straggler_rate / straggler_factor:
+        Probability an attempt runs ``straggler_factor`` times slower but
+        still succeeds — the long-tail stragglers of production runs.
+    hang_rate:
+        Probability an attempt never completes on its own.  Hung tasks
+        require a :class:`RetryPolicy` timeout to be reaped.
+    """
+
+    failure_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+    hang_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        validate_range("failure_rate", self.failure_rate, 0.0, 1.0)
+        validate_range("straggler_rate", self.straggler_rate, 0.0, 1.0)
+        validate_range("hang_rate", self.hang_rate, 0.0, 1.0)
+        total = self.failure_rate + self.straggler_rate + self.hang_rate
+        if total > 1.0:
+            raise ValueError(f"fault rates sum to {total}, must be <= 1")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+
+    def draw(self, uid: int, attempt: int, duration: float) -> FaultOutcome:
+        """Decide the fate of one execution attempt (deterministic)."""
+        rng = rng_stream(self.seed, f"fault/{uid}/{attempt}")
+        u = float(rng.random())
+        if u < self.failure_rate:
+            return FaultOutcome(kind="fail", busy=duration * float(rng.random()))
+        u -= self.failure_rate
+        if u < self.hang_rate:
+            return FaultOutcome(kind="hang", busy=math.inf)
+        u -= self.hang_rate
+        if u < self.straggler_rate:
+            return FaultOutcome(kind="straggle", busy=duration * self.straggler_factor)
+        return FaultOutcome(kind="ok", busy=duration)
+
+
+@dataclass(frozen=True)
+class RetryPolicy(FrozenConfig):
+    """How failed attempts are re-driven.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-submissions allowed per task after its first attempt
+        (0 disables retrying).
+    backoff_base / backoff_factor / backoff_jitter:
+        Attempt ``k``'s backoff is ``base * factor**k``, inflated by a
+        deterministic jitter drawn uniformly from ``[0, jitter]`` (a
+        fraction) to de-synchronize retry storms.  Charged on the
+        executor's clock — virtual for the simulated backend, wall for
+        threads — and visible to the utilization tracker.
+    timeout:
+        Per-attempt ceiling in clock seconds.  An attempt still running at
+        the deadline is cancelled (simulated backend) or abandoned (thread
+        backend: the worker thread is left to finish, its result
+        discarded) and counted as a failure.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    timeout: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        validate_range("backoff_jitter", self.backoff_jitter, 0.0, 1.0)
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may be re-driven."""
+        return attempt < self.max_retries
+
+    def backoff(self, uid: int, attempt: int) -> float:
+        """Backoff seconds before re-submitting after failed ``attempt``."""
+        base = self.backoff_base * self.backoff_factor**attempt
+        if base == 0.0:
+            return 0.0
+        jitter = float(rng_stream(self.seed, f"backoff/{uid}/{attempt}").random())
+        return base * (1.0 + self.backoff_jitter * jitter)
+
+
+@dataclass
+class FailureSummary:
+    """The failure ledger: counts, retry histogram, and time lost.
+
+    The reconciliation invariant — checked by :meth:`reconciles` and the
+    fault-tolerance bench — is that every observed failure was either
+    retried or dropped: ``n_failures == n_retries + n_dropped``.  Nothing
+    is silently lost.
+    """
+
+    n_failures: int = 0  # failed attempts observed (injected, real, or timeout)
+    n_retries: int = 0  # re-submissions issued
+    n_dropped: int = 0  # tasks permanently failed (retries exhausted/disabled)
+    n_timeouts: int = 0  # failures that were timeout cancellations
+    retry_histogram: dict[int, int] = field(default_factory=dict)
+    # ^ attempts-used → number of tasks that *succeeded* on that attempt
+    dropped_by_stage: dict[str, int] = field(default_factory=dict)
+    time_lost_failures: float = 0.0  # clock seconds burned by failed attempts
+    time_lost_backoff: float = 0.0  # clock seconds spent waiting to retry
+
+    # ------------------------------------------------------------ recording
+    def record_failure(self, wall_time: float, timed_out: bool = False) -> None:
+        """Log one failed attempt and the slot time it burned."""
+        self.n_failures += 1
+        if timed_out:
+            self.n_timeouts += 1
+        if math.isfinite(wall_time):
+            self.time_lost_failures += wall_time
+
+    def record_retry(self, backoff: float) -> None:
+        """Log one re-submission and its backoff charge."""
+        self.n_retries += 1
+        self.time_lost_backoff += backoff
+
+    def record_drop(self, stage: str = "") -> None:
+        """Log one permanently failed task."""
+        self.n_dropped += 1
+        key = stage or "(unlabelled)"
+        self.dropped_by_stage[key] = self.dropped_by_stage.get(key, 0) + 1
+
+    def record_success(self, attempt: int) -> None:
+        """Log a task completing on its ``attempt``-th try (0-based)."""
+        self.retry_histogram[attempt] = self.retry_histogram.get(attempt, 0) + 1
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def time_lost(self) -> float:
+        """Total clock seconds lost to failures and backoff."""
+        return self.time_lost_failures + self.time_lost_backoff
+
+    def reconciles(self) -> bool:
+        """Every failure accounted for: retried or dropped."""
+        return self.n_failures == self.n_retries + self.n_dropped
+
+    def merge(self, other: "FailureSummary") -> None:
+        """Fold another ledger into this one (campaign aggregation)."""
+        self.n_failures += other.n_failures
+        self.n_retries += other.n_retries
+        self.n_dropped += other.n_dropped
+        self.n_timeouts += other.n_timeouts
+        self.time_lost_failures += other.time_lost_failures
+        self.time_lost_backoff += other.time_lost_backoff
+        for k, v in other.retry_histogram.items():
+            self.retry_histogram[k] = self.retry_histogram.get(k, 0) + v
+        for k, v in other.dropped_by_stage.items():
+            self.dropped_by_stage[k] = self.dropped_by_stage.get(k, 0) + v
+
+    def summary(self) -> str:
+        """One-line human rendering."""
+        hist = ", ".join(
+            f"attempt {a}: {n}" for a, n in sorted(self.retry_histogram.items())
+        )
+        return (
+            f"failures={self.n_failures} (timeouts={self.n_timeouts}) "
+            f"retries={self.n_retries} dropped={self.n_dropped} "
+            f"time_lost={self.time_lost:.1f}s [{hist}]"
+        )

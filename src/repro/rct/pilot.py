@@ -7,16 +7,25 @@ system will execute 1000 tasks concurrently and … the remaining 9000
 sequentially, whenever a node becomes available."  :class:`Pilot` owns
 the allocation and slot bookkeeping; :meth:`Pilot.run` is exactly that
 greedy backfilling loop, over either executor backend.
+
+Failure handling is first-class: a :class:`~repro.rct.fault.RetryPolicy`
+re-queues failed attempts after (jittered, exponential) backoff on the
+executor's clock, and a propagation policy decides what happens when
+retries are exhausted — ``fail_fast`` raises
+:class:`~repro.rct.fault.TaskFailedError`, ``drop_and_continue`` keeps
+going and reports every drop in :attr:`Pilot.failures`.  Nothing fails
+silently.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.rct.cluster import Allocation, NodeSpec
 from repro.rct.executor import SimExecutor, ThreadExecutor
+from repro.rct.fault import FAILURE_POLICIES, FailureSummary, RetryPolicy, TaskFailedError
 from repro.rct.task import TaskRecord, TaskSpec, TaskState
 from repro.rct.utilization import UtilizationTracker
 
@@ -39,14 +48,31 @@ class Pilot:
         self,
         allocation: Allocation,
         executor: SimExecutor | ThreadExecutor,
+        retry: RetryPolicy | None = None,
+        failure_policy: str = "drop_and_continue",
+        failure_budget: int | None = None,
     ) -> None:
+        if failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {failure_policy!r}"
+            )
+        if failure_budget is not None and failure_budget < 0:
+            raise ValueError("failure_budget must be non-negative")
         self.allocation = allocation
         self.executor = executor
+        self.retry = retry
+        self.failure_policy = failure_policy
+        self.failure_budget = failure_budget
+        self.failures = FailureSummary()
         spec = allocation.spec
         n = allocation.n_nodes
         self._free_cpus = np.full(n, spec.cpus)
         self._free_gpus = np.full(n, spec.gpus)
         self._placements: dict[int, Placement] = {}
+        # retry backlog: (eligible_time, task, attempt), unordered
+        self._retry_queue: list[tuple[float, TaskSpec, int]] = []
+        self._n_running = 0
         self.records: list[TaskRecord] = []
         self.utilization = UtilizationTracker(
             total_gpus=n * spec.gpus, total_cpus=n * spec.cpus
@@ -103,12 +129,21 @@ class Pilot:
 
     # ------------------------------------------------- incremental protocol
     def validate_fits(self, task: TaskSpec) -> None:
-        """Raise if ``task`` can never be placed on this pilot."""
-        if task.nodes == 1 and (
-            task.cpus > self.spec.cpus or task.gpus > self.spec.gpus
-        ):
+        """Raise if ``task`` can never be placed on this pilot.
+
+        ``cpus``/``gpus`` are per-node requests, so they must fit one node
+        regardless of the node count — a multi-node task over-committing a
+        node would otherwise slip through and later surface as a
+        misleading "deadlock" at scheduling time.
+        """
+        if task.cpus > self.spec.cpus or task.gpus > self.spec.gpus:
+            if task.nodes == 1:
+                raise ValueError(
+                    f"task {task.name} requests more than one node holds"
+                )
             raise ValueError(
-                f"task {task.name} requests more than one node holds"
+                f"task {task.name} requests {task.cpus} cpus/{task.gpus} gpus "
+                f"per node; the node spec holds {self.spec.cpus}/{self.spec.gpus}"
             )
         if task.nodes > self.allocation.n_nodes:
             raise ValueError(
@@ -116,27 +151,50 @@ class Pilot:
                 f"{self.allocation.n_nodes}"
             )
 
+    def _start(self, task: TaskSpec, attempt: int = 0) -> bool:
+        """Place and launch one attempt; ``False`` when nothing fits."""
+        placement = self.try_place(task)
+        if placement is None:
+            return False
+        record = TaskRecord(spec=task, state=TaskState.SCHEDULED, attempt=attempt)
+        record.node_ids = placement.node_ids
+        self._placements[task.uid] = placement
+        self.executor.start(
+            record, timeout=self.retry.timeout if self.retry else None
+        )
+        self.records.append(record)
+        self.utilization.record_start(
+            self.executor.now, placement.gpus, placement.cpus, task.stage
+        )
+        self._n_running += 1
+        return True
+
     def submit_ready(self, pending: list[TaskSpec]) -> list[TaskSpec]:
-        """Greedy pass: start everything that fits; return what's left."""
+        """Greedy pass: start everything that fits; return what's left.
+
+        Backoff-expired retries are re-driven first — they have waited
+        longest and hold the workload's completion tail.
+        """
+        now = self.executor.now
+        still_waiting: list[tuple[float, TaskSpec, int]] = []
+        for eligible, task, attempt in self._retry_queue:
+            if eligible > now or not self._start(task, attempt):
+                still_waiting.append((eligible, task, attempt))
+        self._retry_queue = still_waiting
         still_pending: list[TaskSpec] = []
         for task in pending:
-            placement = self.try_place(task)
-            if placement is None:
+            if not self._start(task):
                 still_pending.append(task)
-                continue
-            record = TaskRecord(spec=task, state=TaskState.SCHEDULED)
-            record.node_ids = placement.node_ids
-            self._placements[task.uid] = placement
-            self.executor.start(record)
-            self.records.append(record)
-            self.utilization.record_start(
-                self.executor.now, placement.gpus, placement.cpus, task.stage
-            )
-            self._n_running = getattr(self, "_n_running", 0) + 1
         return still_pending
 
     def wait_one(self) -> TaskRecord:
-        """Block/advance until some running task finishes."""
+        """Block/advance until some running task finishes.
+
+        Applies the retry policy: a failed attempt with retries left is
+        re-queued (state :attr:`TaskState.RETRYING`, not final); an
+        exhausted one is dropped or, under ``fail_fast``, raises
+        :class:`TaskFailedError`.
+        """
         record = self.executor.next_completion()
         placement = self._placements[record.spec.uid]
         self.utilization.record_end(
@@ -144,27 +202,81 @@ class Pilot:
         )
         self._release(record.spec.uid)
         self._n_running -= 1
+        if record.state is TaskState.FAILED:
+            self.failures.record_failure(record.wall_time, record.timed_out)
+            if self.retry is not None and self.retry.should_retry(record.attempt):
+                backoff = self.retry.backoff(record.spec.uid, record.attempt)
+                self.failures.record_retry(backoff)
+                self.utilization.record_backoff(
+                    self.executor.now, backoff, record.spec.stage
+                )
+                self._retry_queue.append(
+                    (self.executor.now + backoff, record.spec, record.attempt + 1)
+                )
+                record.state = TaskState.RETRYING
+            else:
+                self.failures.record_drop(record.spec.stage)
+                if self.failure_policy == "fail_fast":
+                    raise TaskFailedError(
+                        f"task {record.spec.name} failed on attempt "
+                        f"{record.attempt} ({record.error}); fail_fast policy",
+                        record,
+                    )
+                if (
+                    self.failure_budget is not None
+                    and self.failures.n_dropped > self.failure_budget
+                ):
+                    raise TaskFailedError(
+                        f"failure budget exceeded: {self.failures.n_dropped} "
+                        f"tasks dropped, budget {self.failure_budget}",
+                        record,
+                    )
+        elif record.state is TaskState.DONE:
+            self.failures.record_success(record.attempt)
         return record
 
     @property
     def n_running(self) -> int:
         """Number of tasks currently executing."""
-        return getattr(self, "_n_running", 0)
+        return self._n_running
+
+    @property
+    def n_waiting_retry(self) -> int:
+        """Failed tasks waiting out their backoff before re-submission."""
+        return len(self._retry_queue)
+
+    def advance_to_next_retry(self) -> None:
+        """Idle the clock to the earliest retry-eligibility time."""
+        if not self._retry_queue:
+            raise RuntimeError("no retries waiting")
+        self.executor.wait_until(min(e for e, _, _ in self._retry_queue))
 
     # ------------------------------------------------------------- the loop
     def run(self, tasks: list[TaskSpec]) -> list[TaskRecord]:
-        """Run a workload to completion; returns records in finish order."""
+        """Run a workload to completion; returns records in finish order.
+
+        The returned list holds one *final* record per task (done, or
+        failed-after-retries under ``drop_and_continue``); intermediate
+        failed attempts live in :attr:`records` and are tallied in
+        :attr:`failures`.
+        """
         for t in tasks:
             self.validate_fits(t)
         pending: list[TaskSpec] = list(tasks)
         finished: list[TaskRecord] = []
-        while pending or self.n_running:
+        while pending or self.n_running or self._retry_queue:
             pending = self.submit_ready(pending)
             if self.n_running == 0:
+                if self._retry_queue:
+                    # everything idle until some backoff expires
+                    self.advance_to_next_retry()
+                    continue
                 raise RuntimeError(
                     "deadlock: tasks pending but nothing can be placed"
                 )
-            finished.append(self.wait_one())
+            record = self.wait_one()
+            if record.state is not TaskState.RETRYING:
+                finished.append(record)
         return finished
 
     # ----------------------------------------------------------- accounting
@@ -174,3 +286,14 @@ class Pilot:
         return sum(
             r.node_seconds(spec.gpus, spec.cpus) / 3600.0 for r in self.records
         )
+
+    # ------------------------------------------------------------- lifetime
+    def shutdown(self) -> None:
+        """Release the executor's resources (thread pool, if any)."""
+        self.executor.shutdown()
+
+    def __enter__(self) -> "Pilot":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -17,21 +17,34 @@ The paper's three scalability levers are all modelled:
 The simulated backend reproduces the queueing behaviour (near-linear
 scaling until masters saturate); the callable backend runs real Python
 functions on threads with the same bulk semantics.
+
+Both backends honor the fault layer: the simulation injects seeded
+failures via :class:`~repro.rct.fault.FaultModel` and both re-drive
+failed items under a :class:`~repro.rct.fault.RetryPolicy`, reporting
+every drop through :attr:`RaptorResult.failed_indices` and a
+:class:`~repro.rct.fault.FailureSummary` — a failed docking call is
+never left masquerading as a score.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.rct.fault import FailureSummary, FaultModel, RetryPolicy
 from repro.util.config import FrozenConfig, validate_positive
 
 __all__ = ["RaptorConfig", "RaptorResult", "simulate_raptor", "run_raptor"]
+
+#: stage label used in failure ledgers
+_STAGE = "raptor"
 
 
 @dataclass(frozen=True)
@@ -62,6 +75,14 @@ class RaptorResult:
     worker_busy: np.ndarray  # (n_workers,) busy seconds
     master_busy: np.ndarray  # (n_masters,) dispatch seconds
     results: list | None = None  # callable backend only
+    failed_indices: list[int] = field(default_factory=list)
+    # ^ items that permanently failed (retries exhausted or disabled)
+    failure_summary: FailureSummary | None = None
+
+    @property
+    def n_failed(self) -> int:
+        """Number of items that permanently failed."""
+        return len(self.failed_indices)
 
     @property
     def throughput(self) -> float:
@@ -82,18 +103,29 @@ def _partition_round_robin(n_items: int, n_masters: int) -> list[list[int]]:
 
 
 def simulate_raptor(
-    durations: Sequence[float], config: RaptorConfig
+    durations: Sequence[float],
+    config: RaptorConfig,
+    fault_model: FaultModel | None = None,
+    retry: RetryPolicy | None = None,
 ) -> RaptorResult:
     """Discrete-event simulation of a RAPTOR run.
 
     ``durations[i]`` is the execution time of item ``i`` (heterogeneous
     docking times — the long tail the paper's load balancing absorbs).
+    With a ``fault_model``, attempts may crash/straggle/hang; failed
+    items re-enter the queue after the ``retry`` policy's backoff (on the
+    virtual clock) until retries are exhausted.
     """
     durations = np.asarray(durations, dtype=np.float64)
     if len(durations) == 0:
         raise ValueError("no items to run")
     if (durations < 0).any():
         raise ValueError("durations must be non-negative")
+    timeout = retry.timeout if retry is not None else None
+    if fault_model is not None and fault_model.hang_rate > 0 and timeout is None:
+        raise ValueError(
+            "hang_rate > 0 needs a RetryPolicy timeout to reap hung attempts"
+        )
     n_items = len(durations)
     cfg = config
 
@@ -106,6 +138,12 @@ def simulate_raptor(
     # workers are partitioned evenly across masters
     worker_master = np.arange(cfg.n_workers) % cfg.n_masters
     worker_busy = np.zeros(cfg.n_workers)
+
+    summary = FailureSummary()
+    attempts: dict[int, int] = {}
+    failed_indices: list[int] = []
+    # failed items waiting out their backoff: (eligible_time, item)
+    retry_heap: list[tuple[float, int]] = []
 
     def next_bulk(master: int) -> list[int]:
         queue = master_queues[master]
@@ -136,17 +174,58 @@ def simulate_raptor(
                 len(master_queues[m]) - master_next[m] for m in range(cfg.n_masters)
             ]
             donor = int(np.argmax(remaining))
-            if remaining[donor] == 0:
-                makespan = max(makespan, now)
-                continue
-            master = donor
-            bulk = next_bulk(master)
-        # master dispatch: serial per master, costs dispatch_overhead
+            if remaining[donor] > 0:
+                master = donor
+                bulk = next_bulk(master)
+            else:
+                # nothing queued anywhere: drain the retry backlog
+                while retry_heap and retry_heap[0][0] <= now and len(bulk) < cfg.bulk_size:
+                    bulk.append(heapq.heappop(retry_heap)[1])
+                if not bulk:
+                    if retry_heap:
+                        # all failed work is in backoff; sleep to the
+                        # earliest eligibility and look again
+                        heapq.heappush(
+                            heap, (max(now, retry_heap[0][0]), next(seq), worker)
+                        )
+                        continue
+                    makespan = max(makespan, now)
+                    continue
+        # master dispatch: serial per master, costs dispatch_overhead;
+        # stolen bulks charge the donor master (it served the request)
         dispatch_start = max(now, master_free_at[master])
         dispatch_end = dispatch_start + cfg.dispatch_overhead
         master_free_at[master] = dispatch_end
         master_busy[master] += cfg.dispatch_overhead
-        work = float(durations[bulk].sum())
+        work = 0.0
+        for i in bulk:
+            attempt = attempts.get(i, 0)
+            if fault_model is None:
+                busy = float(durations[i])
+                if timeout is not None and busy > timeout:
+                    busy, failed, timed_out = timeout, True, True
+                else:
+                    failed = timed_out = False
+            else:
+                outcome = fault_model.draw(i, attempt, float(durations[i]))
+                busy, failed = outcome.busy, outcome.failed
+                timed_out = False
+                if timeout is not None and busy > timeout:
+                    busy, failed, timed_out = timeout, True, True
+            item_end = dispatch_end + work + busy
+            work += busy
+            if not failed:
+                summary.record_success(attempt)
+                continue
+            summary.record_failure(busy, timed_out)
+            if retry is not None and retry.should_retry(attempt):
+                backoff = retry.backoff(i, attempt)
+                summary.record_retry(backoff)
+                attempts[i] = attempt + 1
+                heapq.heappush(retry_heap, (item_end + backoff, i))
+            else:
+                summary.record_drop(_STAGE)
+                failed_indices.append(i)
         finish = dispatch_end + work
         worker_busy[worker] += work
         makespan = max(makespan, finish)
@@ -157,6 +236,8 @@ def simulate_raptor(
         n_items=n_items,
         worker_busy=worker_busy,
         master_busy=master_busy,
+        failed_indices=sorted(failed_indices),
+        failure_summary=summary,
     )
 
 
@@ -164,14 +245,21 @@ def run_raptor(
     items: Sequence,
     fn: Callable,
     config: RaptorConfig,
+    retry: RetryPolicy | None = None,
 ) -> RaptorResult:
     """Real execution: apply ``fn`` to every item with bulk semantics.
 
     Workers are threads; results are returned in item order.  This is
     the backend the campaign uses to RAPTOR-ize real docking calls.
-    """
-    import time
 
+    A raising item is retried per ``retry`` (the worker sleeps out the
+    backoff), then — retries exhausted — its slot in ``results`` holds
+    the exception object and its index lands in
+    :attr:`RaptorResult.failed_indices`, so failures are never
+    indistinguishable from legitimate return values.  Per-attempt
+    timeouts are not enforced here: a thread cannot be killed mid-call
+    (use the pilot's thread backend for abandonable tasks).
+    """
     items = list(items)
     if not items:
         raise ValueError("no items to run")
@@ -183,28 +271,74 @@ def run_raptor(
             bulks.append(queue[start : start + cfg.bulk_size])
 
     results: list = [None] * len(items)
-    worker_busy = np.zeros(cfg.n_workers)
+    summary = FailureSummary()
+    failed_indices: list[int] = []
+    ledger_lock = threading.Lock()
 
-    def run_bulk(bulk_and_slot: tuple[list[int], int]) -> None:
-        bulk, slot = bulk_and_slot
-        t0 = time.perf_counter()
-        for i in bulk:
+    # per-thread busy accounting: pool threads each accumulate into their
+    # own cell (registered on first use), merged after the pool closes —
+    # the shared-array `+=` it replaces raced across threads and indexed
+    # by bulk number rather than executing thread
+    tls = threading.local()
+    busy_cells: list[list[float]] = []
+
+    def busy_cell() -> list[float]:
+        cell = getattr(tls, "cell", None)
+        if cell is None:
+            cell = tls.cell = [0.0]
+            with ledger_lock:
+                busy_cells.append(cell)
+        return cell
+
+    def run_item(i: int) -> None:
+        attempt = 0
+        while True:
+            t0 = time.perf_counter()
             try:
-                results[i] = fn(items[i])
+                result = fn(items[i])
             except Exception as exc:  # noqa: BLE001 - task isolation: one
                 # failing item must not sink its bulk (RP "isolates the
                 # execution of each task")
+                elapsed = time.perf_counter() - t0
+                busy_cell()[0] += elapsed
+                with ledger_lock:
+                    summary.record_failure(elapsed)
+                if retry is not None and retry.should_retry(attempt):
+                    backoff = retry.backoff(i, attempt)
+                    with ledger_lock:
+                        summary.record_retry(backoff)
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    attempt += 1
+                    continue
                 results[i] = exc
-        worker_busy[slot % cfg.n_workers] += time.perf_counter() - t0
+                with ledger_lock:
+                    summary.record_drop(_STAGE)
+                    failed_indices.append(i)
+                return
+            busy_cell()[0] += time.perf_counter() - t0
+            results[i] = result
+            with ledger_lock:
+                summary.record_success(attempt)
+            return
+
+    def run_bulk(bulk: list[int]) -> None:
+        for i in bulk:
+            run_item(i)
 
     t_start = time.perf_counter()
     with ThreadPoolExecutor(max_workers=cfg.n_workers) as pool:
-        list(pool.map(run_bulk, [(b, s) for s, b in enumerate(bulks)]))
+        list(pool.map(run_bulk, bulks))
     makespan = time.perf_counter() - t_start
+    worker_busy = np.zeros(cfg.n_workers)
+    for slot, cell in enumerate(busy_cells):
+        worker_busy[slot] = cell[0]
     return RaptorResult(
         makespan=makespan,
         n_items=len(items),
         worker_busy=worker_busy,
         master_busy=np.zeros(cfg.n_masters),
         results=results,
+        failed_indices=sorted(failed_indices),
+        failure_summary=summary,
     )

@@ -27,6 +27,9 @@ class TaskState(enum.Enum):
     RUNNING = "running"
     DONE = "done"
     FAILED = "failed"
+    #: a failed attempt was re-queued by the retry policy; the scheduling
+    #: loops treat such records as in-flight, not final
+    RETRYING = "retrying"
 
 
 @dataclass
@@ -88,6 +91,8 @@ class TaskRecord:
     result: Any = None
     error: str | None = None
     node_ids: list[int] = field(default_factory=list)
+    attempt: int = 0  # 0-based execution attempt (> 0 after retries)
+    timed_out: bool = False
 
     @property
     def wall_time(self) -> float:

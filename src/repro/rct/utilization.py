@@ -62,6 +62,8 @@ class UtilizationTracker:
     total_cpus: int
     _events: list[tuple[float, int, int, str]] = field(default_factory=list)
     # each event: (time, gpu_delta, cpu_delta, stage)
+    _backoffs: list[tuple[float, float, str]] = field(default_factory=list)
+    # each backoff: (time, seconds, stage)
 
     def record_start(self, time: float, gpus: int, cpus: int, stage: str) -> None:
         """Log a task start (slots become busy)."""
@@ -70,6 +72,23 @@ class UtilizationTracker:
     def record_end(self, time: float, gpus: int, cpus: int, stage: str) -> None:
         """Log a task end (slots free up)."""
         self._events.append((time, -gpus, -cpus, stage))
+
+    def record_backoff(self, time: float, seconds: float, stage: str) -> None:
+        """Log retry backoff (slots idle while a failed task waits)."""
+        self._backoffs.append((time, seconds, stage))
+
+    @property
+    def backoff_seconds(self) -> float:
+        """Total clock seconds charged to retry backoff."""
+        return sum(b[1] for b in self._backoffs)
+
+    def backoff_by_stage(self) -> dict[str, float]:
+        """Backoff seconds aggregated per stage label."""
+        out: dict[str, float] = {}
+        for _, seconds, stage in self._backoffs:
+            key = stage or "(unlabelled)"
+            out[key] = out.get(key, 0.0) + seconds
+        return out
 
     @property
     def n_events(self) -> int:

@@ -1,0 +1,96 @@
+"""Campaign-level failure propagation policies.
+
+A stage work unit that raises is handled per ``CampaignConfig.failure_policy``:
+``fail_fast`` aborts the campaign with a :class:`TaskFailedError`, while
+``drop_and_continue`` records the drop in the failure ledger and keeps
+going — up to the per-stage failure budget.
+"""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, ImpeccableCampaign
+from repro.esmacs.protocol import EsmacsConfig, EsmacsRunner
+from repro.rct.fault import TaskFailedError
+
+_SMALL_ESMACS = dict(
+    equilibration_ns=1,
+    production_ns=4,
+    steps_per_ns=4,
+    n_residues=40,
+    record_every=4,
+    minimize_iterations=10,
+)
+
+
+def _config(**overrides):
+    base = dict(
+        library_size=24,
+        seed_train_size=8,
+        iterations=1,
+        cg_compounds=2,
+        s2_top_compounds=1,
+        s2_outliers_per_compound=1,
+        cg=EsmacsConfig(replicas=3, **_SMALL_ESMACS),
+        fg=EsmacsConfig(replicas=6, production_ns=10, **{
+            k: v for k, v in _SMALL_ESMACS.items() if k != "production_ns"
+        }),
+        compute_enrichment=False,
+        seed=0,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+def _fail_every(monkeypatch, nth):
+    """Patch EsmacsRunner.run so every ``nth``-th call raises."""
+    original = EsmacsRunner.run
+    calls = {"n": 0}
+
+    def flaky(self, *args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] % nth == 0:
+            raise RuntimeError("simulated node failure")
+        return original(self, *args, **kwargs)
+
+    monkeypatch.setattr(EsmacsRunner, "run", flaky)
+    return calls
+
+
+def test_config_rejects_bad_policy_and_budget():
+    with pytest.raises(ValueError, match="failure_policy"):
+        _config(failure_policy="retry_forever")
+    with pytest.raises(ValueError, match="budget"):
+        _config(failure_policy="drop_and_continue", stage_failure_budget=-1)
+
+
+def test_fail_fast_aborts_on_first_stage_failure(monkeypatch):
+    _fail_every(monkeypatch, nth=1)
+    campaign = ImpeccableCampaign(_config(failure_policy="fail_fast"))
+    with pytest.raises(TaskFailedError, match="S3-CG"):
+        campaign.run()
+
+
+def test_drop_and_continue_reports_every_drop(monkeypatch):
+    calls = _fail_every(monkeypatch, nth=2)
+    campaign = ImpeccableCampaign(_config(failure_policy="drop_and_continue"))
+    result = campaign.run()
+    summary = result.failure_summary
+    # something failed, the run still finished, and nothing vanished:
+    # every injected failure is accounted for as a drop
+    assert calls["n"] > 0
+    assert summary.n_dropped > 0
+    assert summary.reconciles()
+    dropped_cg = summary.dropped_by_stage.get("S3-CG", 0)
+    it = result.iterations[0]
+    assert len(it.cg_results) == campaign.config.cg_compounds - dropped_cg
+
+
+def test_stage_failure_budget_bounds_the_drops(monkeypatch):
+    _fail_every(monkeypatch, nth=1)
+    campaign = ImpeccableCampaign(
+        _config(failure_policy="drop_and_continue", stage_failure_budget=1)
+    )
+    with pytest.raises(TaskFailedError, match="budget"):
+        campaign.run()
+    # the budget allowed exactly one drop before aborting
+    assert campaign.failures.dropped_by_stage["S3-CG"] == 2

@@ -197,3 +197,36 @@ def test_pilot_continues_past_failed_tasks():
     assert states.count(TaskState.FAILED) == 1
     assert states.count(TaskState.DONE) == 5
     ex.shutdown()
+
+
+def test_pilot_failed_task_never_counted_as_done():
+    """Regression: a FAILED record must surface in the results AND the
+    failure ledger — never flow downstream as if it succeeded."""
+    cluster = Cluster(1, NodeSpec(cpus=2, gpus=0))
+
+    def boom():
+        raise RuntimeError("task crashed")
+
+    with Pilot(cluster.allocate(1, 0.0), ThreadExecutor(max_workers=2)) as pilot:
+        records = pilot.run(
+            [TaskSpec(cpus=1, fn=boom, stage="S1")]
+            + [TaskSpec(cpus=1, fn=lambda: 42, stage="S1") for _ in range(3)]
+        )
+    failed = [r for r in records if r.state is TaskState.FAILED]
+    assert len(failed) == 1
+    assert failed[0].result is None and "task crashed" in failed[0].error
+    assert pilot.failures.n_dropped == 1
+    assert pilot.failures.dropped_by_stage == {"S1": 1}
+    assert pilot.failures.reconciles()
+
+
+def test_pilot_multi_node_per_node_overcommit_rejected():
+    """Regression: a multi-node task whose per-node cpus/gpus exceed the
+    node spec must fail validation, not surface later as a misleading
+    'deadlock' RuntimeError."""
+    pilot = _pilot(n_nodes=4)  # nodes hold 4 cpus / 2 gpus
+    bad = TaskSpec(nodes=2, cpus=8, gpus=2, duration=1.0)
+    with pytest.raises(ValueError, match="per node"):
+        pilot.run([bad])
+    with pytest.raises(ValueError, match="per node"):
+        pilot.validate_fits(TaskSpec(nodes=3, cpus=4, gpus=99, duration=1.0))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.rct.fault import FaultModel, RetryPolicy
 from repro.rct.raptor import RaptorConfig, run_raptor, simulate_raptor
 from repro.util.rng import rng_stream
 
@@ -130,3 +131,130 @@ def test_run_raptor_isolates_task_failures():
     assert isinstance(res.results[7], ValueError)
     ok = [r for i, r in enumerate(res.results) if i != 7]
     assert ok == [i + 1 for i in range(20) if i != 7]
+    # the failure is flagged, not just stored as an opaque object
+    assert res.failed_indices == [7]
+    assert res.n_failed == 1
+    assert res.failure_summary.n_dropped == 1
+    assert res.failure_summary.reconciles()
+
+
+def test_run_raptor_busy_time_charged_per_thread():
+    """Per-worker busy time must land on executing threads (not be
+    indexed by bulk number) and conserve total work."""
+    import time as _time
+
+    def work(x):
+        _time.sleep(0.005)
+        return x
+
+    cfg = RaptorConfig(n_workers=3, bulk_size=4)
+    res = run_raptor(list(range(36)), work, cfg)
+    assert res.worker_busy.shape == (3,)
+    # 36 items × ≥5 ms spread over 3 threads: every thread did real work,
+    # and no cell got more than the wall-clock span (the old bulk-indexed
+    # accounting piled many bulks' time into a few slots)
+    assert res.worker_busy.sum() >= 36 * 0.005
+    assert (res.worker_busy <= res.makespan + 0.05).all()
+    assert (res.worker_busy > 0).sum() == 3
+
+
+def test_run_raptor_retries_transient_failures():
+    calls = {}
+
+    def flaky(x):
+        calls[x] = calls.get(x, 0) + 1
+        if x % 5 == 2 and calls[x] == 1:
+            raise ValueError("transient")
+        if x == 13:
+            raise ValueError("permanent")
+        return x * 2
+
+    res = run_raptor(
+        list(range(30)),
+        flaky,
+        RaptorConfig(n_workers=4, bulk_size=6),
+        retry=RetryPolicy(max_retries=2, backoff_base=0.0),
+    )
+    assert res.failed_indices == [13]
+    ok = [r for i, r in enumerate(res.results) if i != 13]
+    assert ok == [i * 2 for i in range(30) if i != 13]
+    s = res.failure_summary
+    assert s.n_retries > 0 and s.n_dropped == 1 and s.reconciles()
+
+
+def test_simulate_raptor_injected_failures_retry_and_reconcile():
+    d = np.full(2000, 0.2)
+    cfg = RaptorConfig(n_workers=20, bulk_size=8)
+    clean = simulate_raptor(d, cfg)
+    res = simulate_raptor(
+        d,
+        cfg,
+        fault_model=FaultModel(failure_rate=0.05, seed=2),
+        retry=RetryPolicy(max_retries=3, backoff_base=0.1, seed=2),
+    )
+    s = res.failure_summary
+    assert s.n_failures > 50  # ~5 % of 2000+ attempts
+    assert s.n_failures == s.n_retries + s.n_dropped
+    assert res.n_failed == s.n_dropped
+    # failed attempts burn partial work, so busy exceeds the clean total
+    assert res.worker_busy.sum() > clean.worker_busy.sum()
+    assert res.makespan < 2.0 * clean.makespan
+
+
+def test_simulate_raptor_drops_reported_when_retries_disabled():
+    d = np.full(100, 0.5)
+    res = simulate_raptor(
+        d,
+        RaptorConfig(n_workers=4, bulk_size=8),
+        fault_model=FaultModel(failure_rate=1.0, seed=0),
+    )
+    assert res.n_failed == 100
+    assert res.failed_indices == list(range(100))
+    assert res.failure_summary.n_dropped == 100
+    assert res.failure_summary.reconciles()
+
+
+def test_simulate_raptor_hang_needs_timeout():
+    with pytest.raises(ValueError, match="timeout"):
+        simulate_raptor(
+            [1.0],
+            RaptorConfig(n_workers=1),
+            fault_model=FaultModel(hang_rate=0.5, seed=0),
+        )
+    res = simulate_raptor(
+        np.full(50, 1.0),
+        RaptorConfig(n_workers=4, bulk_size=4),
+        fault_model=FaultModel(hang_rate=0.3, seed=1),
+        retry=RetryPolicy(max_retries=10, backoff_base=0.1, timeout=3.0, seed=1),
+    )
+    assert res.n_failed == 0
+    assert res.failure_summary.n_timeouts > 0
+    assert res.failure_summary.reconciles()
+
+
+def test_simulate_raptor_stealing_charges_donor_and_conserves_busy():
+    """Work-stealing accounting: stolen bulks charge dispatch to the
+    donor master, and per-worker busy time conserves total work."""
+    # master 1's items are 100× longer: master 0's workers finish their
+    # own queue and must steal from master 1
+    d = np.full(400, 0.01)
+    d[1::2] = 1.0
+    cfg = RaptorConfig(
+        n_workers=8, n_masters=2, bulk_size=4, dispatch_overhead=0.05
+    )
+    res = simulate_raptor(d, cfg)
+    # busy time is conserved exactly (no faults)
+    assert res.worker_busy.sum() == pytest.approx(d.sum())
+    # every dispatch charged 0.05s to some master; total dispatches =
+    # total bulks, regardless of who executed them
+    n_bulks_served = res.master_busy.sum() / cfg.dispatch_overhead
+    assert n_bulks_served == pytest.approx(np.ceil(200 / 4) * 2)
+    # dispatch is charged to the queue's owner even for stolen bulks, so
+    # each master is charged exactly its own 50 bulks — the heavy master
+    # is NOT under-charged just because light-side workers executed its
+    # items
+    assert res.master_busy[0] == pytest.approx(50 * cfg.dispatch_overhead)
+    assert res.master_busy[1] == pytest.approx(50 * cfg.dispatch_overhead)
+    # and the stealing really happened: master 0's workers (even slots)
+    # executed far more than their own queue's 2s of work
+    assert res.worker_busy[0::2].sum() > 10.0
