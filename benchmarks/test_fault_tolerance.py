@@ -9,7 +9,6 @@ rather than collapsing.
 """
 
 import numpy as np
-import pytest
 
 from repro.rct import (
     Cluster,

@@ -54,7 +54,7 @@ def experiment():
 
 def test_more_physics_data_better_surrogate(benchmark, experiment):
     recalls, corrs = experiment
-    table = benchmark(lambda: (recalls, corrs))
+    benchmark(lambda: (recalls, corrs))
     print("\nactive-learning feedback: surrogate quality vs training size")
     for n in SLICES:
         print(f"  {n:4d} docked compounds: recall@10% = {recalls[n]:.2f}, "

@@ -9,7 +9,6 @@ refines exactly those — the paper's Fig 6 comparison.
 Run:  python examples/free_energy_pipeline.py
 """
 
-import numpy as np
 
 from repro.chem import generate_library, parse_smiles
 from repro.ddmd import AAEConfig, AdaptiveConfig, run_s2

@@ -1,0 +1,40 @@
+"""repro.analysis — AST-based project lint engine with domain checkers.
+
+Generic linters cannot express this codebase's correctness invariants:
+simulated stages must advance only the executor clock, campaigns must
+replay bit-identically from a seed, shared ledgers touched from worker
+threads must be lock-guarded, hot kernels must stay vectorized, and
+task/stage/pipeline literals must fit the cluster shape they target.
+This package checks all of that statically — parse once, dispatch every
+registered checker over a single AST walk — so the bug class PR 1 fixed
+in production (`run_raptor` busy-accounting race, `validate_fits`
+overcommit) is caught at lint time instead.
+
+Run it as ``repro-lint`` or ``python -m repro.analysis``; configure via
+``[tool.repro-lint]`` in pyproject.toml; suppress single findings with
+``# repro: disable=<rule>``.
+"""
+
+from repro.analysis.config import AnalysisConfig, ConfigError
+from repro.analysis.engine import (
+    AnalysisResult,
+    FileContext,
+    analyze_file,
+    analyze_source,
+    run_analysis,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "ConfigError",
+    "FileContext",
+    "Finding",
+    "analyze_file",
+    "analyze_source",
+    "render_json",
+    "render_text",
+    "run_analysis",
+]

@@ -1,0 +1,138 @@
+"""Shared AST helpers: import resolution, literals, lexical context.
+
+Checkers reason about *qualified names* (``time.sleep``,
+``numpy.random.rand``) rather than surface spellings, so aliased
+imports (``import numpy as np``, ``from time import sleep as snooze``)
+cannot dodge a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "collect_imports",
+    "qualified_name",
+    "literal_number",
+    "iter_parents",
+    "enclosing_function",
+    "function_locals",
+]
+
+
+def collect_imports(tree: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted origin they were imported as.
+
+    ``import numpy as np`` → ``{"np": "numpy"}``;
+    ``from time import sleep`` → ``{"sleep": "time.sleep"}``.
+    Relative imports keep their leading dots stripped (module-local
+    names are not resolvable without package context, and no rule
+    targets them).
+    """
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname is None and "." in alias.name:
+                    # `import a.b.c` binds `a`; record the full path too
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                origin = f"{base}.{alias.name}" if base else alias.name
+                imports[alias.asname or alias.name] = origin
+    return imports
+
+
+def qualified_name(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Resolve a Name/Attribute chain to a dotted name, or ``None``.
+
+    The chain root is looked up in ``imports``; an unimported root
+    keeps its surface name (so ``run_raptor(...)`` resolves to
+    ``run_raptor`` even when defined in-file).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(imports.get(node.id, node.id))
+    return ".".join(reversed(parts))
+
+
+def literal_number(node: ast.AST | None) -> float | None:
+    """Evaluate an int/float literal (including unary minus), else ``None``."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = literal_number(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def iter_parents(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk the parent chain set by the engine (innermost first)."""
+    current = getattr(node, "_repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "_repro_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> ast.AST | None:
+    """The innermost function/lambda lexically containing ``node``."""
+    for parent in iter_parents(node):
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return parent
+    return None
+
+
+def function_locals(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names local to ``fn``: parameters plus names it binds.
+
+    Names declared ``nonlocal``/``global`` are excluded — they are
+    shared state even though assigned here.  Bindings inside *nested*
+    functions are not credited to ``fn``.
+    """
+    args = fn.args
+    names = {
+        a.arg
+        for a in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        )
+    }
+    shared: set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(child.name)  # the def binds its name locally
+                continue  # but its body is another scope
+            if isinstance(child, ast.Lambda):
+                continue
+            if isinstance(child, (ast.Nonlocal, ast.Global)):
+                shared.update(child.names)
+            elif isinstance(child, ast.Name) and isinstance(
+                child.ctx, ast.Store
+            ):
+                names.add(child.id)
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                names.add(child.name)
+            visit(child)
+
+    visit(fn)
+    return names - shared

@@ -1,0 +1,58 @@
+"""Checker registry.
+
+Every domain checker registers here; the engine instantiates the full
+set fresh per file (checkers carry per-file state).  ``--rules`` on the
+CLI selects a subset by rule name.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.checkers.clock import ClockPurityChecker
+from repro.analysis.checkers.determinism import DeterminismChecker
+from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.vectorization import VectorizationChecker
+from repro.analysis.checkers.workflow import WorkflowShapeChecker
+
+__all__ = [
+    "Checker",
+    "ClockPurityChecker",
+    "DeterminismChecker",
+    "LockDisciplineChecker",
+    "VectorizationChecker",
+    "WorkflowShapeChecker",
+    "CHECKER_CLASSES",
+    "all_checkers",
+    "checkers_for",
+    "rule_names",
+]
+
+#: the full registry, in report order
+CHECKER_CLASSES: tuple[type[Checker], ...] = (
+    ClockPurityChecker,
+    DeterminismChecker,
+    LockDisciplineChecker,
+    VectorizationChecker,
+    WorkflowShapeChecker,
+)
+
+
+def rule_names() -> list[str]:
+    """All registered rule names."""
+    return [cls.rule for cls in CHECKER_CLASSES]
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker."""
+    return [cls() for cls in CHECKER_CLASSES]
+
+
+def checkers_for(rules: list[str]) -> list[Checker]:
+    """Fresh instances for the named rules (unknown names raise)."""
+    by_rule = {cls.rule: cls for cls in CHECKER_CLASSES}
+    unknown = [r for r in rules if r not in by_rule]
+    if unknown:
+        raise ValueError(
+            f"unknown rules {unknown}; available: {sorted(by_rule)}"
+        )
+    return [by_rule[r]() for r in rules]

@@ -1,0 +1,36 @@
+"""Checker protocol.
+
+A checker is a small stateful object created fresh for every file.  The
+engine introspects its ``visit_<NodeType>`` methods once per file and
+calls each with ``(node, ctx)`` during the single AST walk;
+``begin_file``/``end_file`` bracket the walk for setup and whole-file
+rules.  Checkers report through :meth:`FileContext.report` and never
+filter suppressions themselves.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import FileContext
+
+__all__ = ["Checker"]
+
+
+class Checker:
+    """Base class: one rule, per-file state."""
+
+    #: rule name used in findings, config disables and suppressions
+    rule: str = ""
+    #: one-line description shown by ``repro-lint --list-rules``
+    description: str = ""
+    #: default severity of this rule's findings
+    severity: str = "error"
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Per-file setup (import tables, allowlist checks)."""
+
+    def end_file(self, ctx: FileContext) -> None:
+        """Whole-file rules that need the complete walk first."""
+
+    def report(self, ctx: FileContext, node, message: str) -> None:
+        """Report a finding under this checker's rule and severity."""
+        ctx.report(self.rule, node, message, severity=self.severity)

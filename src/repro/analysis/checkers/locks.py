@@ -1,0 +1,200 @@
+"""lock-discipline: shared read-modify-writes on worker threads need a lock.
+
+PR 1's ``run_raptor`` race is the archetype: a function submitted to a
+thread pool did ``worker_busy[slot] += work`` on a closed-over array —
+a read-modify-write that loses updates under concurrency.  This checker
+statically rebuilds that pattern:
+
+1. find functions handed to thread pools (``pool.submit``/``pool.map``/
+   ``apply_async``…), ``threading.Thread(target=…)``, or the RAPTOR
+   overlay (``run_raptor(items, fn)``);
+2. close them over intra-file calls (a worker calling a helper runs the
+   helper on the worker thread);
+3. inside every thread-reachable function, flag augmented assignments
+   (``+=`` and friends) whose target is subscript/attribute state rooted
+   at a *non-local* name — closure or module globals shared across
+   workers — unless the write is under a held lock (a ``with`` whose
+   context names a lock/mutex/guard/semaphore) or the root is a
+   thread-local accumulator (``tls…``/``…local…`` naming).
+
+Plain element stores (``results[i] = value``) are deliberately not
+flagged: distinct-slot writes from distinct workers are the idiomatic
+lock-free pattern.  The rule targets read-modify-write, which is never
+safe unguarded.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.astutil import (
+    collect_imports,
+    function_locals,
+    iter_parents,
+    qualified_name,
+)
+from repro.analysis.checkers.base import Checker
+from repro.analysis.engine import FileContext
+
+__all__ = ["LockDisciplineChecker"]
+
+#: executor/pool methods whose callable argument runs on another thread
+_SUBMIT_METHODS = frozenset(
+    {"submit", "map", "apply_async", "starmap", "imap", "imap_unordered"}
+)
+
+#: callables whose argument runs on RAPTOR worker threads: name → index
+#: of the positional argument that is the worker function
+_WORKER_FUNCS = {"run_raptor": 1, "repro.rct.raptor.run_raptor": 1}
+
+_THREAD_CTORS = frozenset({"threading.Thread", "Thread"})
+
+_LOCK_NAME = re.compile(r"(lock|mutex|guard|sem)", re.IGNORECASE)
+_THREAD_LOCAL_NAME = re.compile(r"(^|_)(tls|local)", re.IGNORECASE)
+
+_FunctionNode = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class LockDisciplineChecker(Checker):
+    """Heuristic race detector for thread-submitted functions."""
+
+    rule = "lock-discipline"
+    description = (
+        "augmented assignments to shared state inside thread-pool/RAPTOR "
+        "worker functions must hold a lock or use thread-local storage"
+    )
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._imports = collect_imports(ctx.tree)
+        # every function definition in the file, by name (the heuristic
+        # tolerates collisions: any same-named def is considered)
+        self._defs: dict[str, list[ast.AST]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, _FunctionNode):
+                self._defs.setdefault(node.name, []).append(node)
+        self._root_names: set[str] = set()
+
+    # ------------------------------------------------------ root collection
+    def visit_Call(self, node: ast.Call, ctx: FileContext) -> None:
+        """Collect names of functions handed to threads (pass 1)."""
+        candidates: list[ast.AST] = []
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SUBMIT_METHODS
+        ):
+            if node.args:
+                candidates.append(node.args[0])
+        qname = qualified_name(node.func, self._imports)
+        if qname in _THREAD_CTORS:
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    candidates.append(kw.value)
+        if qname in _WORKER_FUNCS:
+            index = _WORKER_FUNCS[qname]
+            if len(node.args) > index:
+                candidates.append(node.args[index])
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    candidates.append(kw.value)
+        for candidate in candidates:
+            if isinstance(candidate, ast.Name):
+                self._root_names.add(candidate.id)
+
+    # --------------------------------------------------------- verification
+    def end_file(self, ctx: FileContext) -> None:
+        reachable = self._reachable_functions()
+        seen: set[int] = set()
+        for fn in reachable:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.AugAssign) and id(node) not in seen:
+                    seen.add(id(node))
+                    self._check_aug(node, ctx)
+
+    def _reachable_functions(self) -> list[ast.AST]:
+        """Thread roots plus every in-file function they (transitively) call."""
+        frontier = [
+            fn for name in self._root_names for fn in self._defs.get(name, ())
+        ]
+        reachable: list[ast.AST] = []
+        visited: set[int] = set()
+        while frontier:
+            fn = frontier.pop()
+            if id(fn) in visited:
+                continue
+            visited.add(id(fn))
+            reachable.append(fn)
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Name
+                ):
+                    frontier.extend(self._defs.get(node.func.id, ()))
+        return reachable
+
+    def _check_aug(self, node: ast.AugAssign, ctx: FileContext) -> None:
+        root = self._target_root(node.target)
+        if root is None:
+            return
+        containing = self._containing_function(node)
+        if containing is None:
+            return
+        if isinstance(node.target, ast.Name):
+            # `x += 1` races only when x is declared nonlocal/global
+            declared_shared = any(
+                isinstance(stmt, (ast.Nonlocal, ast.Global))
+                and node.target.id in stmt.names
+                for stmt in ast.walk(containing)
+            )
+            if not declared_shared:
+                return
+        elif root.id in function_locals(containing):
+            return  # container created in this very call; not shared
+        if _THREAD_LOCAL_NAME.search(root.id):
+            return  # thread-local accumulator by naming convention
+        if self._under_lock(node, containing):
+            return
+        op = type(node.op).__name__
+        self.report(
+            ctx,
+            node,
+            f"read-modify-write ({op}) on shared '{root.id}' inside "
+            "thread-submitted code without a held lock; guard it with "
+            "`with <lock>:` or accumulate into thread-local state and "
+            "merge after the pool drains",
+        )
+
+    @staticmethod
+    def _target_root(target: ast.AST) -> ast.Name | None:
+        """Peel subscripts/attributes down to the root name, if any."""
+        node = target
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            node = node.value
+        return node if isinstance(node, ast.Name) else None
+
+    @staticmethod
+    def _containing_function(node: ast.AST) -> ast.AST | None:
+        for parent in iter_parents(node):
+            if isinstance(parent, _FunctionNode):
+                return parent
+        return None
+
+    def _under_lock(self, node: ast.AST, containing: ast.AST) -> bool:
+        """Whether ``node`` sits inside a ``with <lock-like>`` in scope."""
+        for parent in iter_parents(node):
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                for item in parent.items:
+                    if self._looks_like_lock(item.context_expr):
+                        return True
+            if parent is containing:
+                break
+        return False
+
+    @staticmethod
+    def _looks_like_lock(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if isinstance(expr, ast.Attribute):
+            return bool(_LOCK_NAME.search(expr.attr))
+        if isinstance(expr, ast.Name):
+            return bool(_LOCK_NAME.search(expr.id))
+        return False

@@ -1,0 +1,97 @@
+"""vectorization: no elementwise Python loops over arrays in hot modules.
+
+The repo's performance story (DESIGN.md "Conventions") is batch-native
+NumPy kernels: docking scores whole GA populations per call, the MD
+force loop is a dense pairwise evaluation.  An elementwise
+``for i in range(n): arr[i]…`` loop in those packages is usually a
+100–1000× slowdown hiding in plain sight.
+
+The rule fires only inside configured ``hot-modules`` and only on
+``for`` statements over ``range(...)``/``enumerate(...)`` whose body
+indexes something with the loop variable — the signature of elementwise
+traversal.  Genuinely sequential algorithms (recurrences, random walks
+where step *i* needs step *i-1*) are the known false-positive class:
+suppress them inline with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.engine import FileContext
+
+__all__ = ["VectorizationChecker"]
+
+
+class VectorizationChecker(Checker):
+    """Flag elementwise index loops in hot modules."""
+
+    rule = "vectorization"
+    description = (
+        "elementwise Python for-loops indexing arrays in hot modules "
+        "(docking/nn/md) should be vectorized"
+    )
+    severity = "warning"
+
+    def begin_file(self, ctx: FileContext) -> None:
+        self._hot = ctx.module_in(ctx.config.hot_modules)
+
+    def visit_For(self, node: ast.For, ctx: FileContext) -> None:
+        if not self._hot:
+            return
+        var = self._index_variable(node)
+        if var is None:
+            return
+        offender = self._first_indexed_use(node, var)
+        if offender is None:
+            return
+        self.report(
+            ctx,
+            node,
+            f"elementwise loop: '{ast.unparse(offender)}' indexes with "
+            f"loop variable '{var}'; vectorize over the array axis "
+            "(ufuncs / fancy indexing) or suppress with a reason if the "
+            "recurrence is genuinely sequential",
+        )
+
+    @staticmethod
+    def _index_variable(node: ast.For) -> str | None:
+        """The integer loop variable of a range/enumerate loop, if any."""
+        if not (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+        ):
+            return None
+        fn = node.iter.func.id
+        if fn == "range" and isinstance(node.target, ast.Name):
+            return node.target.id
+        if (
+            fn == "enumerate"
+            and isinstance(node.target, ast.Tuple)
+            and node.target.elts
+            and isinstance(node.target.elts[0], ast.Name)
+        ):
+            return node.target.elts[0].id
+        return None
+
+    @staticmethod
+    def _first_indexed_use(node: ast.For, var: str) -> ast.Subscript | None:
+        """First subscript in the loop body whose index uses ``var``.
+
+        String-typed indexes (``state[f"p{i}"]``) are dict access, not
+        elementwise array traversal, and are skipped.
+        """
+        for stmt in node.body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Subscript):
+                    continue
+                if isinstance(sub.slice, ast.JoinedStr) or (
+                    isinstance(sub.slice, ast.Constant)
+                    and isinstance(sub.slice.value, str)
+                ):
+                    continue
+                for part in ast.walk(sub.slice):
+                    if isinstance(part, ast.Name) and part.id == var:
+                        return sub
+        return None

@@ -1,0 +1,290 @@
+"""The analysis engine: parse once, dispatch to every checker.
+
+Each file is read and parsed into an AST exactly once; every checker
+registers interest in node types through its ``visit_<NodeType>``
+methods and the engine drives them all during a single walk (the
+pylint/ruff architecture, scaled to domain rules).  Checkers never
+re-parse, never re-read, and never see suppressed findings — inline
+``# repro: disable=<rule>`` comments and the config's global disables
+are filtered here, after collection, so suppression counts stay
+observable.
+
+Suppression syntax (comma-separated rule names, or ``all``):
+
+* ``some_code()  # repro: disable=clock-purity`` — suppress on this line;
+* ``# repro: disable-file=vectorization`` — anywhere in the file,
+  suppress for the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig, module_matches
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "AnalysisResult",
+    "FileContext",
+    "analyze_file",
+    "analyze_source",
+    "run_analysis",
+]
+
+_SUPPRESS_LINE = re.compile(r"#\s*repro:\s*disable=([\w\-, ]+)")
+_SUPPRESS_FILE = re.compile(r"#\s*repro:\s*disable-file=([\w\-, ]+)")
+
+#: rule name reserved for files the engine cannot parse
+PARSE_ERROR_RULE = "parse-error"
+
+
+def _split_rules(spec: str) -> set[str]:
+    return {part.strip() for part in spec.split(",") if part.strip()}
+
+
+@dataclass
+class FileContext:
+    """Everything checkers may know about the file being analyzed."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    config: AnalysisConfig
+    lines: list[str] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    #: line number → set of rules suppressed on that line
+    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
+    #: rules suppressed for the whole file
+    file_suppressions: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        for lineno, text in enumerate(self.lines, start=1):
+            m = _SUPPRESS_FILE.search(text)
+            if m:
+                self.file_suppressions |= _split_rules(m.group(1))
+                continue
+            m = _SUPPRESS_LINE.search(text)
+            if m:
+                self.line_suppressions.setdefault(lineno, set()).update(
+                    _split_rules(m.group(1))
+                )
+
+    # ------------------------------------------------------------- reporting
+    def report(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
+    ) -> None:
+        """Record one finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                rule=rule,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                severity=severity,
+            )
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment suppresses this finding."""
+        for rules in (
+            self.file_suppressions,
+            self.line_suppressions.get(finding.line, ()),
+        ):
+            if finding.rule in rules or "all" in rules:
+                return True
+        return False
+
+    def module_in(self, prefixes: list[str]) -> bool:
+        """Whether this file's module falls under any prefix."""
+        return module_matches(self.module, prefixes)
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+    n_suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean."""
+        return not self.findings
+
+    def merge(self, other: "AnalysisResult") -> None:
+        """Fold another result into this one."""
+        self.findings.extend(other.findings)
+        self.n_files += other.n_files
+        self.n_suppressed += other.n_suppressed
+
+
+def _set_parents(tree: ast.Module) -> None:
+    """Annotate every node with its parent (checkers walk upward freely)."""
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child._repro_parent = node  # type: ignore[attr-defined]
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    The component after the last ``src`` directory starts the module
+    (``src/repro/md/system.py`` → ``repro.md.system``); without a
+    ``src`` anchor the whole relative path is used.  ``__init__.py``
+    maps to its package.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    parts = [p for p in parts if p not in (".", "..", "/")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def analyze_source(
+    source: str,
+    checkers: list,
+    config: AnalysisConfig | None = None,
+    module: str = "<module>",
+    path: str = "<string>",
+) -> AnalysisResult:
+    """Analyze one source string with the given checker instances."""
+    config = config or AnalysisConfig()
+    result = AnalysisResult(n_files=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                message=f"cannot parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 0,
+                col=(exc.offset or 1) - 1,
+            )
+        )
+        return result
+    _set_parents(tree)
+    ctx = FileContext(
+        path=path, module=module, source=source, tree=tree, config=config
+    )
+
+    # dispatch table: node type name → bound visit methods, built once
+    handlers: dict[str, list] = {}
+    for checker in checkers:
+        for attr in dir(checker):
+            if attr.startswith("visit_"):
+                handlers.setdefault(attr[len("visit_"):], []).append(
+                    getattr(checker, attr)
+                )
+
+    for checker in checkers:
+        begin = getattr(checker, "begin_file", None)
+        if begin is not None:
+            begin(ctx)
+    for node in ast.walk(tree):
+        for handler in handlers.get(type(node).__name__, ()):
+            handler(node, ctx)
+    for checker in checkers:
+        end = getattr(checker, "end_file", None)
+        if end is not None:
+            end(ctx)
+
+    disabled = set(config.disable)
+    for finding in ctx.findings:
+        if finding.rule in disabled or ctx.is_suppressed(finding):
+            result.n_suppressed += 1
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def analyze_file(
+    path: Path,
+    checkers: list,
+    config: AnalysisConfig | None = None,
+    display_root: Path | None = None,
+) -> AnalysisResult:
+    """Analyze one file (fresh checker state per file is the caller's job)."""
+    display = path
+    if display_root is not None:
+        try:
+            display = path.resolve().relative_to(display_root.resolve())
+        except ValueError:
+            display = path
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return AnalysisResult(
+            findings=[
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    message=f"cannot read: {exc}",
+                    path=str(display),
+                    line=0,
+                )
+            ],
+            n_files=1,
+        )
+    return analyze_source(
+        source,
+        checkers,
+        config,
+        module=module_name_for(display),
+        path=str(display),
+    )
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    """Expand directories into sorted ``*.py`` files; keep explicit files."""
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def run_analysis(
+    paths: list[Path],
+    config: AnalysisConfig | None = None,
+    checker_factory=None,
+) -> AnalysisResult:
+    """Analyze every Python file under ``paths``; findings come sorted.
+
+    ``checker_factory`` returns fresh checker instances per file (the
+    default is the full registry from :mod:`repro.analysis.checkers`);
+    checkers carry per-file state, so instances are never reused across
+    files.
+    """
+    if checker_factory is None:
+        from repro.analysis.checkers import all_checkers
+
+        checker_factory = all_checkers
+    config = config or AnalysisConfig()
+    result = AnalysisResult()
+    for path in discover(paths):
+        result.merge(
+            analyze_file(
+                path, checker_factory(), config, display_root=config.root
+            )
+        )
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result

@@ -1,0 +1,61 @@
+"""Finding: one rule violation at one source location.
+
+Findings are plain data — checkers produce them, the engine filters
+suppressed/disabled ones, reporters render the survivors.  Ordering is
+by (path, line, column, rule) so output is stable across runs and the
+JSON reporter can be diffed against a checked-in baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: ``error`` findings fail the build; ``warning`` findings fail it too
+#: (a clean baseline is the contract) but signal advisory heuristics
+#: whose fix may legitimately be an inline suppression with a reason.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.line < 0 or self.col < 0:
+            raise ValueError("line/col must be non-negative")
+
+    @property
+    def sort_key(self) -> tuple:
+        """Stable ordering: location first, then rule."""
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line text rendering (``path:line:col: rule message``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"[{self.rule}] {self.message}"
+        )

@@ -1,0 +1,48 @@
+"""Reporters: render an :class:`AnalysisResult` for humans or machines.
+
+The JSON shape is stable (``{"findings": [...], "summary": {...}}``) so
+CI can diff runs and a checked-in baseline stays reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(result: AnalysisResult) -> str:
+    """``path:line:col: [rule] message`` lines plus a summary line."""
+    lines = [finding.render() for finding in result.findings]
+    n_err = sum(1 for f in result.findings if f.severity == "error")
+    n_warn = len(result.findings) - n_err
+    lines.append(
+        f"{len(result.findings)} finding(s) "
+        f"({n_err} error, {n_warn} warning) in {result.n_files} file(s); "
+        f"{result.n_suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Stable machine-readable rendering."""
+    payload = {
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "n_findings": len(result.findings),
+            "n_errors": sum(
+                1 for f in result.findings if f.severity == "error"
+            ),
+            "n_warnings": sum(
+                1 for f in result.findings if f.severity == "warning"
+            ),
+            "n_files": result.n_files,
+            "n_suppressed": result.n_suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json}

@@ -20,8 +20,6 @@ structures (docked poses seed CG; S2-selected frames seed FG).
 """
 
 from __future__ import annotations
-
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -44,8 +42,14 @@ from repro.surrogate.train import TrainConfig, TrainedSurrogate, train_surrogate
 from repro.util.config import FrozenConfig, validate_positive, validate_range
 from repro.util.log import get_logger
 from repro.util.rng import RngFactory
+from repro.util.timer import WallClock
 
 _log = get_logger("core.campaign")
+
+#: stage wall-times measure *real* computation (docking, MD, training);
+#: the sanctioned wall-clock utility keeps campaign code clock-pure
+#: under the clock-purity lint rule
+_clock = WallClock()
 
 __all__ = ["CampaignConfig", "IterationResult", "CampaignResult", "ImpeccableCampaign"]
 
@@ -352,9 +356,9 @@ class ImpeccableCampaign:
             self._iter_drops = {}  # the failure budget is per iteration
             metrics = CampaignMetrics(iteration=it)
             # ---------------------------------------------------------- ML1
-            t0 = time.perf_counter()
+            t0 = _clock.now()
             selected = self._ml1_select(surrogate)
-            ml1_wall = time.perf_counter() - t0
+            ml1_wall = _clock.now() - t0
             n_ranked = len(self.library) - len(self._docked_ids) + len(selected)
             metrics.stages["ML1"] = StageAccounting(
                 stage="ML1",
@@ -367,10 +371,10 @@ class ImpeccableCampaign:
 
             # ----------------------------------------------------------- S1
             _log.info("S1: docking %d ML1-selected compounds", len(selected))
-            t0 = time.perf_counter()
+            t0 = _clock.now()
             docked = self._dock_batch(selected)
             self._all_dock_results.extend(docked)
-            s1_wall = time.perf_counter() - t0
+            s1_wall = _clock.now() - t0
             metrics.stages["S1"] = StageAccounting(
                 stage="S1",
                 n_ligands=len(docked),
@@ -388,7 +392,7 @@ class ImpeccableCampaign:
             for dock in cg_inputs:
                 pdb = self._best_structure.get(dock.compound_id, cfg.pdb_id)
                 groups.setdefault(pdb, []).append(dock)
-            t0 = time.perf_counter()
+            t0 = _clock.now()
             cg_results: list[EsmacsResult] = []
             cg_by_pdb: dict[str, list[EsmacsResult]] = {}
             ligand_atoms: dict[str, np.ndarray] = {}
@@ -421,7 +425,7 @@ class ImpeccableCampaign:
                     reference_by_pdb[pdb] = system.positions[
                         system.topology.protein_atoms
                     ]
-            cg_wall = time.perf_counter() - t0
+            cg_wall = _clock.now() - t0
             metrics.stages["S3-CG"] = StageAccounting(
                 stage="S3-CG",
                 n_ligands=len(cg_results),
@@ -435,12 +439,12 @@ class ImpeccableCampaign:
             s2_by_structure: dict[str, S2Result] = {}
             fg_results: list[EsmacsResult] = []
             fg_parents: list[str] = []
-            t0 = time.perf_counter()
+            t0 = _clock.now()
             for pdb, pdb_cg in cg_by_pdb.items():
                 if not pdb_cg:
                     continue
 
-                def s2_one(pdb=pdb, pdb_cg=pdb_cg):
+                def s2_one(pdb=pdb, pdb_cg=pdb_cg, it=it):
                     return run_s2(
                         pdb_cg,
                         reference_by_pdb[pdb],
@@ -456,7 +460,7 @@ class ImpeccableCampaign:
                 s2_unit = self._guard("S2", pdb, s2_one)
                 if s2_unit is not None:
                     s2_by_structure[pdb] = s2_unit
-            s2_wall = time.perf_counter() - t0
+            s2_wall = _clock.now() - t0
             s2_result = None
             if s2_by_structure:
                 s2_result = max(
@@ -473,7 +477,7 @@ class ImpeccableCampaign:
                 )
 
                 # ---------------------------------------------------- S3-FG
-                t0 = time.perf_counter()
+                t0 = _clock.now()
                 for pdb, s2 in s2_by_structure.items():
                     runner_fg = EsmacsRunner(
                         self.receptors[pdb],
@@ -505,7 +509,7 @@ class ImpeccableCampaign:
                             continue
                         fg_results.append(fg_unit)
                         fg_parents.append(sel.compound_id)
-                fg_wall = time.perf_counter() - t0
+                fg_wall = _clock.now() - t0
                 metrics.stages["S3-FG"] = StageAccounting(
                     stage="S3-FG",
                     n_ligands=len(fg_results),

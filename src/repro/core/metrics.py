@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 __all__ = ["throughput", "enrichment_factor", "StageAccounting", "CampaignMetrics"]
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.costs import CostModel
 from repro.rct.cluster import Allocation, Cluster

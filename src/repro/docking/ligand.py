@@ -52,8 +52,8 @@ def find_torsions(mol: Molecule) -> list[Torsion]:
     g = mol.to_networkx()
     ring_bonds = set()
     for ring in mol.rings():
-        for i in range(len(ring)):
-            ring_bonds.add(frozenset((ring[i], ring[(i + 1) % len(ring)])))
+        for a, b in zip(ring, [*ring[1:], ring[0]]):
+            ring_bonds.add(frozenset((a, b)))
     torsions = []
     for bond in mol.bonds:
         if bond.order != 1 or bond.aromatic:
@@ -210,7 +210,10 @@ def apply_torsions_batch(
             f"angles shape {angles.shape} != ({len(coords)}, {len(torsions)})"
         )
     out = coords.copy()
-    for t, tor in enumerate(torsions):
+    # torsions form a tree: rotation t moves the atoms downstream of
+    # bond t, so applications are order-dependent — sequential over the
+    # (short) torsion axis, batched over the (long) pose axis
+    for t, tor in enumerate(torsions):  # repro: disable=vectorization
         origin = out[:, tor.a]  # (k, 3)
         axis = out[:, tor.b] - origin
         axis = axis / (np.linalg.norm(axis, axis=1, keepdims=True) + 1e-12)

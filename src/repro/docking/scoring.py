@@ -251,7 +251,10 @@ def score_and_gradient_batch(
     n_tor = beads.n_torsions if has_torsions else 0
     d_tor = np.zeros((len(conf), n_tor))
     if has_torsions:
-        for t, tor in enumerate(beads.torsions):
+        # each torsion's moving-atom set is ragged, so the torsion axis
+        # (short) stays a Python loop; every line inside is batched over
+        # the pose axis (long)
+        for t, tor in enumerate(beads.torsions):  # repro: disable=vectorization
             origin_l = local[:, tor.a]  # local frame
             axis_l = local[:, tor.b] - origin_l
             axis_l = axis_l / (np.linalg.norm(axis_l, axis=1, keepdims=True) + 1e-12)

@@ -52,7 +52,10 @@ def build_protein_fold(
     pos[0] = start_dir * (POCKET_R + OUTER_R) / 2.0
 
     min_sep = 3.4
-    for i in range(1, n_residues):
+    # self-avoiding random walk: residue i is placed relative to residue
+    # i-1 with rejection against all earlier positions — a genuine
+    # recurrence, not an elementwise traversal
+    for i in range(1, n_residues):  # repro: disable=vectorization
         placed = False
         sep = min_sep
         for attempt in range(max_attempts):

@@ -48,13 +48,14 @@ class SGD(_Optimizer):
 
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
-        for i, p in enumerate(self.params):
+        for p, vel in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
             g = p.grad.data
             if self.momentum:
-                self._velocity[i] = self.momentum * self._velocity[i] - self.lr * g
-                p.data += self._velocity[i]
+                vel *= self.momentum
+                vel -= self.lr * g
+                p.data += vel
             else:
                 p.data -= self.lr * g
 
@@ -81,15 +82,15 @@ class Adam(_Optimizer):
         self._t += 1
         b1t = 1 - self.b1**self._t
         b2t = 1 - self.b2**self._t
-        for i, p in enumerate(self.params):
+        for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
             g = p.grad.data
-            self._m[i] = self.b1 * self._m[i] + (1 - self.b1) * g
-            self._v[i] = self.b2 * self._v[i] + (1 - self.b2) * g * g
-            m_hat = self._m[i] / b1t
-            v_hat = self._v[i] / b2t
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * g * g
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
 
 
 class RMSprop(_Optimizer):
@@ -109,12 +110,13 @@ class RMSprop(_Optimizer):
 
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
-        for i, p in enumerate(self.params):
+        for p, sq in zip(self.params, self._sq):
             if p.grad is None:
                 continue
             g = p.grad.data
-            self._sq[i] = self.alpha * self._sq[i] + (1 - self.alpha) * g * g
-            p.data -= self.lr * g / (np.sqrt(self._sq[i]) + self.eps)
+            sq *= self.alpha
+            sq += (1 - self.alpha) * g * g
+            p.data -= self.lr * g / (np.sqrt(sq) + self.eps)
 
 
 def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:

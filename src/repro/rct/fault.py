@@ -133,8 +133,10 @@ class RetryPolicy(FrozenConfig):
         Attempt ``k``'s backoff is ``base * factor**k``, inflated by a
         deterministic jitter drawn uniformly from ``[0, jitter]`` (a
         fraction) to de-synchronize retry storms.  Charged on the
-        executor's clock — virtual for the simulated backend, wall for
-        threads — and visible to the utilization tracker.
+        executor's virtual clock by the simulated backend; the thread
+        backend charges it to the failure ledger
+        (``time_lost_backoff``) without sleeping, so backoff never
+        stalls a pool slot.
     timeout:
         Per-attempt ceiling in clock seconds.  An attempt still running at
         the deadline is cancelled (simulated backend) or abandoned (thread

@@ -252,9 +252,13 @@ def run_raptor(
     Workers are threads; results are returned in item order.  This is
     the backend the campaign uses to RAPTOR-ize real docking calls.
 
-    A raising item is retried per ``retry`` (the worker sleeps out the
-    backoff), then — retries exhausted — its slot in ``results`` holds
-    the exception object and its index lands in
+    A raising item is retried per ``retry``; the policy's backoff is
+    *charged to the failure ledger* (``time_lost_backoff``) but never
+    slept — sleeping inside a worker would stall the bulk's pool slot
+    for the whole backoff and inflate the wall-clock makespan of
+    retry-heavy runs (transient in-process failures also gain nothing
+    from waiting).  Once retries are exhausted, the item's slot in
+    ``results`` holds the exception object and its index lands in
     :attr:`RaptorResult.failed_indices`, so failures are never
     indistinguishable from legitimate return values.  Per-attempt
     timeouts are not enforced here: a thread cannot be killed mid-call
@@ -307,8 +311,6 @@ def run_raptor(
                     backoff = retry.backoff(i, attempt)
                     with ledger_lock:
                         summary.record_retry(backoff)
-                    if backoff > 0:
-                        time.sleep(backoff)
                     attempt += 1
                     continue
                 results[i] = exc

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.chem.depict import N_CHANNELS, depict
+from repro.chem.depict import depict
 from repro.chem.smiles import parse_smiles
 
 __all__ = ["featurize_smiles", "featurize_batch", "ScoreNormalizer", "IMAGE_SIZE"]

@@ -16,7 +16,6 @@ from repro.nn.layers import (
     Dense,
     GlobalAvgPool2d,
     MaxPool2d,
-    Module,
     ReLU,
     ResidualBlock,
     Sequential,

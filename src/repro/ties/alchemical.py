@@ -79,8 +79,6 @@ def build_hybrid(mol_a: Molecule, mol_b: Molecule) -> HybridLigand:
     n = max(n_a, n_b)
 
     # map beads by canonical rank so shared scaffolds align
-    order_a = np.argsort(np.argsort(canonical_ranks(mol_a), kind="stable"), kind="stable")
-    order_b = np.argsort(np.argsort(canonical_ranks(mol_b), kind="stable"), kind="stable")
     perm_a = np.argsort(canonical_ranks(mol_a), kind="stable")
     perm_b = np.argsort(canonical_ranks(mol_b), kind="stable")
 

@@ -1,0 +1,12 @@
+"""Known-bad fixture: wall-clock calls in sim-facing code."""
+
+import time as walltime
+from datetime import datetime
+from time import sleep
+
+
+def simulated_stage(duration):
+    started = walltime.time()  # BAD: reads the wall clock
+    sleep(duration)  # BAD: spins the wall clock (aliased import)
+    stamp = datetime.now()  # BAD: wall-clock timestamp
+    return started, stamp

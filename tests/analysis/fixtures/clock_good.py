@@ -1,0 +1,7 @@
+"""Known-good fixture: time flows through the executor clock."""
+
+
+def simulated_stage(executor, duration):
+    started = executor.now
+    executor.wait_until(started + duration)
+    return executor.now - started

@@ -1,0 +1,12 @@
+"""Known-bad fixture: global RNG state."""
+
+import random
+
+import numpy as np
+
+
+def sample_poses(n):
+    np.random.seed(0)  # BAD: mutates numpy's hidden global state
+    jitter = np.random.rand(n)  # BAD: legacy global namespace
+    pick = random.choice(range(n))  # BAD: process-global stdlib RNG
+    return jitter, pick

@@ -1,0 +1,13 @@
+"""Known-good fixture: seeded generators from repro.util.rng."""
+
+import numpy as np
+
+from repro.util.rng import RngFactory, rng_stream
+
+
+def sample_poses(seed, n):
+    rng = rng_stream(seed, "docking/poses")
+    jitter = rng.random(n)
+    pick = int(RngFactory(seed).stream("pick").integers(0, n))
+    explicit = np.random.default_rng(seed).normal(size=n)
+    return jitter, pick, explicit

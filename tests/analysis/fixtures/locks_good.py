@@ -1,0 +1,38 @@
+"""Known-good fixture: the two sanctioned patterns for shared ledgers.
+
+Either hold a lock around the read-modify-write, or accumulate into
+thread-local cells and merge after the pool drains (PR 1's fix).
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+ledger = {"busy": 0.0}
+ledger_lock = threading.Lock()
+
+tls = threading.local()
+cells = []
+
+
+def busy_cell():
+    cell = getattr(tls, "cell", None)
+    if cell is None:
+        cell = tls.cell = [0.0]
+        with ledger_lock:
+            cells.append(cell)
+    return cell
+
+
+def run_item(item):
+    elapsed = item()
+    with ledger_lock:
+        ledger["busy"] += elapsed  # GOOD: guarded by the ledger lock
+    busy_cell()[0] += elapsed  # GOOD: thread-local accumulator
+    local_total = 0.0
+    local_total += elapsed  # GOOD: plain local variable
+    return local_total
+
+
+def drive(items):
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        list(pool.map(run_item, items))

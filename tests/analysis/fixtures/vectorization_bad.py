@@ -1,0 +1,11 @@
+"""Known-bad fixture: elementwise Python loop over an ndarray."""
+
+import numpy as np
+
+
+def pairwise_energy(coords, charges):
+    n = len(coords)
+    energy = np.zeros(n)
+    for i in range(n):  # BAD: elementwise traversal of an array axis
+        energy[i] = charges[i] / (1.0 + np.linalg.norm(coords[i]))
+    return energy

@@ -1,0 +1,21 @@
+"""Known-good fixture: the same kernel, batched over the array axis."""
+
+import numpy as np
+
+
+def pairwise_energy(coords, charges):
+    return charges / (1.0 + np.linalg.norm(coords, axis=1))
+
+
+def sequential_ok(values):
+    # loops not indexed by the loop variable are not elementwise traversal
+    total = 0.0
+    for v in values:
+        total += v
+    return total
+
+
+def dict_keys_ok(state, layers):
+    for i in range(layers):
+        state[f"p{i}"] = i  # string keys are dict access, not array math
+    return state

@@ -1,0 +1,26 @@
+"""Known-bad fixture: workflow literals that can never be scheduled.
+
+Static twins of the runtime errors ``Pilot.validate_fits`` raises.
+"""
+
+from repro.rct.cluster import NodeSpec
+from repro.rct.entk import Pipeline, Stage
+from repro.rct.task import TaskSpec
+
+NODE = NodeSpec(cpus=42, gpus=6)
+
+oversized_gpu = TaskSpec(name="md", cpus=4, gpus=8)  # BAD: 8 gpus > 6 per node
+oversized_cpu = TaskSpec(name="score", cpus=64)  # BAD: 64 cpus > 42 per node
+zero_slot = TaskSpec(name="noop", cpus=0)  # BAD: requests no resources
+bad_nodes = TaskSpec(name="multi", cpus=1, nodes=0)  # BAD: nodes < 1
+bad_duration = TaskSpec(name="neg", cpus=1, duration=-5.0)  # BAD: negative
+
+empty_stage = Stage(name="empty", tasks=[])  # BAD: zero-task stage
+empty_pipeline = Pipeline(name="hollow", stages=[])  # BAD: no stages
+
+orphan = Stage(name="orphan", tasks=[TaskSpec(name="t", cpus=1)])  # BAD: never used
+
+pipeline = Pipeline(
+    name="main",
+    stages=[Stage(name="dock", tasks=[TaskSpec(name="d", cpus=1)])],
+)

@@ -1,0 +1,22 @@
+"""Known-good fixture: workflow literals that fit the declared node shape."""
+
+from repro.rct.cluster import NodeSpec
+from repro.rct.entk import Pipeline, Stage
+from repro.rct.task import TaskSpec
+
+NODE = NodeSpec(cpus=42, gpus=6)
+
+dock = Stage(
+    name="dock",
+    tasks=[TaskSpec(name="dock", cpus=4, duration=30.0)],
+)
+md = Stage(
+    name="md",
+    tasks=[TaskSpec(name="md", cpus=7, gpus=1, duration=600.0)],
+)
+wide = Stage(
+    name="wide",
+    tasks=[TaskSpec(name="ensemble", cpus=42, gpus=6, nodes=4)],
+)
+
+pipeline = Pipeline(name="campaign", stages=[dock, md, wide])

@@ -1,0 +1,81 @@
+"""The repro-lint front-end: exit codes, formats, rule selection."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.checkers import rule_names
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_PYPROJECT = Path(__file__).resolve().parents[2] / "pyproject.toml"
+
+
+def test_clean_target_exits_zero(capsys):
+    code = main(
+        [
+            str(FIXTURES / "clock_good.py"),
+            "--rules",
+            "clock-purity",
+            "--config",
+            str(REPO_PYPROJECT),
+        ]
+    )
+    assert code == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one(capsys):
+    code = main(
+        [
+            str(FIXTURES / "clock_bad.py"),
+            "--rules",
+            "clock-purity",
+            "--config",
+            str(REPO_PYPROJECT),
+        ]
+    )
+    assert code == 1
+    assert "[clock-purity]" in capsys.readouterr().out
+
+
+def test_json_format_parses(capsys):
+    code = main(
+        [
+            str(FIXTURES / "clock_bad.py"),
+            "--rules",
+            "clock-purity",
+            "--config",
+            str(REPO_PYPROJECT),
+            "--format",
+            "json",
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["n_errors"] == 3
+    assert all(f["rule"] == "clock-purity" for f in payload["findings"])
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in rule_names():
+        assert rule in out
+
+
+def test_unknown_rule_is_usage_error(capsys):
+    assert main([str(FIXTURES), "--rules", "no-such-rule"]) == 2
+    assert "unknown rules" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(capsys):
+    assert main(["does/not/exist.py"]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_malformed_config_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "pyproject.toml"
+    bad.write_text('[tool.repro-lint]\nclock_allow = ["oops-underscore"]\n')
+    code = main([str(FIXTURES / "clock_good.py"), "--config", str(bad)])
+    assert code == 2
+    assert "config error" in capsys.readouterr().err

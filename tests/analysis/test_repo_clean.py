@@ -1,0 +1,80 @@
+"""The repo's own source must lint clean — and regressions must not.
+
+The checked-in ``[tool.repro-lint]`` table in pyproject.toml is the
+baseline; this test is the gate that keeps it honest.  The regression
+cases re-create the two bug classes this lint engine exists to catch:
+PR 1's unlocked ``+=`` inside a ``run_raptor`` worker, and an
+overcommitted ``TaskSpec`` literal that ``Pilot.validate_fits`` would
+reject hours into a run.
+"""
+
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import analyze_source, run_analysis
+from repro.analysis.checkers import checkers_for
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def repo_config():
+    return AnalysisConfig.from_pyproject(REPO / "pyproject.toml")
+
+
+def test_src_lints_clean_with_checked_in_config():
+    config = repo_config()
+    result = run_analysis([REPO / "src"], config)
+    assert result.ok, "\n".join(f.render() for f in result.findings)
+    assert result.n_files > 50  # the engine actually walked the tree
+
+
+def test_reintroducing_run_raptor_race_is_caught():
+    # PR 1's bug, distilled: per-worker busy accounting via unlocked +=
+    # inside the function handed to run_raptor.
+    src = (
+        "from repro.rct.raptor import run_raptor\n"
+        "\n"
+        "worker_busy = {}\n"
+        "\n"
+        "def work(item):\n"
+        "    out = item.run()\n"
+        "    worker_busy[item.worker] += out.elapsed\n"
+        "    return out\n"
+        "\n"
+        "def drive(executor, items):\n"
+        "    return run_raptor(executor, items, fn=work)\n"
+    )
+    result = analyze_source(
+        src, checkers_for(["lock-discipline"]), repo_config()
+    )
+    assert len(result.findings) == 1
+    assert "worker_busy" in result.findings[0].message
+
+
+def test_overcommitted_taskspec_literal_is_caught():
+    src = (
+        "from repro.rct.cluster import NodeSpec\n"
+        "from repro.rct.task import TaskSpec\n"
+        "\n"
+        "NODE = NodeSpec(cpus=42, gpus=6)\n"
+        "SPEC = TaskSpec(name='md', cpus=4, gpus=8)\n"
+    )
+    result = analyze_source(
+        src, checkers_for(["workflow-shape"]), repo_config()
+    )
+    assert len(result.findings) == 1
+    assert "validate_fits" in result.findings[0].message
+
+
+def test_raptor_module_itself_is_clean():
+    # the fixed raptor.py must pass the very rule built from its old bug
+    config = repo_config()
+    source = (REPO / "src" / "repro" / "rct" / "raptor.py").read_text()
+    result = analyze_source(
+        source,
+        checkers_for(["lock-discipline"]),
+        config,
+        module="repro.rct.raptor",
+        path="src/repro/rct/raptor.py",
+    )
+    assert result.ok, "\n".join(f.render() for f in result.findings)

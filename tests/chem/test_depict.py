@@ -1,7 +1,6 @@
 """Tests for 2D layout and raster depiction."""
 
 import numpy as np
-import pytest
 
 from repro.chem.depict import N_CHANNELS, depict, layout_2d
 from repro.chem.smiles import parse_smiles

@@ -1,7 +1,6 @@
 """Tests for 3D conformer embedding."""
 
 import numpy as np
-import pytest
 
 from repro.chem.embed3d import BOND_LENGTH, conformer_stress, embed_conformer
 from repro.chem.smiles import parse_smiles

@@ -1,6 +1,5 @@
 """Tests for ensemble docking across crystal structures."""
 
-import numpy as np
 import pytest
 
 from repro.chem.library import generate_library

@@ -60,7 +60,6 @@ def test_estimate_far_apart_near_zero():
 def test_hydrophobic_burial_is_favourable():
     """Burying a greasy bead must lower ΔG vs burying a polar one."""
     n_p = 20
-    base = _topology(n_p=n_p, n_l=1, seed=5)
     pos = np.zeros((n_p + 1, 3))
     pos[:n_p] = rng_stream(6, "t/hyd").normal(scale=3.0, size=(n_p, 3))
 

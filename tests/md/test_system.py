@@ -84,7 +84,6 @@ def test_velocities_default_zero_and_reference_copied():
 
 
 def test_maxwell_boltzmann_temperature():
-    topo = _topology(n=5)
     # bigger system for better statistics
     big = Topology(
         masses=np.full(500, 12.0),

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn.autograd import Tensor, grad
+from repro.nn.autograd import Tensor
 from repro.nn.layers import (
     BatchNorm,
     Conv2d,

@@ -1,6 +1,5 @@
 """Tests for executors and the pilot scheduling loop."""
 
-import numpy as np
 import pytest
 
 from repro.rct.cluster import Cluster, NodeSpec

@@ -1,5 +1,7 @@
 """Tests for the RAPTOR master/worker overlay."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -258,3 +260,34 @@ def test_simulate_raptor_stealing_charges_donor_and_conserves_busy():
     # and the stealing really happened: master 0's workers (even slots)
     # executed far more than their own queue's 2s of work
     assert res.worker_busy[0::2].sum() > 10.0
+
+
+def test_run_raptor_backoff_charged_to_ledger_not_slept():
+    """Retry backoff must not stall a pool thread: a retry-heavy bulk
+    with a huge backoff finishes in real seconds while the full backoff
+    shows up on the failure ledger."""
+    calls = {}
+
+    def flaky(x):
+        calls[x] = calls.get(x, 0) + 1
+        if calls[x] == 1:
+            raise ValueError("transient")
+        return x * 2
+
+    t0 = time.perf_counter()
+    res = run_raptor(
+        list(range(40)),
+        flaky,
+        RaptorConfig(n_workers=4, bulk_size=8),
+        retry=RetryPolicy(max_retries=2, backoff_base=30.0, backoff_jitter=0.0),
+    )
+    wall = time.perf_counter() - t0
+    assert res.failed_indices == []
+    assert res.results == [x * 2 for x in range(40)]
+    s = res.failure_summary
+    assert s.n_retries == 40 and s.reconciles()
+    # every retry charged its full 30 s backoff to the ledger...
+    assert s.time_lost_backoff == pytest.approx(40 * 30.0)
+    # ...while the pool never actually slept through any of it
+    assert wall < 5.0
+    assert res.makespan < 5.0

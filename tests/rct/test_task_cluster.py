@@ -1,6 +1,5 @@
 """Tests for the task model and simulated cluster."""
 
-import numpy as np
 import pytest
 
 from repro.rct.cluster import SUMMIT_NODE, BatchSystem, Cluster, NodeSpec
