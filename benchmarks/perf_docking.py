@@ -1,0 +1,172 @@
+"""Sequential vs. fused library-docking benchmark.
+
+Times the same seeded library shard through both `DockingEngine` paths —
+``batched=False`` (one LGA per ligand) and ``batched=True`` (the fused
+multi-ligand LGA of :mod:`repro.docking.batch`) — and writes
+``BENCH_docking.json`` with wall-clock, ligands/sec, fused-kernel launch
+counts and the speedup.  Ligand preparation is warmed before timing so
+both passes measure pure docking.
+
+The two paths must agree *bitwise* per ligand (the batch module's
+determinism contract); the benchmark verifies that on every round and
+fails loudly if equivalence ever drifts.
+
+Rounds interleave the two paths and the reported time is each path's
+best round, so a noisy co-tenant slows both paths rather than biasing
+the ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_docking.py            # full (64 ligands)
+    PYTHONPATH=src python benchmarks/perf_docking.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.chem.library import generate_library
+from repro.docking import scoring
+from repro.docking.engine import DockingEngine, DockingResult
+from repro.docking.receptor import make_receptor
+
+
+def _results_identical(a: list[DockingResult], b: list[DockingResult]) -> bool:
+    """Bitwise per-ligand equality of two docking passes."""
+    if len(a) != len(b):
+        return False
+    for ra, rb in zip(a, b):
+        if (
+            ra.compound_id != rb.compound_id
+            or ra.score != rb.score
+            or ra.n_evals != rb.n_evals
+            or ra.conformer != rb.conformer
+            or ra.pose_translation != rb.pose_translation
+            or ra.pose_quaternion != rb.pose_quaternion
+            or ra.torsion_angles != rb.torsion_angles
+        ):
+            return False
+    return True
+
+
+def _timed_pass(
+    engine: DockingEngine, entries: list[tuple[str, str]], batched: bool
+) -> tuple[list[DockingResult], float, int]:
+    """One timed docking pass → (results, seconds, kernel launches)."""
+    scoring.reset_kernel_calls()
+    t0 = time.perf_counter()
+    results = engine.dock_entries(entries, batched=batched)
+    return results, time.perf_counter() - t0, scoring.kernel_calls()
+
+
+def run_benchmark(
+    n_ligands: int, rounds: int, seed: int, target: str
+) -> dict:
+    """Interleaved sequential/fused rounds over one seeded shard."""
+    library = generate_library(n_ligands, seed=seed)
+    receptor = make_receptor(target)
+    receptor.stacked_grids  # noqa: B018 - warm the cached grid stack
+    engine = DockingEngine(receptor, seed=seed)
+    entries = [
+        (library[i].smiles, library[i].compound_id) for i in range(n_ligands)
+    ]
+    for smiles, compound_id in entries:  # warm the prep cache
+        engine._prepared(smiles, compound_id)
+
+    seq_times, fused_times = [], []
+    seq_calls = fused_calls = 0
+    reference: list[DockingResult] | None = None
+    identical = True
+    for _ in range(rounds):
+        seq_res, seq_dt, seq_calls = _timed_pass(engine, entries, batched=False)
+        fused_res, fused_dt, fused_calls = _timed_pass(
+            engine, entries, batched=True
+        )
+        seq_times.append(seq_dt)
+        fused_times.append(fused_dt)
+        identical = identical and _results_identical(seq_res, fused_res)
+        if reference is None:
+            reference = seq_res
+        else:
+            identical = identical and _results_identical(reference, seq_res)
+
+    seq_best = min(seq_times)
+    fused_best = min(fused_times)
+    return {
+        "n_ligands": n_ligands,
+        "seed": seed,
+        "target": target,
+        "rounds": rounds,
+        "sequential": {
+            "seconds": round(seq_best, 3),
+            "ligands_per_sec": round(n_ligands / seq_best, 3),
+            "kernel_calls": seq_calls,
+        },
+        "fused": {
+            "seconds": round(fused_best, 3),
+            "ligands_per_sec": round(n_ligands / fused_best, 3),
+            "kernel_calls": fused_calls,
+        },
+        "speedup": round(seq_best / fused_best, 2),
+        "kernel_call_ratio": round(seq_calls / max(fused_calls, 1), 2),
+        "identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ligands", type=int, default=64, help="shard size (default 64)"
+    )
+    parser.add_argument("--rounds", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--target", default="3CLPro")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_docking.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small shard, no JSON; exit non-zero if the fused path is "
+        "slower than sequential or results drift",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_benchmark(
+            n_ligands=8, rounds=1, seed=args.seed, target=args.target
+        )
+    else:
+        report = run_benchmark(
+            n_ligands=args.ligands,
+            rounds=args.rounds,
+            seed=args.seed,
+            target=args.target,
+        )
+    print(json.dumps(report, indent=2))
+
+    if not report["identical"]:
+        print("FAIL: fused and sequential results are not bit-identical")
+        return 1
+    if args.smoke:
+        if report["speedup"] < 1.0:
+            print("FAIL: fused path slower than sequential in smoke run")
+            return 1
+        print(f"smoke OK: fused {report['speedup']}x, results identical")
+        return 0
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    np.seterr(all="ignore")
+    sys.exit(main())

@@ -1,0 +1,510 @@
+"""Fused multi-ligand docking: one LGA over a whole library shard.
+
+AutoDock-GPU gets its throughput by evaluating many ligand–receptor poses
+"in parallel over multiple compute units" (§5.1.1); the sequential path
+here batches only within one ligand (``population`` poses per kernel
+call), so a library screen pays full NumPy dispatch overhead per ligand
+per generation.  :func:`dock_shard` removes that overhead: it packs a
+shard of prepared ligands into padded struct-of-arrays
+(:func:`~repro.docking.ligand.pack_ligands`) and runs the *entire* LGA —
+initialization, generation scoring, selection/crossover/mutation, and
+both local searches — over ``(n_ligands × population)`` poses per kernel
+call.
+
+Determinism contract (the correctness spine): every ligand's randomness
+comes from its own generator, fed through the exact helper functions the
+sequential path uses (:func:`~repro.docking.lga.draw_initial_genes`,
+:func:`~repro.docking.lga.draw_generation`,
+:func:`~repro.docking.local_search.draw_solis_wets`), and all arithmetic
+runs through the same packed kernels with per-ligand reductions over
+intrinsic widths.  Batched and sequential docking of the same compound
+therefore produce bit-identical poses, scores, histories and ``n_evals``
+— equal draws in, equal arithmetic through.  Only per-stream draw loops
+and per-ligand result assembly remain Python loops; everything on the
+pose axis is vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.docking.lga import (
+    DockingRun,
+    GenerationDraws,
+    LGAConfig,
+    apply_genetics,
+    draw_generation,
+    draw_initial_genes,
+)
+from repro.docking.ligand import (
+    LigandBeads,
+    PackedLigands,
+    PackPlan,
+    Pose,
+    pack_ligands,
+)
+from repro.docking.local_search import (
+    AdadeltaConfig,
+    SolisWetsConfig,
+    draw_solis_wets,
+)
+from repro.docking.receptor import Receptor
+from repro.docking.scoring import (
+    apply_rigid_steps_batch,
+    packed_score_and_gradient_batch,
+    packed_score_batch,
+)
+
+__all__ = ["dock_shard"]
+
+#: smallest worthwhile fused bucket — below this, torsion-slot padding
+#: is cheaper than a separate LGA's kernel dispatch (measured)
+_MIN_BUCKET = 6
+
+
+def _stack_draws(
+    draws: list[GenerationDraws], cfg: LGAConfig, t_max: int
+) -> GenerationDraws:
+    """Stack per-ligand generation draws into shard-global arrays.
+
+    Candidate and ``chosen`` indices are offset into the stacked
+    population (ligand ``li`` owns rows ``[li*p, (li+1)*p)``); ragged
+    torsion draws land in zero-padded ``(rows, t_max)`` arrays so padded
+    slots mutate by exactly zero.
+    """
+    p = cfg.population
+    nc = cfg.n_children
+    n_lig = len(draws)
+    pop_off = np.repeat(np.arange(n_lig) * p, nc)[:, None]
+    if t_max:
+        mut_a = np.zeros(n_lig * nc, dtype=bool)
+        jolt_a = np.zeros((n_lig * nc, t_max))
+        # ragged per-ligand torsion draws into padded slots
+        for li, d in enumerate(draws):
+            if d.jolt_a is not None:
+                rows = slice(li * nc, (li + 1) * nc)
+                mut_a[rows] = d.mut_a
+                jolt_a[rows, : d.jolt_a.shape[1]] = d.jolt_a
+    else:
+        mut_a = jolt_a = None
+    return GenerationDraws(
+        cand_a=np.concatenate([d.cand_a for d in draws]) + pop_off,
+        cand_b=np.concatenate([d.cand_b for d in draws]) + pop_off,
+        do_cross=np.concatenate([d.do_cross for d in draws]),
+        mix=np.concatenate([d.mix for d in draws]),
+        pick_b_coin=np.concatenate([d.pick_b_coin for d in draws]),
+        mut_t=np.concatenate([d.mut_t for d in draws]),
+        jolt_t=np.concatenate([d.jolt_t for d in draws]),
+        mut_r=np.concatenate([d.mut_r for d in draws]),
+        axis=np.concatenate([d.axis for d in draws]),
+        angle=np.concatenate([d.angle for d in draws]),
+        mut_c_coin=np.concatenate([d.mut_c_coin for d in draws]),
+        conf_draw=np.concatenate([d.conf_draw for d in draws]),
+        mut_a=mut_a,
+        jolt_a=jolt_a,
+        chosen=np.concatenate(
+            [d.chosen + li * p for li, d in enumerate(draws)]
+        ),
+    )
+
+
+def _fused_adadelta(
+    receptor: Receptor,
+    pack: PackedLigands,
+    plan: PackPlan,
+    cfg: AdadeltaConfig,
+    conformer_idx: np.ndarray,
+    translations: np.ndarray,
+    quaternions: np.ndarray,
+    torsion_angles: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None, np.ndarray]:
+    """ADADELTA refinement fused across the shard (gradient descent
+    consumes no RNG, so rows advance in lock-step; padded torsion columns
+    see zero gradient and stay exactly zero).
+
+    Returns ``(best_t, best_q, best_s, best_a, per_ligand_evals)``.
+    """
+    t_max = pack.max_torsions
+    n_ls = len(conformer_idx) // pack.n_ligands
+    cur_t, cur_q = translations.copy(), quaternions.copy()
+    cur_a = torsion_angles.copy() if t_max else None
+    scores, g_t, g_r, g_a = packed_score_and_gradient_batch(
+        receptor, pack, plan, conformer_idx, cur_t, cur_q, cur_a
+    )
+    best_t, best_q, best_s = cur_t.copy(), cur_q.copy(), scores.copy()
+    best_a = None if cur_a is None else cur_a.copy()
+
+    k = len(conformer_idx)
+    dim = 6 + t_max
+    eg2 = np.zeros((k, dim))
+    ex2 = np.zeros((k, dim))
+    for _ in range(cfg.max_iters):
+        g = np.concatenate([g_t, g_r] + ([g_a] if t_max else []), axis=1)
+        eg2 = cfg.rho * eg2 + (1 - cfg.rho) * g * g
+        step = -np.sqrt(ex2 + cfg.eps) / np.sqrt(eg2 + cfg.eps) * g
+        step = np.clip(step, -cfg.clip, cfg.clip)
+        ex2 = cfg.rho * ex2 + (1 - cfg.rho) * step * step
+        cur_t, cur_q = apply_rigid_steps_batch(
+            cur_t, cur_q, step[:, :3], step[:, 3:6]
+        )
+        if t_max:
+            cur_a = cur_a + step[:, 6:]
+        scores, g_t, g_r, g_a = packed_score_and_gradient_batch(
+            receptor, pack, plan, conformer_idx, cur_t, cur_q, cur_a
+        )
+        better = scores < best_s
+        best_t[better], best_q[better] = cur_t[better], cur_q[better]
+        best_s[better] = scores[better]
+        if best_a is not None:
+            best_a[better] = cur_a[better]
+    evals = np.full(pack.n_ligands, n_ls * (1 + cfg.max_iters), dtype=np.int64)
+    return best_t, best_q, best_s, best_a, evals
+
+
+def _fused_solis_wets(
+    receptor: Receptor,
+    pack: PackedLigands,
+    plan: PackPlan,
+    cfg: SolisWetsConfig,
+    conformer_idx: np.ndarray,
+    translations: np.ndarray,
+    quaternions: np.ndarray,
+    torsion_angles: np.ndarray | None,
+    rngs: list[np.random.Generator],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None, np.ndarray]:
+    """Solis–Wets refinement fused across the shard.
+
+    The hill-climber's iteration count is score-dependent (each ligand
+    stops once all its step sizes shrink below ``rho_min``), so ligands
+    carry an ``active`` flag: a retired ligand draws no further
+    randomness, accrues no evaluations and keeps its state frozen via
+    row masks, exactly matching where its sequential run broke out.
+
+    Returns ``(best_t, best_q, best_s, best_a, per_ligand_evals)``.
+    """
+    n_lig = pack.n_ligands
+    t_max = pack.max_torsions
+    k = len(conformer_idx)
+    n_ls = k // n_lig
+    n_tor = pack.n_torsions
+
+    best_t = translations.copy()
+    best_q = quaternions.copy()
+    best_a = torsion_angles.copy() if t_max else None
+    best_s = packed_score_batch(
+        receptor, pack, plan, conformer_idx, best_t, best_q, best_a
+    )
+    evals = np.full(n_lig, n_ls, dtype=np.int64)
+
+    rho_t = np.full(k, cfg.rho_trans)
+    rho_r = np.full(k, cfg.rho_rot)
+    rho_a = np.full(k, cfg.rho_torsion)
+    bias_t = np.zeros((k, 3))
+    bias_r = np.zeros((k, 3))
+    bias_a = np.zeros((k, t_max))
+    succ = np.zeros(k, dtype=int)
+    fail = np.zeros(k, dtype=int)
+    active = np.ones(n_lig, dtype=bool)
+
+    for _ in range(cfg.max_iters):
+        if not active.any():
+            break
+        raw_t = np.zeros((k, 3))
+        raw_r = np.zeros((k, 3))
+        raw_a = np.zeros((k, t_max)) if t_max else None
+        # per-stream draws: each active ligand consumes its own generator
+        # in the sequential per-iteration order
+        for li in np.flatnonzero(active):
+            rt, rr, ra = draw_solis_wets(rngs[li], n_ls, int(n_tor[li]))
+            rows = slice(li * n_ls, (li + 1) * n_ls)
+            raw_t[rows] = rt
+            raw_r[rows] = rr
+            if ra is not None:
+                raw_a[rows, : ra.shape[1]] = ra
+        act_rows = np.repeat(active, n_ls)
+
+        dt = raw_t * rho_t[:, None] + bias_t
+        dr = raw_r * rho_r[:, None] + bias_r
+        da = raw_a * rho_a[:, None] + bias_a if t_max else None
+
+        t1, q1 = apply_rigid_steps_batch(best_t, best_q, dt, dr)
+        a1 = None if best_a is None else best_a + da
+        s1 = packed_score_batch(
+            receptor, pack, plan, conformer_idx, t1, q1, a1
+        )
+        t2, q2 = apply_rigid_steps_batch(best_t, best_q, -dt, -dr)
+        a2 = None if best_a is None else best_a - da
+        s2 = packed_score_batch(
+            receptor, pack, plan, conformer_idx, t2, q2, a2
+        )
+        evals[active] += 2 * n_ls
+
+        fwd = (s1 < best_s) & act_rows
+        back = (~fwd) & (s2 < best_s) & act_rows
+        neither = act_rows & ~(fwd | back)
+
+        best_t[fwd], best_q[fwd], best_s[fwd] = t1[fwd], q1[fwd], s1[fwd]
+        best_t[back], best_q[back], best_s[back] = t2[back], q2[back], s2[back]
+        if best_a is not None:
+            best_a[fwd] = a1[fwd]
+            best_a[back] = a2[back]
+
+        bias_t[fwd] = 0.4 * bias_t[fwd] + 0.2 * dt[fwd]
+        bias_r[fwd] = 0.4 * bias_r[fwd] + 0.2 * dr[fwd]
+        bias_t[back] = bias_t[back] - 0.4 * dt[back]
+        bias_r[back] = bias_r[back] - 0.4 * dr[back]
+        bias_t[neither] *= 0.5
+        bias_r[neither] *= 0.5
+        if t_max:
+            bias_a[fwd] = 0.4 * bias_a[fwd] + 0.2 * da[fwd]
+            bias_a[back] = bias_a[back] - 0.4 * da[back]
+            bias_a[neither] *= 0.5
+
+        improved = fwd | back
+        succ = np.where(act_rows, np.where(improved, succ + 1, 0), succ)
+        fail = np.where(act_rows, np.where(improved, 0, fail + 1), fail)
+
+        expand = (succ >= cfg.success_expand) & act_rows
+        contract = (fail >= cfg.failure_contract) & act_rows
+        scale = np.where(expand, 2.0, np.where(contract, 0.5, 1.0))
+        rho_t *= scale
+        rho_r *= scale
+        rho_a *= scale
+        succ[expand] = 0
+        fail[contract] = 0
+
+        # a ligand retires when all its rows' steps have converged —
+        # the point its sequential run would break
+        done = (
+            (rho_t < cfg.rho_min).reshape(n_lig, n_ls).all(axis=1)
+            & (rho_r < cfg.rho_min).reshape(n_lig, n_ls).all(axis=1)
+        )
+        active &= ~done
+    return best_t, best_q, best_s, best_a, evals
+
+
+def _partition_by_size(beads_list: list[LigandBeads]) -> list[list[int]]:
+    """Bucket ligand indices so padded widths hug the intrinsic sizes.
+
+    The packed kernels pay for every row at the pack's *padded* widths;
+    fusing a 6-atom rigid fragment with a 31-atom, 6-torsion ligand makes
+    the small one ~5× more expensive than docking it alone.  Buckets
+    group by torsion count: torsion slots are the costliest padding (each
+    slot is a full Rodrigues rotation plus a gradient pass over every
+    pose), while atom/pair padding only widens element-wise ops that are
+    dispatch-dominated at shard sizes — measured end-to-end, splitting
+    further on atom count loses more to extra kernel dispatch than it
+    saves in padding.  Conversely a bucket below ``_MIN_BUCKET`` ligands
+    amortizes too little dispatch to justify its own LGA, so small
+    torsion groups merge with their neighbour and pay the extra (masked)
+    slots instead.  Per-ligand determinism makes the partition invisible
+    in the results — it only moves throughput.
+    """
+    order = sorted(
+        range(len(beads_list)),
+        key=lambda i: (
+            beads_list[i].n_torsions,
+            beads_list[i].n_atoms,
+            len(beads_list[i].intra_pairs),
+        ),
+    )
+    buckets: list[list[int]] = [[order[0]]]
+    for i in order[1:]:
+        same_t = (
+            beads_list[i].n_torsions
+            == beads_list[buckets[-1][-1]].n_torsions
+        )
+        if same_t or len(buckets[-1]) < _MIN_BUCKET:
+            buckets[-1].append(i)
+        else:
+            buckets.append([i])
+    if len(buckets) > 1 and len(buckets[-1]) < _MIN_BUCKET:
+        tail = buckets.pop()
+        buckets[-1].extend(tail)
+    return buckets
+
+
+def dock_shard(
+    receptor: Receptor,
+    beads_list: list[LigandBeads],
+    rngs: list[np.random.Generator],
+    config: LGAConfig | None = None,
+    local_search: str = "adadelta",
+) -> list[DockingRun]:
+    """Dock a shard of prepared ligands with one fused LGA.
+
+    ``rngs[i]`` must be ligand ``i``'s own stream (the one the sequential
+    path would use), which is what keeps results independent of shard
+    composition and ordering.  Returns one :class:`DockingRun` per
+    ligand, bit-identical to ``LamarckianGA.dock`` run per ligand.
+
+    Internally the shard is partitioned into size buckets
+    (:func:`_partition_by_size`) and each bucket runs its own fused LGA;
+    because every ligand's randomness and reductions are its own, the
+    partition cannot change any result bit.
+    """
+    if len(beads_list) != len(rngs):
+        raise ValueError("need exactly one RNG stream per ligand")
+    if not beads_list:
+        return []
+    cfg = config or LGAConfig()
+    if local_search == "adadelta":
+        refine_cfg: AdadeltaConfig | SolisWetsConfig = AdadeltaConfig()
+    elif local_search == "solis-wets":
+        refine_cfg = SolisWetsConfig()
+    else:
+        raise ValueError(
+            f"unknown local search {local_search!r} "
+            "(expected 'adadelta' or 'solis-wets')"
+        )
+    buckets = _partition_by_size(beads_list)
+    if len(buckets) == 1:
+        return _dock_packed(
+            receptor, beads_list, rngs, cfg, refine_cfg, local_search
+        )
+    runs: list[DockingRun | None] = [None] * len(beads_list)
+    for bucket in buckets:
+        sub = _dock_packed(
+            receptor,
+            [beads_list[i] for i in bucket],
+            [rngs[i] for i in bucket],
+            cfg,
+            refine_cfg,
+            local_search,
+        )
+        for i, run in zip(bucket, sub):
+            runs[i] = run
+    return runs  # type: ignore[return-value]
+
+
+def _dock_packed(
+    receptor: Receptor,
+    beads_list: list[LigandBeads],
+    rngs: list[np.random.Generator],
+    cfg: LGAConfig,
+    refine_cfg: AdadeltaConfig | SolisWetsConfig,
+    local_search: str,
+) -> list[DockingRun]:
+    """One fused LGA over an (ideally size-homogeneous) ligand bucket."""
+    n_lig = len(beads_list)
+    p = cfg.population
+    n_ls = cfg.n_local_search
+    half = receptor.box_size / 2.0
+    pack = pack_ligands(beads_list)
+    t_max = pack.max_torsions
+    plan_pop = pack.plan(p)
+    plan_ls = pack.plan(n_ls)
+
+    # initial population: per-stream draws, stacked into ligand blocks
+    conf = np.empty(n_lig * p, dtype=np.int64)
+    trans = np.empty((n_lig * p, 3))
+    quat = np.empty((n_lig * p, 4))
+    tors = np.zeros((n_lig * p, t_max)) if t_max else None
+    for li, (beads, rng) in enumerate(zip(beads_list, rngs)):
+        c, t, q, a = draw_initial_genes(
+            rng, p, half, beads.n_conformers, beads.n_torsions
+        )
+        rows = slice(li * p, (li + 1) * p)
+        conf[rows] = c
+        trans[rows] = t
+        quat[rows] = q
+        if a is not None:
+            tors[rows, : beads.n_torsions] = a
+
+    scores = packed_score_batch(
+        receptor, pack, plan_pop, conf, trans, quat, tors
+    )
+    n_evals = np.full(n_lig, p, dtype=np.int64)
+    histories: list[list[float]] = [
+        [float(s)] for s in scores.reshape(n_lig, p).min(axis=1)
+    ]
+    n_conf_rows = np.repeat(pack.n_conformers, cfg.n_children)
+    lig_off = np.arange(n_lig) * p
+
+    for _ in range(cfg.generations):
+        # one generation of randomness per ligand stream, then stacked
+        per_lig = [
+            draw_generation(rng, cfg, beads.n_conformers, beads.n_torsions)
+            for beads, rng in zip(beads_list, rngs)
+        ]
+        d = _stack_draws(per_lig, cfg, t_max)
+
+        order = np.argsort(scores.reshape(n_lig, p), axis=1)
+        elite_rows = (order[:, : cfg.elitism] + lig_off[:, None]).ravel()
+        new_conf, new_trans, new_quat, new_tors = apply_genetics(
+            cfg, scores, conf, trans, quat, tors, n_conf_rows, d
+        )
+
+        e = cfg.elitism
+        nc = cfg.n_children
+        conf = np.concatenate(
+            [conf[elite_rows].reshape(n_lig, e), new_conf.reshape(n_lig, nc)],
+            axis=1,
+        ).reshape(n_lig * p)
+        trans = np.concatenate(
+            [trans[elite_rows].reshape(n_lig, e, 3), new_trans.reshape(n_lig, nc, 3)],
+            axis=1,
+        ).reshape(n_lig * p, 3)
+        quat = np.concatenate(
+            [quat[elite_rows].reshape(n_lig, e, 4), new_quat.reshape(n_lig, nc, 4)],
+            axis=1,
+        ).reshape(n_lig * p, 4)
+        if t_max:
+            tors = np.concatenate(
+                [
+                    tors[elite_rows].reshape(n_lig, e, t_max),
+                    new_tors.reshape(n_lig, nc, t_max),
+                ],
+                axis=1,
+            ).reshape(n_lig * p, t_max)
+        scores = packed_score_batch(
+            receptor, pack, plan_pop, conf, trans, quat, tors
+        )
+        n_evals += p
+
+        # Lamarckian step: refine each ligand's chosen subset, write back
+        chosen = d.chosen
+        chosen_a = None if tors is None else tors[chosen]
+        if local_search == "adadelta":
+            ref_t, ref_q, ref_s, ref_a, ref_evals = _fused_adadelta(
+                receptor, pack, plan_ls, refine_cfg,
+                conf[chosen], trans[chosen], quat[chosen], chosen_a,
+            )
+        else:
+            ref_t, ref_q, ref_s, ref_a, ref_evals = _fused_solis_wets(
+                receptor, pack, plan_ls, refine_cfg,
+                conf[chosen], trans[chosen], quat[chosen], chosen_a, rngs,
+            )
+        n_evals += ref_evals
+        better = ref_s < scores[chosen]
+        idx = chosen[better]
+        trans[idx] = ref_t[better]
+        quat[idx] = ref_q[better]
+        if t_max and ref_a is not None:
+            tors[idx] = ref_a[better]
+        scores[idx] = ref_s[better]
+        gen_best = scores.reshape(n_lig, p).min(axis=1)
+        for li, s in enumerate(gen_best):  # repro: disable=vectorization — list-of-lists append
+            histories[li].append(float(s))
+
+    # per-ligand result assembly (ragged torsion slices)
+    best_local = np.argmin(scores.reshape(n_lig, p), axis=1)
+    runs: list[DockingRun] = []
+    for li, beads in enumerate(beads_list):  # repro: disable=vectorization — ragged
+        row = li * p + int(best_local[li])
+        n_tor = beads.n_torsions
+        pose = Pose(
+            int(conf[row]),
+            trans[row].copy(),
+            quat[row].copy(),
+            None if n_tor == 0 else tors[row, :n_tor].copy(),
+        )
+        runs.append(
+            DockingRun(
+                best_pose=pose,
+                best_score=float(scores[row]),
+                n_evals=int(n_evals[li]),
+                history=histories[li],
+            )
+        )
+    return runs

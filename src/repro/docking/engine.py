@@ -5,6 +5,15 @@ uses: dock one SMILES, or a whole library against one receptor with
 receptor reuse (§5.1.1's "receptor-reuse functionality for docking many
 ligands to a single receptor").  Evaluation counts are surfaced so the
 cost model can convert work into simulated node-hours.
+
+Library docking defaults to the fused multi-ligand path
+(:mod:`repro.docking.batch`): the shard's ligands are packed into padded
+struct-of-arrays and the whole LGA runs over ``n_ligands × population``
+poses per kernel call.  Because every ligand's randomness still comes
+from its own per-compound stream, ``batched=True`` and ``batched=False``
+produce bit-identical results — the flag only changes throughput.
+Ligand preparation is cached per compound (prep is deterministic given
+the compound's stream), shared by docking and :meth:`pose_coordinates`.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ import numpy as np
 from repro.chem.library import CompoundLibrary
 from repro.chem.smiles import parse_smiles
 from repro.docking.lga import DockingRun, LamarckianGA, LGAConfig
-from repro.docking.ligand import prepare_ligand
+from repro.docking.ligand import LigandBeads, prepare_ligand
 from repro.docking.receptor import Receptor
 from repro.util.rng import RngFactory
 
@@ -65,21 +74,33 @@ class DockingEngine:
             seed, prefix=f"docking/{receptor.target}/{receptor.pdb_id}"
         )
         self.ga = LamarckianGA(config=config, local_search=local_search)
+        self._local_search = local_search
         self.n_conformers = n_conformers
         self.total_evals = 0
         self.total_ligands = 0
+        #: per-compound prepared beads, keyed by compound id (or SMILES);
+        #: prep is deterministic given the compound's stream, so caching
+        #: is transparent — it only removes repeated SMILES parsing and
+        #: conformer generation
+        self._prep_cache: dict[str, LigandBeads] = {}
 
-    def dock_smiles(self, smiles: str, compound_id: str = "") -> DockingResult:
-        """Dock a single compound given as SMILES."""
-        mol = parse_smiles(smiles)
+    # ------------------------------------------------------------------ prep
+
+    def _prepared(self, smiles: str, compound_id: str = "") -> LigandBeads:
+        """Prepared beads for a compound, via the per-compound cache."""
         key = compound_id or smiles
-        prep_rng = self.rng_factory.stream(f"prep/{key}")
-        beads = prepare_ligand(mol, prep_rng, n_conformers=self.n_conformers)
-        run: DockingRun = self.ga.dock(
-            self.receptor, beads, self.rng_factory.stream(f"lga/{key}")
-        )
-        self.total_evals += run.n_evals
-        self.total_ligands += 1
+        beads = self._prep_cache.get(key)
+        if beads is None:
+            mol = parse_smiles(smiles)
+            prep_rng = self.rng_factory.stream(f"prep/{key}")
+            beads = prepare_ligand(mol, prep_rng, n_conformers=self.n_conformers)
+            self._prep_cache[key] = beads
+        return beads
+
+    def _to_result(
+        self, smiles: str, compound_id: str, run: DockingRun
+    ) -> DockingResult:
+        """Shared DockingRun → DockingResult conversion."""
         return DockingResult(
             compound_id=compound_id,
             smiles=smiles,
@@ -95,35 +116,99 @@ class DockingEngine:
             ),
         )
 
-    def dock_library(
-        self, library: CompoundLibrary, limit: int | None = None
-    ) -> list[DockingResult]:
-        """Dock every library member (or the first ``limit``) sequentially.
+    # --------------------------------------------------------------- docking
 
-        The RAPTOR overlay (``repro.rct.raptor``) parallelizes this same
-        call by sharding the library across workers.
+    def dock_smiles(self, smiles: str, compound_id: str = "") -> DockingResult:
+        """Dock a single compound given as SMILES."""
+        key = compound_id or smiles
+        beads = self._prepared(smiles, compound_id)
+        run: DockingRun = self.ga.dock(
+            self.receptor, beads, self.rng_factory.stream(f"lga/{key}")
+        )
+        self.total_evals += run.n_evals
+        self.total_ligands += 1
+        return self._to_result(smiles, compound_id, run)
+
+    def dock_entries(
+        self, entries: list[tuple[str, str]], batched: bool = True
+    ) -> list[DockingResult]:
+        """Dock ``(smiles, compound_id)`` pairs; pure, counters untouched.
+
+        This is the worker-safe core shared by :meth:`dock_library` and
+        the RAPTOR shard path (:func:`repro.rct.raptor.dock_library_raptor`):
+        it never mutates engine counters, so shards may run concurrently
+        and be merged by the caller.  With ``batched=True`` the whole
+        shard runs through one fused LGA
+        (:func:`repro.docking.batch.dock_shard`); results are
+        bit-identical either way.
+        """
+        if not entries:
+            return []
+        if not batched:
+            results = []
+            for smiles, compound_id in entries:
+                key = compound_id or smiles
+                beads = self._prepared(smiles, compound_id)
+                run = self.ga.dock(
+                    self.receptor, beads, self.rng_factory.stream(f"lga/{key}")
+                )
+                results.append(self._to_result(smiles, compound_id, run))
+            return results
+        from repro.docking.batch import dock_shard
+
+        beads_list = [self._prepared(s, cid) for s, cid in entries]
+        rngs = [
+            self.rng_factory.stream(f"lga/{cid or s}") for s, cid in entries
+        ]
+        runs = dock_shard(
+            self.receptor,
+            beads_list,
+            rngs,
+            config=self.ga.config,
+            local_search=self._local_search,
+        )
+        return [
+            self._to_result(smiles, compound_id, run)
+            for (smiles, compound_id), run in zip(entries, runs)
+        ]
+
+    def dock_library(
+        self,
+        library: CompoundLibrary,
+        limit: int | None = None,
+        batched: bool = True,
+    ) -> list[DockingResult]:
+        """Dock every library member (or the first ``limit``).
+
+        ``batched=True`` (default) fuses the shard through one
+        multi-ligand LGA; ``batched=False`` keeps the sequential
+        per-ligand loop.  Results and ``n_evals`` are bit-identical
+        across both.  The RAPTOR overlay (``repro.rct.raptor``)
+        parallelizes this same call by sharding the library across
+        workers.
         """
         n = len(library) if limit is None else min(limit, len(library))
-        return [
-            self.dock_smiles(library[i].smiles, library[i].compound_id)
-            for i in range(n)
+        entries = [
+            (library[i].smiles, library[i].compound_id) for i in range(n)
         ]
+        results = self.dock_entries(entries, batched=batched)
+        for r in results:
+            self.total_evals += r.n_evals
+            self.total_ligands += 1
+        return results
 
     def pose_coordinates(self, result: DockingResult) -> np.ndarray:
         """World coordinates of a result's best pose.
 
-        Rebuilds the ligand beads from the same per-compound RNG stream
-        used at docking time, so the returned coordinates are exactly
-        the pose the reported score was computed on — this is what the
-        S3 stages take as their starting structure.
+        Uses the per-compound prep cache (same beads the score was
+        computed on; rebuilt from the compound's own stream on a cache
+        miss), so repeated calls no longer re-parse the SMILES and re-run
+        conformer generation — this is what the S3 stages take as their
+        starting structure.
         """
         from repro.docking.scoring import batch_pose_coordinates
 
-        mol = parse_smiles(result.smiles)
-        key = result.compound_id or result.smiles
-        beads = prepare_ligand(
-            mol, self.rng_factory.stream(f"prep/{key}"), n_conformers=self.n_conformers
-        )
+        beads = self._prepared(result.smiles, result.compound_id)
         torsions = (
             np.array(result.torsion_angles)[None]
             if result.torsion_angles

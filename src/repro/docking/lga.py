@@ -8,6 +8,13 @@ over ligand–receptor poses on a GPU; the NumPy analogue keeps the
 population as struct-of-arrays and scores whole generations in one batched
 kernel call.  Evaluation counts are surfaced so throughput/FLOP accounting
 (Tables 2/3) can charge docking cost honestly.
+
+The stochastic part of the loop is factored into :func:`draw_initial_genes`
+and :func:`draw_generation`, and the deterministic genetics arithmetic into
+:func:`apply_genetics`.  The fused multi-ligand path
+(:mod:`repro.docking.batch`) calls the *same* helpers per ligand stream and
+the same packed kernels, which is what makes batched and sequential docking
+of one compound bit-identical: equal draws in, equal arithmetic through.
 """
 
 from __future__ import annotations
@@ -22,7 +29,15 @@ from repro.docking.receptor import Receptor
 from repro.docking.scoring import apply_rigid_steps_batch, score_poses_batch
 from repro.util.config import FrozenConfig, validate_positive, validate_range
 
-__all__ = ["LGAConfig", "LamarckianGA", "DockingRun"]
+__all__ = [
+    "LGAConfig",
+    "LamarckianGA",
+    "DockingRun",
+    "GenerationDraws",
+    "draw_initial_genes",
+    "draw_generation",
+    "apply_genetics",
+]
 
 
 @dataclass(frozen=True)
@@ -48,6 +63,16 @@ class LGAConfig(FrozenConfig):
         if self.elitism >= self.population:
             raise ValueError("elitism must be smaller than population")
 
+    @property
+    def n_children(self) -> int:
+        """Offspring rows per generation (population minus elites)."""
+        return self.population - self.elitism
+
+    @property
+    def n_local_search(self) -> int:
+        """Poses refined by local search per generation."""
+        return max(1, int(round(self.local_search_rate * self.population)))
+
 
 @dataclass
 class DockingRun:
@@ -71,6 +96,166 @@ def _random_quaternions(rng: np.random.Generator, k: int) -> np.ndarray:
         ],
         axis=1,
     )
+
+
+def draw_initial_genes(
+    rng: np.random.Generator,
+    p: int,
+    half: float,
+    n_conformers: int,
+    n_torsions: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Draw the initial population's genes from one ligand's stream.
+
+    Returns ``(conf (p,), trans (p, 3), quat (p, 4), tors (p, T) or
+    None)``.  Draw order is part of the determinism contract — the fused
+    path replays exactly this sequence per ligand stream.
+    """
+    conf = rng.integers(n_conformers, size=p)
+    trans = rng.uniform(-half * 0.7, half * 0.7, size=(p, 3))
+    quat = _random_quaternions(rng, p)
+    tors = rng.uniform(-np.pi, np.pi, size=(p, n_torsions)) if n_torsions else None
+    return conf, trans, quat, tors
+
+
+@dataclass
+class GenerationDraws:
+    """One generation's randomness for one ligand stream.
+
+    Candidate/`chosen` indices are *local* (0 … population−1); the fused
+    path offsets them into its stacked population.  Coins are kept raw
+    (uniform draws) so thresholding stays in :func:`apply_genetics`.
+    """
+
+    cand_a: np.ndarray  # (n_children, tournament) tournament candidates
+    cand_b: np.ndarray
+    do_cross: np.ndarray  # (n_children,) bool
+    mix: np.ndarray  # (n_children, 1) crossover blend
+    pick_b_coin: np.ndarray  # (n_children,) conformer-inheritance coin
+    mut_t: np.ndarray  # (n_children,) bool, translation mutation
+    jolt_t: np.ndarray  # (n_children, 3) translation jolt
+    mut_r: np.ndarray  # (n_children,) bool, rotation mutation
+    axis: np.ndarray  # (n_children, 3) unit rotation axes
+    angle: np.ndarray  # (n_children, 1) rotation angles
+    mut_c_coin: np.ndarray  # (n_children,) conformer-mutation coin
+    conf_draw: np.ndarray  # (n_children,) replacement conformer indices
+    mut_a: np.ndarray | None  # (n_children,) bool, torsion mutation
+    jolt_a: np.ndarray | None  # (n_children, T) torsion jolt
+    chosen: np.ndarray  # (n_ls,) local-search subset (local indices)
+
+
+def draw_generation(
+    rng: np.random.Generator,
+    cfg: LGAConfig,
+    n_conformers: int,
+    n_torsions: int,
+) -> GenerationDraws:
+    """Draw one generation's GA randomness from one ligand's stream.
+
+    The sequence (selection candidates, crossover coins, mutation coins
+    and jolts, local-search subset) matches the historical inline draw
+    order of :meth:`LamarckianGA.dock`; none of these draws depend on
+    scores, so the whole generation can be drawn up front.
+    """
+    p = cfg.population
+    n_children = cfg.n_children
+    cand_a = rng.integers(p, size=(n_children, cfg.tournament))
+    cand_b = rng.integers(p, size=(n_children, cfg.tournament))
+    do_cross = rng.random(n_children) < cfg.crossover_rate
+    mix = rng.random((n_children, 1))
+    pick_b_coin = rng.random(n_children)
+    mut_t = rng.random(n_children) < cfg.mutation_rate
+    jolt_t = rng.normal(scale=cfg.mutation_trans, size=(n_children, 3))
+    mut_r = rng.random(n_children) < cfg.mutation_rate
+    axis = rng.normal(size=(n_children, 3))
+    axis /= np.linalg.norm(axis, axis=1, keepdims=True) + 1e-12
+    angle = rng.normal(scale=cfg.mutation_rot, size=(n_children, 1))
+    mut_c_coin = rng.random(n_children)
+    conf_draw = rng.integers(n_conformers, size=n_children)
+    if n_torsions:
+        mut_a = rng.random(n_children) < cfg.mutation_rate
+        jolt_a = rng.normal(scale=cfg.mutation_rot, size=(n_children, n_torsions))
+    else:
+        mut_a = jolt_a = None
+    chosen = rng.choice(p, size=cfg.n_local_search, replace=False)
+    return GenerationDraws(
+        cand_a=cand_a,
+        cand_b=cand_b,
+        do_cross=do_cross,
+        mix=mix,
+        pick_b_coin=pick_b_coin,
+        mut_t=mut_t,
+        jolt_t=jolt_t,
+        mut_r=mut_r,
+        axis=axis,
+        angle=angle,
+        mut_c_coin=mut_c_coin,
+        conf_draw=conf_draw,
+        mut_a=mut_a,
+        jolt_a=jolt_a,
+        chosen=chosen,
+    )
+
+
+def apply_genetics(
+    cfg: LGAConfig,
+    scores: np.ndarray,
+    conf: np.ndarray,
+    trans: np.ndarray,
+    quat: np.ndarray,
+    tors: np.ndarray | None,
+    n_conf_rows: np.ndarray,
+    d: GenerationDraws,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Selection + crossover + mutation over population rows, vectorized.
+
+    ``d``'s candidate indices must already address rows of
+    ``scores``/``conf``/… (the fused path offsets each ligand's local
+    draws into the stacked population; one ligand at a time they are the
+    identity).  ``n_conf_rows`` carries each child row's ligand conformer
+    count so the conformer-swap mutation gates per row.  Pure arithmetic,
+    no RNG — the shared genetics kernel of both docking paths.
+    """
+    n_rows = len(d.do_cross)
+    rows = np.arange(n_rows)
+
+    # tournament selection: keep the best-scoring candidate per row
+    parents_a = d.cand_a[rows, np.argmin(scores[d.cand_a], axis=1)]
+    parents_b = d.cand_b[rows, np.argmin(scores[d.cand_b], axis=1)]
+
+    mix = d.mix
+    new_trans = np.where(
+        d.do_cross[:, None],
+        mix * trans[parents_a] + (1 - mix) * trans[parents_b],
+        trans[parents_a],
+    )
+    qa = quat[parents_a]
+    qb = quat[parents_b]
+    sign = np.where((qa * qb).sum(axis=1, keepdims=True) < 0, -1.0, 1.0)
+    q_mix = mix * qa + (1 - mix) * sign * qb
+    q_mix = q_mix / np.linalg.norm(q_mix, axis=1, keepdims=True)
+    new_quat = np.where(d.do_cross[:, None], q_mix, qa)
+    pick_b = d.do_cross & (d.pick_b_coin < 0.5)
+    new_conf = np.where(pick_b, conf[parents_b], conf[parents_a])
+    new_tors = None
+    if tors is not None:
+        new_tors = np.where(
+            d.do_cross[:, None],
+            mix * tors[parents_a] + (1 - mix) * tors[parents_b],
+            tors[parents_a],
+        )
+
+    # mutation: Gaussian translation jolt + random small rotation
+    new_trans = new_trans + np.where(d.mut_t[:, None], d.jolt_t, 0.0)
+    d_rot = np.where(d.mut_r[:, None], d.axis * d.angle, 0.0)
+    new_trans, new_quat = apply_rigid_steps_batch(
+        new_trans, new_quat, np.zeros_like(new_trans), d_rot
+    )
+    mut_c = (d.mut_c_coin < 0.1 * cfg.mutation_rate) & (n_conf_rows > 1)
+    new_conf = np.where(mut_c, d.conf_draw, new_conf)
+    if tors is not None and d.mut_a is not None:
+        new_tors = new_tors + np.where(d.mut_a[:, None], d.jolt_a, 0.0)
+    return new_conf, new_trans, new_quat, new_tors
 
 
 class LamarckianGA:
@@ -104,80 +289,21 @@ class LamarckianGA:
         half = receptor.box_size / 2.0
         n_tor = beads.n_torsions
 
-        conf = rng.integers(beads.n_conformers, size=p)
-        trans = rng.uniform(-half * 0.7, half * 0.7, size=(p, 3))
-        quat = _random_quaternions(rng, p)
-        tors = (
-            rng.uniform(-np.pi, np.pi, size=(p, n_tor)) if n_tor else None
+        conf, trans, quat, tors = draw_initial_genes(
+            rng, p, half, beads.n_conformers, n_tor
         )
         scores = score_poses_batch(receptor, beads, conf, trans, quat, tors)
         n_evals = p
         history: list[float] = [float(scores.min())]
+        n_conf_rows = np.full(cfg.n_children, beads.n_conformers)
 
         for _ in range(cfg.generations):
+            d = draw_generation(rng, cfg, beads.n_conformers, n_tor)
             order = np.argsort(scores)
             elite = order[: cfg.elitism]
-            n_children = p - cfg.elitism
-
-            # tournament selection, vectorized: draw (children, tournament)
-            # candidate indices, keep the best-scoring one per row
-            cand_a = rng.integers(p, size=(n_children, cfg.tournament))
-            parents_a = cand_a[
-                np.arange(n_children), np.argmin(scores[cand_a], axis=1)
-            ]
-            cand_b = rng.integers(p, size=(n_children, cfg.tournament))
-            parents_b = cand_b[
-                np.arange(n_children), np.argmin(scores[cand_b], axis=1)
-            ]
-
-            do_cross = rng.random(n_children) < cfg.crossover_rate
-            mix = rng.random((n_children, 1))
-            new_trans = np.where(
-                do_cross[:, None],
-                mix * trans[parents_a] + (1 - mix) * trans[parents_b],
-                trans[parents_a],
+            new_conf, new_trans, new_quat, new_tors = apply_genetics(
+                cfg, scores, conf, trans, quat, tors, n_conf_rows, d
             )
-            qa = quat[parents_a]
-            qb = quat[parents_b]
-            sign = np.where((qa * qb).sum(axis=1, keepdims=True) < 0, -1.0, 1.0)
-            q_mix = mix * qa + (1 - mix) * sign * qb
-            q_mix = q_mix / np.linalg.norm(q_mix, axis=1, keepdims=True)
-            new_quat = np.where(do_cross[:, None], q_mix, qa)
-            pick_b = do_cross & (rng.random(n_children) < 0.5)
-            new_conf = np.where(pick_b, conf[parents_b], conf[parents_a])
-            if n_tor:
-                new_tors = np.where(
-                    do_cross[:, None],
-                    mix * tors[parents_a] + (1 - mix) * tors[parents_b],
-                    tors[parents_a],
-                )
-
-            # mutation: Gaussian translation jolt + random small rotation
-            mut_t = rng.random(n_children) < cfg.mutation_rate
-            new_trans = new_trans + np.where(
-                mut_t[:, None], rng.normal(scale=cfg.mutation_trans, size=(n_children, 3)), 0.0
-            )
-            mut_r = rng.random(n_children) < cfg.mutation_rate
-            axis = rng.normal(size=(n_children, 3))
-            axis /= np.linalg.norm(axis, axis=1, keepdims=True) + 1e-12
-            angle = rng.normal(scale=cfg.mutation_rot, size=(n_children, 1))
-            d_rot = np.where(mut_r[:, None], axis * angle, 0.0)
-            new_trans, new_quat = apply_rigid_steps_batch(
-                new_trans, new_quat, np.zeros_like(new_trans), d_rot
-            )
-            mut_c = (rng.random(n_children) < 0.1 * cfg.mutation_rate) & (
-                beads.n_conformers > 1
-            )
-            new_conf = np.where(
-                mut_c, rng.integers(beads.n_conformers, size=n_children), new_conf
-            )
-            if n_tor:
-                mut_a = rng.random(n_children) < cfg.mutation_rate
-                new_tors = new_tors + np.where(
-                    mut_a[:, None],
-                    rng.normal(scale=cfg.mutation_rot, size=(n_children, n_tor)),
-                    0.0,
-                )
 
             conf = np.concatenate([conf[elite], new_conf])
             trans = np.concatenate([trans[elite], new_trans])
@@ -188,8 +314,7 @@ class LamarckianGA:
             n_evals += p
 
             # Lamarckian step: refine a random subset, write back the genes
-            n_ls = max(1, int(round(cfg.local_search_rate * p)))
-            chosen = rng.choice(p, size=n_ls, replace=False)
+            chosen = d.chosen
             refined = self.local_search.refine_batch(
                 receptor,
                 beads,

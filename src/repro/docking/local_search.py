@@ -32,7 +32,24 @@ __all__ = [
     "BatchRefinement",
     "SolisWetsConfig",
     "AdadeltaConfig",
+    "draw_solis_wets",
 ]
+
+
+def draw_solis_wets(
+    rng: np.random.Generator, k: int, n_torsions: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """One Solis–Wets iteration's raw Gaussian draws for ``k`` poses.
+
+    Returns unit-scale normals ``(dt (k, 3), dr (k, 3), da (k, T) or
+    None)``; the caller applies its per-pose step sizes and biases.
+    Factored out so the fused multi-ligand path replays exactly this
+    per-iteration draw sequence from each ligand's own stream.
+    """
+    dt = rng.normal(size=(k, 3))
+    dr = rng.normal(size=(k, 3))
+    da = rng.normal(size=(k, n_torsions)) if n_torsions else None
+    return dt, dr, da
 
 
 @dataclass(frozen=True)
@@ -164,13 +181,10 @@ class SolisWets(_LocalSearch):
         fail = np.zeros(k, dtype=int)
 
         for _ in range(cfg.max_iters):
-            dt = rng.normal(size=(k, 3)) * rho_t[:, None] + bias_t
-            dr = rng.normal(size=(k, 3)) * rho_r[:, None] + bias_r
-            da = (
-                rng.normal(size=(k, n_tor)) * rho_a[:, None] + bias_a
-                if n_tor
-                else None
-            )
+            raw_t, raw_r, raw_a = draw_solis_wets(rng, k, n_tor)
+            dt = raw_t * rho_t[:, None] + bias_t
+            dr = raw_r * rho_r[:, None] + bias_r
+            da = raw_a * rho_a[:, None] + bias_a if n_tor else None
 
             t1, q1 = apply_rigid_steps_batch(best_t, best_q, dt, dr)
             a1 = None if best_a is None else best_a + da

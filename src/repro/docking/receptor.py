@@ -64,6 +64,26 @@ class Receptor:
         return self.phi.shape[0]
 
     @property
+    def stacked_grids(self) -> np.ndarray:
+        """The three fields as one ``(3, n, n, n)`` stack, lazily cached.
+
+        The fused scoring kernel interpolates all three fields with a
+        single gather stencil; the stack is invalidated if the field
+        arrays are replaced.
+        """
+        cached = self.__dict__.get("_stacked_grids")
+        if (
+            cached is None
+            or cached[0] is not self.phi
+            or cached[1] is not self.hydro
+            or cached[2] is not self.steric
+        ):
+            stack = np.stack([self.phi, self.hydro, self.steric])
+            cached = (self.phi, self.hydro, self.steric, stack)
+            self.__dict__["_stacked_grids"] = cached
+        return cached[3]
+
+    @property
     def origin(self) -> float:
         """Coordinate of grid index 0 along each axis (box centred at 0)."""
         return -self.box_size / 2.0

@@ -8,9 +8,22 @@ the ADADELTA local search comes from the same interpolation stencil — no
 finite differencing at search time.
 
 AutoDock-GPU processes "ligand-receptor poses in parallel over multiple
-compute units" (§5.1.1); the NumPy analogue is batching, so every kernel
-here takes a *batch* of poses ``(k, n_atoms, 3)`` and the single-pose API
-is a thin wrapper.  Scores are negative-better (kcal/mol-like).
+compute units" (§5.1.1); the NumPy analogue is batching.  The kernels
+here are *packed*: they take a :class:`~repro.docking.ligand.PackedLigands`
+shard plus a row→ligand map, so one kernel call can score poses of many
+different ligands at once.  The three receptor fields are stacked into a
+``(3, n, n, n)`` array and interpolated with a single gather stencil, and
+padded atoms (masked out in the pack) contribute exactly zero energy and
+zero gradient.
+
+Determinism contract: every reduction (energy sums, rigid-body and
+torsion gradients, intra-ligand terms) runs over a per-ligand slice of
+the ligand's *intrinsic* width, never the pack's padded width.  NumPy's
+pairwise summation then groups terms identically regardless of shard
+composition, which makes a ligand's scores and gradients bit-identical
+whether it is scored alone (the single-ligand wrappers build a cached
+pack-of-one) or fused into a shard.  Scores are negative-better
+(kcal/mol-like).
 """
 
 from __future__ import annotations
@@ -20,10 +33,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.docking.ligand import (
+    INTRA_K,
+    INTRA_SCALE,
     LigandBeads,
+    PackedLigands,
+    PackPlan,
     Pose,
+    packed_single,
     pose_coordinates,
-    quaternion_to_matrix,
 )
 from repro.docking.receptor import Receptor
 
@@ -37,14 +54,39 @@ __all__ = [
     "apply_rigid_step",
     "apply_rigid_steps_batch",
     "interpolate",
+    "interpolate_stacked",
+    "packed_pose_coordinates",
+    "apply_packed_torsions",
+    "packed_atom_energies",
+    "packed_score_batch",
+    "packed_score_and_gradient_batch",
+    "kernel_calls",
+    "reset_kernel_calls",
 ]
 
 #: penalty per angstrom^2 for atoms escaping the box
 _WALL_K = 10.0
 
-#: intra-ligand clash stiffness (kcal/mol/A^2) and contact-distance scale
-_INTRA_K = 10.0
-_INTRA_SCALE = 0.8
+#: intra-ligand clash parameters (defined next to the pack that
+#: precomputes the pair contact distances)
+_INTRA_K = INTRA_K
+_INTRA_SCALE = INTRA_SCALE
+
+#: fused-kernel invocation counter — one packed_atom_energies call is one
+#: "kernel launch"; the perf harness uses it to show how batching
+#: amortizes launches across the shard
+_KERNEL_CALLS = 0
+
+
+def kernel_calls() -> int:
+    """Number of fused scoring-kernel invocations since the last reset."""
+    return _KERNEL_CALLS
+
+
+def reset_kernel_calls() -> None:
+    """Reset the kernel invocation counter (perf harness bookkeeping)."""
+    global _KERNEL_CALLS
+    _KERNEL_CALLS = 0
 
 
 @dataclass(frozen=True)
@@ -69,51 +111,127 @@ def interpolate(
 
     Returns ``(values, gradients)`` with shapes ``coords.shape[:-1]`` and
     ``coords.shape``; gradients are w.r.t. world coordinates (per angstrom).
+    Single-grid convenience wrapper over :func:`interpolate_stacked`.
+    """
+    value, grad = interpolate_stacked(grid[None], receptor, coords)
+    return value[0], grad[0]
+
+
+def interpolate_stacked(
+    grids: np.ndarray,
+    receptor: Receptor,
+    coords: np.ndarray,
+    want_grad: bool = True,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Trilinear interpolation of a ``(g, n, n, n)`` grid stack at once.
+
+    One gather stencil serves all ``g`` fields: the cell indices, the
+    fractional offsets and the eight corner gathers are computed a single
+    time and broadcast across the leading grid axis.  Returns
+    ``(values (g, …), gradients (g, …, 3))``; ``gradients`` is ``None``
+    when ``want_grad`` is false (score-only kernel calls skip the
+    stencil's gradient arithmetic entirely).
     """
     n = receptor.n_grid
-    rel = (coords - receptor.origin) / receptor.spacing
+    rel = coords - receptor.origin
+    rel /= receptor.spacing
     i0 = np.clip(np.floor(rel).astype(int), 0, n - 2)
-    f = np.clip(rel - i0, 0.0, 1.0)
+    f = rel
+    f -= i0
+    np.clip(f, 0.0, 1.0, out=f)
 
-    ix, iy, iz = i0[..., 0], i0[..., 1], i0[..., 2]
     fx, fy, fz = f[..., 0], f[..., 1], f[..., 2]
 
-    c000 = grid[ix, iy, iz]
-    c100 = grid[ix + 1, iy, iz]
-    c010 = grid[ix, iy + 1, iz]
-    c110 = grid[ix + 1, iy + 1, iz]
-    c001 = grid[ix, iy, iz + 1]
-    c101 = grid[ix + 1, iy, iz + 1]
-    c011 = grid[ix, iy + 1, iz + 1]
-    c111 = grid[ix + 1, iy + 1, iz + 1]
-
-    c00 = c000 * (1 - fx) + c100 * fx
-    c10 = c010 * (1 - fx) + c110 * fx
-    c01 = c001 * (1 - fx) + c101 * fx
-    c11 = c011 * (1 - fx) + c111 * fx
-    c0 = c00 * (1 - fy) + c10 * fy
-    c1 = c01 * (1 - fy) + c11 * fy
-    value = c0 * (1 - fz) + c1 * fz
-
-    d_dx = (
-        ((c100 - c000) * (1 - fy) + (c110 - c010) * fy) * (1 - fz)
-        + ((c101 - c001) * (1 - fy) + (c111 - c011) * fy) * fz
+    # one flat cell index per point; the eight corners are fixed offsets
+    # on it, so a single fancy gather pulls every corner of every field
+    # out of the contiguous stack at once, then corner views unpack it
+    n2 = n * n
+    base = (i0[..., 0] * n + i0[..., 1]) * n + i0[..., 2]
+    flat = grids.reshape(len(grids), -1)
+    offs = np.array([0, n2, n, n2 + n, 1, n2 + 1, n + 1, n2 + n + 1])
+    idx = offs[(slice(None),) + (None,) * base.ndim] + base
+    corners = flat[:, idx]  # (g, 8, …) — corner planes stay contiguous
+    c000, c100, c010, c110 = (
+        corners[:, 0], corners[:, 1], corners[:, 2], corners[:, 3]
     )
-    d_dy = (
-        ((c010 - c000) * (1 - fx) + (c110 - c100) * fx) * (1 - fz)
-        + ((c011 - c001) * (1 - fx) + (c111 - c101) * fx) * fz
+    c001, c101, c011, c111 = (
+        corners[:, 4], corners[:, 5], corners[:, 6], corners[:, 7]
     )
-    d_dz = c1 - c0
-    grad = np.stack([d_dx, d_dy, d_dz], axis=-1) / receptor.spacing
+
+    # the lerp chains below accumulate in place (``a * w; += b * w``),
+    # which runs the exact same IEEE add/multiply sequence as the
+    # textbook ``a * w + b * w`` expressions while skipping one
+    # temporary per line — on fused batches these temporaries are the
+    # dominant memory traffic of the whole stencil
+    gx, gy, gz = 1 - fx, 1 - fy, 1 - fz
+    c00 = c000 * gx
+    c00 += c100 * fx
+    c10 = c010 * gx
+    c10 += c110 * fx
+    c01 = c001 * gx
+    c01 += c101 * fx
+    c11 = c011 * gx
+    c11 += c111 * fx
+    c0 = c00 * gy
+    c0 += c10 * fy
+    c1 = c01 * gy
+    c1 += c11 * fy
+    value = c0 * gz
+    value += c1 * fz
+
+    if not want_grad:
+        return value, None
+    grad = np.empty(value.shape + (3,))
+    d_dx = c100 - c000
+    d_dx *= gy
+    t = c110 - c010
+    t *= fy
+    d_dx += t
+    d_dx *= gz
+    u = c101 - c001
+    u *= gy
+    t = c111 - c011
+    t *= fy
+    u += t
+    u *= fz
+    d_dx += u
+    grad[..., 0] = d_dx
+    d_dy = c010 - c000
+    d_dy *= gx
+    t = c110 - c100
+    t *= fx
+    d_dy += t
+    d_dy *= gz
+    u = c011 - c001
+    u *= gx
+    t = c111 - c101
+    t *= fx
+    u += t
+    u *= fz
+    d_dy += u
+    grad[..., 1] = d_dy
+    np.subtract(c1, c0, out=grad[..., 2])
+    grad /= receptor.spacing
     return value, grad
 
 
 # ------------------------------------------------------------------- batch
 
 
+def _norm_last(x: np.ndarray) -> np.ndarray:
+    """``np.linalg.norm(x, axis=-1, keepdims=True)`` without the wrapper.
+
+    For real input norm computes ``sqrt(add.reduce(x * x, axis))`` — the
+    exact ufunc sequence below — so the result is bit-identical; this
+    just skips ``norm``'s Python-level dispatch, which the kernels pay
+    tens of thousands of times per docking run.
+    """
+    return np.sqrt((x * x).sum(axis=-1, keepdims=True))
+
+
 def batch_quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
     """Rotation matrices for a batch of quaternions (k, 4) → (k, 3, 3)."""
-    q = q / np.linalg.norm(q, axis=-1, keepdims=True)
+    q = q / _norm_last(q)
     x, y, z, w = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
     m = np.empty(q.shape[:-1] + (3, 3))
     m[..., 0, 0] = 1 - 2 * (y * y + z * z)
@@ -128,6 +246,332 @@ def batch_quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
     return m
 
 
+def _cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Cross product over the last axis, broadcasting like ``np.cross``.
+
+    Bit-identical to ``np.cross`` for 3-vectors (the same three
+    multiply/subtract expressions) without its Python-level axis
+    shuffling, which dominates on the small arrays the kernels pass
+    thousands of times per docking run.
+    """
+    a0, a1, a2 = a[..., 0], a[..., 1], a[..., 2]
+    b0, b1, b2 = b[..., 0], b[..., 1], b[..., 2]
+    out = np.empty(np.broadcast(a, b).shape)
+    out[..., 0] = a1 * b2 - a2 * b1
+    out[..., 1] = a2 * b0 - a0 * b2
+    out[..., 2] = a0 * b1 - a1 * b0
+    return out
+
+
+def apply_packed_torsions(
+    pack: PackedLigands,
+    plan: PackPlan,
+    coords: np.ndarray,
+    angles: np.ndarray,
+) -> np.ndarray:
+    """Rotate every ligand's moving atoms about its bond axes, fused.
+
+    ``coords`` is (K, A, 3) local conformer coordinates for a batch of
+    poses of possibly-different ligands, ``angles`` is (K, T) padded
+    torsion genes.  Torsion *slots* apply sequentially in definition
+    order (the torsion-tree convention) but each slot rotates all poses
+    of all ligands at once; rows whose ligand has no torsion at a slot
+    are preserved bit-exactly via the plan's selection mask.
+    """
+    out = coords.copy()
+    rows = plan.row_ids
+    # each slot's origin/axis come from coordinates already rotated by
+    # earlier slots, so the (short) slot axis is genuinely sequential;
+    # every line inside is batched over the (long) pose axis
+    for t in plan.tor_slots:
+        a = plan.tor_a[t]
+        b = plan.tor_b[t]
+        sel = plan.tor_sel[t]  # (K, A)
+        origin = out[rows, a]  # (K, 3)
+        axis = out[rows, b] - origin
+        axis = axis / (_norm_last(axis) + 1e-12)
+        theta = angles[:, t]
+        cos = np.cos(theta)[:, None, None]
+        sin = np.sin(theta)[:, None, None]
+        v = out - origin[:, None, :]  # (K, A, 3)
+        k_vec = axis[:, None, :]  # (K, 1, 3)
+        cross = _cross(k_vec, v)
+        dot = (k_vec * v).sum(-1, keepdims=True)
+        # Rodrigues accumulated in place over v's own buffer — identical
+        # op order to ``v*cos + cross*sin + k_vec*dot*(1-cos)``, minus
+        # three (K, A, 3) temporaries per slot
+        v *= cos
+        cross *= sin
+        v += cross
+        axial = k_vec * dot
+        axial *= 1.0 - cos
+        v += axial
+        v += origin[:, None, :]
+        # in-place masked write: selected atoms take the rotated value,
+        # everything else keeps its bits (out is this kernel's own copy)
+        np.copyto(out, v, where=sel[..., None])
+    return out
+
+
+def packed_pose_coordinates(
+    pack: PackedLigands,
+    plan: PackPlan,
+    conformer_idx: np.ndarray,
+    translations: np.ndarray,
+    quaternions: np.ndarray,
+    torsion_angles: np.ndarray | None = None,
+) -> np.ndarray:
+    """World coordinates for a fused batch of poses → (K, A, 3).
+
+    ``torsion_angles`` (K, T) applies the rotatable-bond genes in the
+    local frame before the rigid-body transform; ``None`` keeps every
+    conformer rigid.
+    """
+    if pack.n_ligands == 1:
+        conf = pack.conformers[0, conformer_idx]
+    else:
+        conf = pack.conformers[plan.lig_idx, conformer_idx]  # (K, A, 3)
+    if torsion_angles is not None and pack.max_torsions:
+        conf = apply_packed_torsions(pack, plan, conf, torsion_angles)
+    rot = batch_quaternion_to_matrix(quaternions)  # (K, 3, 3)
+    return np.einsum("kni,kji->knj", conf, rot) + translations[:, None, :]
+
+
+def packed_atom_energies(
+    receptor: Receptor,
+    pack: PackedLigands,
+    plan: PackPlan,
+    coords: np.ndarray,
+    want_grad: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Fused energies + per-atom gradients over a multi-ligand pose batch.
+
+    ``coords`` is (K, A, 3) with ligand blocks laid out per ``plan``.
+    Returns ``(totals (K,), components (K, 4), atom_grad (K, A, 3) or
+    None)`` where components order is (electrostatic, hydrophobic,
+    steric+intra, wall).  The whole elementwise phase (gather stencil,
+    field products, wall and clash terms) runs on the plan's flat
+    real-atom axis — one lane per actual (row, atom) — so padded atoms
+    cost zero arithmetic and come back with exactly zero energy and
+    zero gradient.  Reductions run per row over each ligand's intrinsic
+    width, batched across same-width ligands via the plan's width
+    groups (the determinism spine — see the module docstring).
+    """
+    global _KERNEL_CALLS
+    _KERNEL_CALLS += 1
+    k_total, a_max = coords.shape[:2]
+
+    flat_view = coords.reshape(-1, 3)
+    if plan.atom_flat is None:
+        flat_c = flat_view  # no padding: flat layout is the free reshape
+    else:
+        flat_c = flat_view[plan.atom_flat]
+    vals, grads = interpolate_stacked(
+        receptor.stacked_grids, receptor, flat_c, want_grad=want_grad
+    )
+    # channel products, written straight back into the interpolation
+    # buffer (its raw values are not needed again); every flat lane is a
+    # real atom, so the steric channel needs no mask at all
+    prod3 = vals  # (3, N)
+    if plan.atom_flat is None:
+        pv = vals.reshape(3, k_total, a_max)
+        pv[0] *= plan.charges
+        pv[1] *= plan.hydro
+    else:
+        vals[0] *= plan.charges_flat
+        vals[1] *= plan.hydro_flat
+
+    half = receptor.box_size / 2.0
+    excess = np.abs(flat_c)
+    excess -= half
+    outside = excess > 0
+    not_outside = ~outside
+    wall_sq = excess * excess
+    np.copyto(wall_sq, 0.0, where=not_outside)
+
+    # intra-ligand clash terms (flexible ligands must not fold through
+    # themselves — AutoDock's internal-energy role), elementwise phase:
+    # runs on the plan's flat real-pair axis (one entry per actual
+    # (row, pair)), so pair padding costs no arithmetic at all
+    overlap = diff = d = None
+    if plan.pair_fi is not None:
+        ci = flat_c[plan.pair_fi]  # (P, 3)
+        cj = flat_c[plan.pair_fj]
+        diff = ci - cj
+        d = np.sqrt((diff * diff).sum(-1))
+        overlap = np.maximum(plan.pair_sig_flat - d, 0.0)
+
+    atom_grad = None
+    if want_grad:
+        # accumulate the field gradients in place in the stencil's own
+        # buffer: ``(q·∇phi − h·∇hyd) + ∇ste`` with the identical
+        # operation order as the former expression, minus the temporaries
+        dphi, dhyd, dste = grads  # (N, 3) each
+        if plan.atom_flat is None:
+            dphi_v = dphi.reshape(k_total, a_max, 3)
+            dphi_v *= plan.charges[..., None]
+            dhyd_v = dhyd.reshape(k_total, a_max, 3)
+            dhyd_v *= plan.hydro[..., None]
+        else:
+            dphi *= plan.charges_flat[:, None]
+            dhyd *= plan.hydro_flat[:, None]
+        np.subtract(dphi, dhyd, out=dphi)
+        np.add(dphi, dste, out=dphi)
+        grad_flat = dphi
+        wall_grad = excess * (2.0 * _WALL_K)
+        wall_grad *= np.sign(flat_c)
+        np.copyto(wall_grad, 0.0, where=not_outside)
+        grad_flat += wall_grad
+        # internal clash forces are equal-and-opposite, so the pair
+        # scatter leaves rigid-body gradients untouched and flows only
+        # into torsions; the flat index visits (row, pair) in the same
+        # row-major i-then-j order as a per-ligand scatter, so the
+        # accumulation order per atom — and therefore every bit — is
+        # unchanged
+        if plan.pair_scatter is not None:
+            coef = overlap * (-2.0 * _INTRA_K)  # dE/dd / d
+            coef /= np.maximum(d, 1e-9)
+            pg = diff  # reuse: diff is not needed past this point
+            pg *= coef[:, None]
+            flat = pg.ravel()
+            updates = np.empty(2 * flat.size)
+            updates[: flat.size] = flat
+            np.negative(flat, out=updates[flat.size :])
+            np.add.at(grad_flat.ravel(), plan.pair_scatter, updates)
+        if plan.atom_flat is None:
+            atom_grad = grad_flat.reshape(k_total, a_max, 3)
+        else:
+            atom_grad = np.zeros((k_total, a_max, 3))
+            atom_grad.reshape(-1, 3)[plan.atom_flat] = grad_flat
+
+    # reductions over intrinsic widths, batched across same-width ligands
+    components = np.empty((k_total, 4))
+    for n, rows, fidx in plan.atom_groups_flat:
+        if isinstance(fidx, slice):
+            ch = prod3[:, fidx].reshape(3, -1, n).sum(axis=2)  # (3, rows)
+            wall = wall_sq[fidx].reshape(-1, n, 3).sum(axis=(1, 2))
+        else:
+            ch = prod3[:, fidx].sum(axis=2)
+            wall = wall_sq[fidx].sum(axis=(1, 2))
+        components[rows, 0] = ch[0]
+        components[rows, 1] = -ch[1]
+        components[rows, 2] = ch[2]
+        components[rows, 3] = _WALL_K * wall
+    for m, rows, idx in plan.pair_groups:
+        ov = (
+            overlap[idx].reshape(-1, m)
+            if isinstance(idx, slice)
+            else overlap[idx]
+        )
+        components[rows, 2] += _INTRA_K * (ov * ov).sum(axis=1)
+    totals = components.sum(axis=1)
+    return totals, components, atom_grad
+
+
+def packed_score_batch(
+    receptor: Receptor,
+    pack: PackedLigands,
+    plan: PackPlan,
+    conformer_idx: np.ndarray,
+    translations: np.ndarray,
+    quaternions: np.ndarray,
+    torsion_angles: np.ndarray | None = None,
+) -> np.ndarray:
+    """Total scores for a fused multi-ligand pose batch → (K,)."""
+    coords = packed_pose_coordinates(
+        pack, plan, conformer_idx, translations, quaternions, torsion_angles
+    )
+    totals, _, _ = packed_atom_energies(
+        receptor, pack, plan, coords, want_grad=False
+    )
+    return totals
+
+
+def packed_score_and_gradient_batch(
+    receptor: Receptor,
+    pack: PackedLigands,
+    plan: PackPlan,
+    conformer_idx: np.ndarray,
+    translations: np.ndarray,
+    quaternions: np.ndarray,
+    torsion_angles: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fused pose score + gradients over all gene blocks.
+
+    Returns ``(totals (K,), d_translation (K, 3), d_rotation (K, 3),
+    d_torsion (K, T))``.  ``d_rotation`` is the axis-angle gradient about
+    the ligand centre, ``dE/dω = Σ_i r_i × (dE/dx_i)``; ``d_torsion``
+    chains atom gradients through each torsion's rotation axis,
+    ``dE/dθ_t = Σ_{i∈moving_t} (dE/dx_i) · (â_t × (x_i − x_a))``,
+    treating torsions independently (exact for disjoint subtrees, the
+    standard torsion-tree approximation otherwise).  The per-slot
+    lever-arm fields are computed fused across all rows; only the final
+    sums are width-grouped (masked to the moving set, reduced over each
+    ligand's intrinsic atom count).
+    """
+    has_tor = torsion_angles is not None and pack.max_torsions > 0
+    if pack.n_ligands == 1:
+        local = pack.conformers[0, conformer_idx]
+    else:
+        local = pack.conformers[plan.lig_idx, conformer_idx]
+    if has_tor:
+        local = apply_packed_torsions(pack, plan, local, torsion_angles)
+    rot = batch_quaternion_to_matrix(quaternions)
+    coords = np.einsum("kni,kji->knj", local, rot) + translations[:, None, :]
+    totals, _, atom_grad = packed_atom_energies(
+        receptor, pack, plan, coords, want_grad=True
+    )
+    rel = coords - translations[:, None, :]
+    cross_all = _cross(rel, atom_grad)
+
+    k_total = len(coords)
+    t_max = pack.max_torsions if has_tor else 0
+    d_trans = np.empty((k_total, 3))
+    d_rot = np.empty((k_total, 3))
+    d_tor = np.zeros((k_total, t_max))
+    for n, rows in plan.atom_groups:
+        d_trans[rows] = atom_grad[rows, :n].sum(axis=1)
+        d_rot[rows] = cross_all[rows, :n].sum(axis=1)
+    if t_max:
+        # torsion-gradient fields for *all* slots in one stacked pass —
+        # unlike applying the rotations, the gradient of each slot
+        # depends only on the already-torsioned local frame, so the slot
+        # axis stacks on top of the pose axis (S, K, A, 3).  Rows whose
+        # ligand lacks a slot are masked to zero, so their reduced
+        # entries stay exactly 0.0
+        rows_all = plan.row_ids
+        slots = plan.tor_slot_arr
+        origin_l = local[rows_all, plan.tor_a_s]  # (S, K, 3), local frame
+        axis_l = local[rows_all, plan.tor_b_s] - origin_l
+        axis_l = axis_l / (_norm_last(axis_l) + 1e-12)
+        # world-frame axes and lever arms
+        axis_w = np.einsum("ski,kji->skj", axis_l, rot)
+        origin_w = np.einsum("ski,kji->skj", origin_l, rot) + translations
+        arm = coords - origin_w[:, :, None, :]
+        dxdtheta = _cross(axis_w[:, :, None, :], arm)
+        # reuse the stencil's own (S, K, A, 3) buffer for the product and
+        # mask it in place — two fewer full-size temporaries
+        dxdtheta *= atom_grad
+        np.copyto(dxdtheta, 0.0, where=plan.tor_notsel_s[..., None])
+        prod = dxdtheta
+        for n, rows in plan.atom_groups:
+            res = prod[:, rows, :n].sum(axis=(2, 3))  # (S, rows)
+            if isinstance(rows, slice):
+                d_tor[rows][:, slots] = res.T  # writes through the view
+            else:
+                d_tor[rows[:, None], slots[None, :]] = res.T
+    return totals, d_trans, d_rot, d_tor
+
+
+# ---------------------------------------------------------- single ligand
+
+
+def _single_call(beads: LigandBeads, k: int) -> tuple[PackedLigands, PackPlan]:
+    """Pack-of-one calling convention for the packed kernels."""
+    pack = packed_single(beads)
+    return pack, pack.plan(k)
+
+
 def batch_pose_coordinates(
     beads: LigandBeads,
     conformer_idx: np.ndarray,
@@ -135,68 +579,23 @@ def batch_pose_coordinates(
     quaternions: np.ndarray,
     torsion_angles: np.ndarray | None = None,
 ) -> np.ndarray:
-    """World coordinates for a batch of poses → (k, n_atoms, 3).
-
-    ``torsion_angles`` (k, n_torsions) applies the rotatable-bond genes
-    in the local frame before the rigid-body transform; ``None`` keeps
-    the conformer rigid.
-    """
-    from repro.docking.ligand import apply_torsions_batch
-
-    conf = beads.conformers[conformer_idx]  # (k, n, 3)
-    if torsion_angles is not None and beads.n_torsions:
-        conf = apply_torsions_batch(conf, beads.torsions, torsion_angles)
-    rot = batch_quaternion_to_matrix(quaternions)  # (k, 3, 3)
-    return np.einsum("kni,kji->knj", conf, rot) + translations[:, None, :]
+    """World coordinates for a batch of poses of one ligand → (k, n, 3)."""
+    pack, plan = _single_call(beads, len(conformer_idx))
+    return packed_pose_coordinates(
+        pack, plan, conformer_idx, translations, quaternions, torsion_angles
+    )
 
 
 def _batch_atom_energies(
     receptor: Receptor, beads: LigandBeads, coords: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Batched energies + per-atom gradients.
+    """Single-ligand energies + per-atom gradients (pack-of-one wrapper).
 
     Parameters: ``coords`` (k, n, 3).  Returns ``(totals (k,),
-    components (k, 4), atom_grad (k, n, 3))`` where components order is
-    (electrostatic, hydrophobic, steric, wall).
+    components (k, 4), atom_grad (k, n, 3))``.
     """
-    phi, dphi = interpolate(receptor.phi, receptor, coords)
-    hyd, dhyd = interpolate(receptor.hydro, receptor, coords)
-    ste, dste = interpolate(receptor.steric, receptor, coords)
-
-    q = beads.charges[None, :]
-    h = beads.hydro[None, :]
-    e_elec = (q * phi).sum(axis=1)
-    e_hydro = -(h * hyd).sum(axis=1)
-    e_steric = ste.sum(axis=1)
-
-    grad = q[..., None] * dphi - h[..., None] * dhyd + dste
-
-    half = receptor.box_size / 2.0
-    excess = np.abs(coords) - half
-    outside = excess > 0
-    e_wall = _WALL_K * np.where(outside, excess**2, 0.0).sum(axis=(1, 2))
-    grad = grad + np.where(outside, 2.0 * _WALL_K * excess * np.sign(coords), 0.0)
-
-    # intra-ligand clash penalty: flexible ligands must not fold through
-    # themselves (AutoDock's internal-energy term).  Internal forces are
-    # equal-and-opposite, so they leave the rigid-body gradients untouched
-    # and flow only into the torsion gradient.
-    e_intra = np.zeros(len(coords))
-    if len(beads.intra_pairs):
-        pi = beads.intra_pairs[:, 0]
-        pj = beads.intra_pairs[:, 1]
-        diff = coords[:, pi] - coords[:, pj]  # (k, m, 3)
-        d = np.sqrt((diff * diff).sum(-1))
-        sigma = _INTRA_SCALE * 0.5 * (beads.radii[pi] + beads.radii[pj])[None, :]
-        overlap = np.maximum(sigma - d, 0.0)
-        e_intra = _INTRA_K * (overlap * overlap).sum(axis=1)
-        coef = -2.0 * _INTRA_K * overlap / np.maximum(d, 1e-9)  # dE/dd / d
-        pair_grad = coef[..., None] * diff
-        np.add.at(grad, (slice(None), pi), pair_grad)
-        np.add.at(grad, (slice(None), pj), -pair_grad)
-
-    components = np.stack([e_elec, e_hydro, e_steric + e_intra, e_wall], axis=1)
-    return components.sum(axis=1), components, grad
+    pack, plan = _single_call(beads, len(coords))
+    return packed_atom_energies(receptor, pack, plan, coords, want_grad=True)
 
 
 def score_poses_batch(
@@ -207,12 +606,17 @@ def score_poses_batch(
     quaternions: np.ndarray,
     torsion_angles: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Total scores for a batch of poses → (k,)."""
-    coords = batch_pose_coordinates(
-        beads, conformer_idx, translations, quaternions, torsion_angles
+    """Total scores for a batch of poses of one ligand → (k,)."""
+    pack, plan = _single_call(beads, len(conformer_idx))
+    return packed_score_batch(
+        receptor,
+        pack,
+        plan,
+        conformer_idx,
+        translations,
+        quaternions,
+        torsion_angles,
     )
-    totals, _, _ = _batch_atom_energies(receptor, beads, coords)
-    return totals
 
 
 def score_and_gradient_batch(
@@ -223,51 +627,21 @@ def score_and_gradient_batch(
     quaternions: np.ndarray,
     torsion_angles: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Batched pose score + gradients over all gene blocks.
+    """Single-ligand wrapper over :func:`packed_score_and_gradient_batch`.
 
     Returns ``(totals (k,), d_translation (k, 3), d_rotation (k, 3),
-    d_torsion (k, n_torsions))``.  ``d_rotation`` is the axis-angle
-    gradient about the ligand centre, ``dE/dω = Σ_i r_i × (dE/dx_i)``;
-    ``d_torsion`` chains atom gradients through each torsion's rotation
-    axis, ``dE/dθ_t = Σ_{i∈moving_t} (dE/dx_i) · (â_t × (x_i − x_a))``,
-    treating torsions independently (exact for disjoint subtrees, the
-    standard torsion-tree approximation otherwise).
+    d_torsion (k, n_torsions))``.
     """
-    from repro.docking.ligand import apply_torsions_batch
-
-    conf = beads.conformers[conformer_idx]
-    has_torsions = torsion_angles is not None and beads.n_torsions > 0
-    if has_torsions:
-        local = apply_torsions_batch(conf, beads.torsions, torsion_angles)
-    else:
-        local = conf
-    rot = batch_quaternion_to_matrix(quaternions)
-    coords = np.einsum("kni,kji->knj", local, rot) + translations[:, None, :]
-    totals, _, atom_grad = _batch_atom_energies(receptor, beads, coords)
-    d_trans = atom_grad.sum(axis=1)
-    rel = coords - translations[:, None, :]
-    d_rot = np.cross(rel, atom_grad).sum(axis=1)
-
-    n_tor = beads.n_torsions if has_torsions else 0
-    d_tor = np.zeros((len(conf), n_tor))
-    if has_torsions:
-        # each torsion's moving-atom set is ragged, so the torsion axis
-        # (short) stays a Python loop; every line inside is batched over
-        # the pose axis (long)
-        for t, tor in enumerate(beads.torsions):  # repro: disable=vectorization
-            origin_l = local[:, tor.a]  # local frame
-            axis_l = local[:, tor.b] - origin_l
-            axis_l = axis_l / (np.linalg.norm(axis_l, axis=1, keepdims=True) + 1e-12)
-            # world-frame axis and lever arms
-            axis_w = np.einsum("ki,kji->kj", axis_l, rot)
-            origin_w = np.einsum("ki,kji->kj", origin_l, rot) + translations
-            arm = coords[:, tor.moving] - origin_w[:, None, :]
-            dxdtheta = np.cross(axis_w[:, None, :], arm)
-            d_tor[:, t] = (atom_grad[:, tor.moving] * dxdtheta).sum(axis=(1, 2))
-    return totals, d_trans, d_rot, d_tor
-
-
-# ------------------------------------------------------------- single pose
+    pack, plan = _single_call(beads, len(conformer_idx))
+    return packed_score_and_gradient_batch(
+        receptor,
+        pack,
+        plan,
+        conformer_idx,
+        translations,
+        quaternions,
+        torsion_angles,
+    )
 
 
 def score_pose(receptor: Receptor, beads: LigandBeads, pose: Pose) -> ScoreBreakdown:
@@ -319,13 +693,13 @@ def apply_rigid_steps_batch(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Apply per-pose translation + axis-angle rotation increments (batched)."""
     new_t = translations + d_trans
-    angle = np.linalg.norm(d_rot, axis=-1, keepdims=True)
+    angle = _norm_last(d_rot)
     safe = np.maximum(angle, 1e-12)
     axis = d_rot / safe
     half = angle / 2.0
     dq = np.concatenate([axis * np.sin(half), np.cos(half)], axis=-1)
     new_q = _quat_multiply(dq, quaternions)
-    new_q = new_q / np.linalg.norm(new_q, axis=-1, keepdims=True)
+    new_q = new_q / _norm_last(new_q)
     # zero-rotation rows keep the original quaternion exactly
     still = (angle < 1e-12)[..., 0]
     new_q[still] = quaternions[still]

@@ -41,7 +41,13 @@ import numpy as np
 from repro.rct.fault import FailureSummary, FaultModel, RetryPolicy
 from repro.util.config import FrozenConfig, validate_positive
 
-__all__ = ["RaptorConfig", "RaptorResult", "simulate_raptor", "run_raptor"]
+__all__ = [
+    "RaptorConfig",
+    "RaptorResult",
+    "simulate_raptor",
+    "run_raptor",
+    "dock_library_raptor",
+]
 
 #: stage label used in failure ledgers
 _STAGE = "raptor"
@@ -343,4 +349,71 @@ def run_raptor(
         results=results,
         failed_indices=sorted(failed_indices),
         failure_summary=summary,
+    )
+
+
+def dock_library_raptor(
+    engine,
+    library,
+    config: RaptorConfig,
+    shard_size: int = 16,
+    retry: RetryPolicy | None = None,
+    limit: int | None = None,
+) -> RaptorResult:
+    """RAPTOR-ize a library screen over fused multi-ligand shards.
+
+    The library is cut into contiguous shards of ``shard_size`` compounds;
+    each shard is one RAPTOR item executed by
+    ``engine.dock_entries(shard, batched=True)`` — so every worker
+    amortizes kernel launches across its whole shard instead of paying
+    per-ligand dispatch (the AutoDock-GPU batching argument applied to
+    the overlay's work unit).  Per-compound determinism makes the shard
+    cut invisible in the results: scores, poses and ``n_evals`` are
+    identical to ``engine.dock_library`` whatever ``shard_size``.
+
+    Returns a :class:`RaptorResult` whose ``results`` list is flattened
+    back to library order (one :class:`~repro.docking.engine.DockingResult`
+    per compound; a failed shard's compounds hold the exception object)
+    and whose ``failed_indices`` are *compound* indices.  Engine eval
+    counters are updated once, after the pool has drained — worker
+    threads never touch shared engine state.
+    """
+    n = len(library) if limit is None else min(limit, len(library))
+    if n == 0:
+        raise ValueError("no compounds to dock")
+    entries = [(library[i].smiles, library[i].compound_id) for i in range(n)]
+    shards = [
+        entries[start : start + shard_size]
+        for start in range(0, n, shard_size)
+    ]
+
+    outcome = run_raptor(
+        shards,
+        lambda shard: engine.dock_entries(shard, batched=True),
+        config,
+        retry=retry,
+    )
+
+    flat: list = []
+    failed_compounds: list[int] = []
+    offsets = [0]
+    for shard in shards:
+        offsets.append(offsets[-1] + len(shard))
+    for si, shard_result in enumerate(outcome.results or []):
+        if isinstance(shard_result, Exception):
+            flat.extend([shard_result] * len(shards[si]))
+            failed_compounds.extend(range(offsets[si], offsets[si + 1]))
+        else:
+            flat.extend(shard_result)
+            for r in shard_result:
+                engine.total_evals += r.n_evals
+                engine.total_ligands += 1
+    return RaptorResult(
+        makespan=outcome.makespan,
+        n_items=n,
+        worker_busy=outcome.worker_busy,
+        master_busy=outcome.master_busy,
+        results=flat,
+        failed_indices=failed_compounds,
+        failure_summary=outcome.failure_summary,
     )
