@@ -1,0 +1,178 @@
+"""Eager vs. graph-compiled surrogate inference benchmark.
+
+Streams the same seeded image batches through both ``compile_model``
+engines — ``"eager"`` (closure-per-layer interpreter) and ``"graph"``
+(traced op graph, fused epilogues, arena-planned ``out=`` kernels) — and
+writes ``BENCH_inference.json`` with wall-clock, samples/sec, the
+speedup, steady-state allocation footprints (via ``tracemalloc``) and
+the graph engine's plan statistics (arena bytes, buffer count, fused
+GEMM strategy counts, pass rewrite counts).
+
+The two engines must agree **bitwise** at the benchmark batch size (the
+graph engine's core contract); the benchmark verifies that on every
+round and fails loudly if equivalence ever drifts.
+
+Rounds interleave the two engines and the reported time is each engine's
+best round, so a noisy co-tenant slows both paths rather than biasing
+the ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_inference.py            # full (batch 64)
+    PYTHONPATH=src python benchmarks/perf_inference.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+from repro.nn.inference import compile_model
+from repro.surrogate.model import build_smilesnet
+
+N_CHANNELS = 7
+IMAGE_SIZE = 24
+
+
+def _build_model(seed: int, width: int):
+    """A seeded SmilesNet with warmed BatchNorm running statistics."""
+    model = build_smilesnet(seed=seed, width=width)
+    rng = np.random.default_rng(seed + 1)
+    for _ in range(4):
+        model(Tensor(rng.normal(size=(16, N_CHANNELS, IMAGE_SIZE, IMAGE_SIZE))))
+    model.eval()
+    return model
+
+
+def _timed_pass(compiled, batches) -> tuple[np.ndarray, float]:
+    """Run every batch through one engine → (stacked outputs, seconds)."""
+    t0 = time.perf_counter()
+    outs = [compiled(x) for x in batches]
+    return np.concatenate(outs), time.perf_counter() - t0
+
+
+def _steady_alloc_bytes(compiled, x) -> int:
+    """Peak bytes allocated by one steady-state (warm) batch."""
+    compiled(x)  # bind plans / warm caches outside the trace
+    tracemalloc.start()
+    compiled(x)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def run_benchmark(
+    batch: int, n_batches: int, rounds: int, seed: int, width: int
+) -> dict:
+    """Interleaved eager/graph rounds over identical seeded batches."""
+    model = _build_model(seed, width)
+    rng = np.random.default_rng(seed + 2)
+    batches = [
+        rng.normal(size=(batch, N_CHANNELS, IMAGE_SIZE, IMAGE_SIZE))
+        for _ in range(n_batches)
+    ]
+    eager = compile_model(model, "fp16", engine="eager")
+    graph = compile_model(model, "fp16", engine="graph")
+    eager(batches[0]), graph(batches[0])  # warm index caches and plans
+
+    n_samples = batch * n_batches
+    eager_times, graph_times = [], []
+    identical = True
+    for _ in range(rounds):
+        eager_out, eager_dt = _timed_pass(eager, batches)
+        graph_out, graph_dt = _timed_pass(graph, batches)
+        eager_times.append(eager_dt)
+        graph_times.append(graph_dt)
+        identical = identical and bool(np.array_equal(graph_out, eager_out))
+
+    eager_best = min(eager_times)
+    graph_best = min(graph_times)
+    executor = graph.executor_for((N_CHANNELS, IMAGE_SIZE, IMAGE_SIZE))
+    info = executor.plan_info(batch)
+    return {
+        "batch": batch,
+        "n_batches": n_batches,
+        "rounds": rounds,
+        "seed": seed,
+        "width": width,
+        "precision": "fp16",
+        "eager": {
+            "seconds": round(eager_best, 4),
+            "samples_per_sec": round(n_samples / eager_best, 1),
+            "steady_alloc_bytes": _steady_alloc_bytes(eager, batches[0]),
+        },
+        "graph": {
+            "seconds": round(graph_best, 4),
+            "samples_per_sec": round(n_samples / graph_best, 1),
+            "steady_alloc_bytes": _steady_alloc_bytes(graph, batches[0]),
+            "arena_bytes": info["arena_bytes"],
+            "arena_elems": info["arena_elems"],
+            "naive_elems": info["naive_elems"],
+            "n_buffers": info["n_buffers"],
+            "n_steps": info["n_steps"],
+            "n_folded_gemm": info["n_folded_gemm"],
+            "n_broadcast_gemm": info["n_broadcast_gemm"],
+            "pass_stats": graph.pass_stats,
+        },
+        "speedup": round(eager_best / graph_best, 2),
+        "identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--batches", type=int, default=8, help="batches per round")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--width", type=int, default=12, help="SmilesNet width")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_inference.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run, no JSON; exit non-zero if the graph engine is "
+        "slower than eager or predictions drift",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_benchmark(
+            batch=16, n_batches=2, rounds=1, seed=args.seed, width=6
+        )
+    else:
+        report = run_benchmark(
+            batch=args.batch,
+            n_batches=args.batches,
+            rounds=args.rounds,
+            seed=args.seed,
+            width=args.width,
+        )
+    print(json.dumps(report, indent=2))
+
+    if not report["identical"]:
+        print("FAIL: graph and eager predictions are not bit-identical")
+        return 1
+    if args.smoke:
+        if report["speedup"] < 1.0:
+            print("FAIL: graph engine slower than eager in smoke run")
+            return 1
+        print(f"smoke OK: graph {report['speedup']}x, predictions identical")
+        return 0
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Graph-compiled inference: op IR, fusion passes, arena planning, execution.
+
+The TensorRT analogue of this codebase (§6.1.1): instead of interpreting
+a module tree closure-by-closure, :func:`trace_module` lowers it into an
+explicit op graph, :func:`optimize` runs fusion/folding passes over the
+graph (conv+BN folding, matmul-epilogue activation fusion, residual
+add+ReLU fusion, constant folding, dead-op elimination), a liveness-based
+planner packs every intermediate into one preallocated buffer arena, and
+:class:`GraphExecutor` runs the plan with ``out=`` kernels and in-place
+epilogues — zero steady-state allocations per batch.
+
+Hard contract: for every supported layer and precision, the executed
+graph's predictions are **bit-identical** to the eager compiled path of
+:mod:`repro.nn.inference`.  Passes therefore never reassociate floating
+point — they fold at the *scheduling* level (same arithmetic, same
+order, fewer passes and no temporaries), and the one kernel substitution
+that could legally change rounding (batch-folded single-GEMM convs) is
+gated by a bitwise probe with automatic fallback.
+"""
+
+from repro.nn.graph.executor import GraphExecutor
+from repro.nn.graph.ir import Graph, Node, Value, freeze_module, trace_module
+from repro.nn.graph.passes import PassStats, default_passes, optimize
+from repro.nn.graph.planner import MemoryPlan, plan_memory, validate_plan
+
+__all__ = [
+    "Graph",
+    "GraphExecutor",
+    "MemoryPlan",
+    "Node",
+    "PassStats",
+    "Value",
+    "default_passes",
+    "freeze_module",
+    "optimize",
+    "plan_memory",
+    "trace_module",
+    "validate_plan",
+]

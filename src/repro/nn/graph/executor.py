@@ -1,0 +1,413 @@
+"""Arena-backed graph executor: out= kernels, in-place epilogues.
+
+Binding happens once per (graph, batch): the planner's arena is
+allocated, every value becomes a preallocated view into it, and each
+node compiles to a closure over those views — ``np.take(..., out=)``
+gathers, ``np.matmul(..., out=)`` GEMMs, in-place epilogue ufuncs.
+Steady-state ``run`` calls perform zero array allocations.
+
+Convs get one extra trick.  The eager path runs the im2col matmul as a
+broadcast over the batch — ``(oc, ckk) @ (b, ckk, L)`` is ``b`` small
+GEMMs, each too thin to keep BLAS busy.  Folding the batch into the
+column axis — one ``(oc, ckk) @ (ckk, b*L)`` GEMM — is ~17x faster, but
+BLAS accumulation order inside a dot product can differ with column
+position, so the substitution is only *usually* bit-identical.  We
+therefore **probe** each conv at bind time: run both kernels on a
+deterministic ramp at the actual batch size and compare bitwise; the
+folded kernel is used only when the probe proves equality, otherwise the
+executor falls back to the broadcast form (still allocation-free).  The
+bit-identity contract is enforced, not assumed.
+
+Padded convs never materialize a padded copy: activations consumed by a
+padded gather carry one trailing "zero slot" element per sample row
+(see :mod:`repro.nn.im2col`), pinned to 0 right before the gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.graph.ir import Graph, quantize
+from repro.nn.graph.planner import plan_memory
+from repro.nn.im2col import conv_index_plan, conv_zero_slot_plan
+
+__all__ = ["GraphExecutor"]
+
+
+class _BoundPlan:
+    """One graph bound to an arena for a fixed batch size."""
+
+    __slots__ = ("input", "output", "steps", "arena", "memory", "strategies")
+
+    def __init__(self, input_view, output_view, steps, arena, memory, strategies):
+        self.input = input_view
+        self.output = output_view
+        self.steps = steps
+        self.arena = arena
+        self.memory = memory
+        self.strategies = strategies
+
+
+class GraphExecutor:
+    """Execute a (typically optimized) :class:`Graph` over batches.
+
+    The executor does not run passes itself — callers optimize first (or
+    not: an unoptimized trace executes correctly too, which the
+    bit-equivalence tests exploit).  Plans are cached per batch size;
+    :meth:`run` returns a live view into the arena, so callers must copy
+    (e.g. via ``astype``) before the next call.  Not thread-safe.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self._plans: dict[int, _BoundPlan] = {}
+        self._probe_cache: dict[tuple, bool] = {}
+
+    def run(self, xq: np.ndarray) -> np.ndarray:
+        """Run one quantized compute-dtype batch; returns an arena view."""
+        batch = int(xq.shape[0])
+        plan = self._plans.get(batch)
+        if plan is None:
+            plan = self._plans[batch] = self._bind(batch)
+        np.copyto(plan.input, xq)
+        for step in plan.steps:
+            step()
+        return plan.output
+
+    def plan_info(self, batch: int) -> dict:
+        """Arena and kernel statistics for one batch size (binds if new)."""
+        plan = self._plans.get(batch)
+        if plan is None:
+            plan = self._plans[batch] = self._bind(batch)
+        strategies = list(plan.strategies.values())
+        return {
+            "arena_elems": plan.memory.total_elems,
+            "arena_bytes": plan.memory.total_bytes,
+            "n_buffers": plan.memory.n_buffers,
+            "naive_elems": plan.memory.naive_elems,
+            "n_steps": len(plan.steps),
+            "n_folded_gemm": strategies.count("folded"),
+            "n_broadcast_gemm": strategies.count("broadcast"),
+        }
+
+    # ----------------------------------------------------------- binding
+    def _probe_folded(self, w_vid: int, wq, ckk: int, length: int, batch: int) -> bool:
+        """Bitwise-compare folded vs broadcast GEMM on a deterministic ramp."""
+        key = (w_vid, length, batch)
+        hit = self._probe_cache.get(key)
+        if hit is not None:
+            return hit
+        oc = wq.shape[0]
+        compute = np.dtype(self.graph.compute)
+        ramp = (np.arange(batch * ckk * length, dtype=np.int64) % 251).astype(compute)
+        cols = quantize(ramp * 0.01 - 1.0, self.graph.store, compute)
+        cols = cols.reshape(batch, ckk, length)
+        ref = wq @ cols
+        cols_cm = np.ascontiguousarray(cols.transpose(1, 0, 2))
+        folded = np.empty((oc, batch * length), dtype=compute)
+        np.matmul(wq, cols_cm.reshape(ckk, batch * length), out=folded)
+        same = bool(
+            np.array_equal(folded.reshape(oc, batch, length).transpose(1, 0, 2), ref)
+        )
+        self._probe_cache[key] = same
+        return same
+
+    def _bind(self, batch: int) -> _BoundPlan:
+        g = self.graph
+        compute = np.dtype(g.compute)
+
+        strategies: dict[int, str] = {}
+        scratch_req: dict[int, tuple[int, ...]] = {}
+        for i, node in enumerate(g.nodes):  # repro: disable=vectorization — node bookkeeping
+            if node.kind != "matmul" or node.attrs["form"] != "wx":
+                continue
+            wq = g.const_array(node.inputs[0])
+            ckk, length = g.values[node.inputs[1]].ps_shape
+            if self._probe_folded(node.inputs[0], wq, ckk, length, batch):
+                strategies[i] = "folded"
+                scratch_req[i] = (ckk * batch * length, wq.shape[0] * batch * length)
+            else:
+                strategies[i] = "broadcast"
+
+        memory = plan_memory(g, batch, scratch_req)
+        arena = np.empty(memory.total_elems, dtype=compute)
+
+        def row_view(root: int, carve: bool):
+            off, _ = memory.slots[("value", root)]
+            elems = g.values[root].ps_elems
+            rowlen = elems + (1 if root in memory.slot_roots else 0)
+            base = arena[off : off + batch * rowlen].reshape(batch, rowlen)
+            return base[:, :elems] if carve and rowlen != elems else base
+
+        def view_at(vid: int, ps):
+            shaped = row_view(g.storage_root(vid), carve=True).reshape(
+                (batch,) + tuple(ps)
+            )
+            if not np.shares_memory(shaped, arena):  # pragma: no cover
+                raise RuntimeError("activation view is not arena-backed")
+            return shaped
+
+        views: dict[int, np.ndarray] = {}
+
+        def view(vid: int):
+            if vid not in views:
+                views[vid] = view_at(vid, g.values[vid].ps_shape)
+            return views[vid]
+
+        def scratch_view(node_idx: int, j: int, shape):
+            off, _ = memory.slots[("scratch", node_idx, j)]
+            return arena[off : off + int(np.prod(shape))].reshape(shape)
+
+        def operand_array(vid: int):
+            return view(vid) if g.values[vid].batched else g.const_array(vid)
+
+        def bind_epilogue(node, skip_first: bool = False):
+            fns = []
+            for step in node.epilogue[1 if skip_first else 0 :]:
+                target = view_at(node.out, step.view_ps)
+                if step.fn in ("add", "mul"):
+                    ufunc = np.add if step.fn == "add" else np.multiply
+                    fns.append(_inplace_binary(ufunc, target, operand_array(step.operand)))
+                elif step.fn == "max0":
+                    fns.append(_inplace_relu(target))
+                elif step.fn == "tanh":
+                    fns.append(_inplace_tanh(target))
+                elif step.fn == "sigmoid":
+                    fns.append(_inplace_sigmoid(target))
+                else:  # pragma: no cover - passes never absorb other fns
+                    raise ValueError(f"cannot apply epilogue fn {step.fn!r} in place")
+            return fns
+
+        steps: list = []
+        for i, node in enumerate(g.nodes):  # repro: disable=vectorization — kernel binding
+            if node.kind == "reshape":
+                continue  # pure storage alias (or a lazily folded constant)
+
+            if node.kind == "gather":
+                k = node.attrs["kernel"]
+                stride = node.attrs["stride"]
+                pad = node.attrs["padding"]
+                c, h, w = node.attrs["in_ps"]
+                out_view = view(node.out)
+                src_root = g.storage_root(node.inputs[0])
+                if pad:
+                    idx = conv_zero_slot_plan(k, stride, pad, c, h, w)
+                    src = row_view(src_root, carve=False)
+                    steps.append(
+                        _gather_padded(src, g.values[src_root].ps_elems, idx, out_view)
+                    )
+                else:
+                    idx = conv_index_plan(k, stride, c, h, w)
+                    steps.append(_gather(row_view(src_root, carve=True), idx, out_view))
+
+            elif node.kind == "matmul":
+                out_view = view(node.out)
+                if node.attrs["form"] == "wx":
+                    wq = g.const_array(node.inputs[0])
+                    cols = view(node.inputs[1])
+                    if strategies[i] == "folded":
+                        ckk, length = g.values[node.inputs[1]].ps_shape
+                        oc = wq.shape[0]
+                        stage = scratch_view(i, 0, (ckk, batch, length))
+                        acc = scratch_view(i, 1, (oc, batch * length))
+                        # the transpose-back copy can carry the first
+                        # const epilogue (the conv bias) for free
+                        first = node.epilogue[0] if node.epilogue else None
+                        fuse_first = (
+                            first is not None
+                            and first.fn in ("add", "mul")
+                            and first.operand is not None
+                            and not g.values[first.operand].batched
+                            and tuple(first.view_ps) == g.values[node.out].ps_shape
+                        )
+                        if fuse_first:
+                            ufunc = np.add if first.fn == "add" else np.multiply
+                            fused = (ufunc, g.const_array(first.operand))
+                        else:
+                            fused = None
+                        steps.append(_conv_folded(wq, cols, stage, acc, out_view, fused))
+                        steps.extend(bind_epilogue(node, skip_first=fuse_first))
+                    else:
+                        steps.append(_matmul_bcast(wq, cols, out_view))
+                        steps.extend(bind_epilogue(node))
+                else:
+                    wq = g.const_array(node.inputs[1])
+                    steps.append(_matmul_xw(view(node.inputs[0]), wq, out_view))
+                    steps.extend(bind_epilogue(node))
+
+            elif node.kind == "ewise":
+                fn = node.attrs["fn"]
+                xv = view(node.inputs[0])
+                out_view = view(node.out)
+                if fn in ("add", "mul"):
+                    ufunc = np.add if fn == "add" else np.multiply
+                    steps.append(_binary(ufunc, xv, operand_array(node.inputs[1]), out_view))
+                elif fn == "max0":
+                    steps.append(_relu(xv, out_view))
+                elif fn == "leaky":
+                    steps.append(_leaky(xv, node.attrs["slope"], out_view))
+                elif fn == "tanh":
+                    steps.append(_tanh(xv, out_view))
+                elif fn == "sigmoid":
+                    steps.append(_sigmoid(xv, out_view))
+                else:  # pragma: no cover - trace emits no other fns
+                    raise ValueError(f"unknown ewise fn {fn!r}")
+                steps.extend(bind_epilogue(node))
+
+            elif node.kind == "reduce":
+                pre = node.attrs["pre_ps"]
+                axes = tuple(a + 1 for a in node.attrs["axes_ps"])
+                src = view_at(node.inputs[0], pre) if pre else view(node.inputs[0])
+                out_view = view(node.out)
+                if node.attrs["fn"] == "max":
+                    steps.append(_reduce_max(src, axes, out_view))
+                else:
+                    steps.append(_reduce_mean(src, axes, out_view))
+                steps.extend(bind_epilogue(node))
+
+            else:  # pragma: no cover - trace emits no other kinds
+                raise ValueError(f"unknown node kind {node.kind!r}")
+
+        return _BoundPlan(
+            view(g.input_vid), view(g.output_vid), steps, arena, memory, strategies
+        )
+
+
+# ------------------------------------------------------------- kernels
+# Each binder returns a zero-argument closure over preallocated views.
+# The ufunc sequences mirror the eager interpreter's expressions exactly
+# (same ops, same operand order up to commutativity of IEEE add/mul).
+
+
+def _gather(src, idx, out_view):
+    def run():
+        np.take(src, idx, axis=1, out=out_view, mode="clip")
+
+    return run
+
+
+def _gather_padded(src, zero_slot, idx, out_view):
+    def run():
+        # the slot column may hold garbage from arena reuse; re-pin it
+        src[:, zero_slot] = 0
+        np.take(src, idx, axis=1, out=out_view, mode="clip")
+
+    return run
+
+
+def _matmul_bcast(wq, cols, out_view):
+    def run():
+        np.matmul(wq, cols, out=out_view)
+
+    return run
+
+
+def _conv_folded(wq, cols, stage, acc, out_view, fused):
+    oc, batch, length = acc.shape[0], cols.shape[0], cols.shape[2]
+    acc2d = acc.reshape(oc, batch * length)
+    acc_bm = acc.reshape(oc, batch, length)
+
+    def run():
+        np.copyto(stage, cols.transpose(1, 0, 2))
+        np.matmul(wq, stage.reshape(stage.shape[0], -1), out=acc2d)
+        if fused is not None:
+            ufunc, operand = fused
+            ufunc(acc_bm.transpose(1, 0, 2), operand, out=out_view)
+        else:
+            np.copyto(out_view, acc_bm.transpose(1, 0, 2))
+
+    return run
+
+
+def _matmul_xw(xv, wq, out_view):
+    def run():
+        np.matmul(xv, wq, out=out_view)
+
+    return run
+
+
+def _binary(ufunc, xv, arr, out_view):
+    def run():
+        ufunc(xv, arr, out=out_view)
+
+    return run
+
+
+def _relu(xv, out_view):
+    def run():
+        np.maximum(xv, 0, out=out_view)
+
+    return run
+
+
+def _leaky(xv, slope, out_view):
+    def run():
+        # mirrors eager np.where(x > 0, x, slope * x); the mask is the
+        # one unavoidable temporary (the negative branch needs pre-
+        # activation values, so a fully in-place form does not exist)
+        np.multiply(xv, slope, out=out_view)
+        np.copyto(out_view, xv, where=xv > 0)
+
+    return run
+
+
+def _tanh(xv, out_view):
+    def run():
+        np.tanh(xv, out=out_view)
+
+    return run
+
+
+def _sigmoid(xv, out_view):
+    def run():
+        np.negative(xv, out=out_view)
+        np.exp(out_view, out=out_view)
+        np.add(out_view, 1.0, out=out_view)
+        np.divide(1.0, out_view, out=out_view)
+
+    return run
+
+
+def _reduce_max(src, axes, out_view):
+    def run():
+        src.max(axis=axes, out=out_view)
+
+    return run
+
+
+def _reduce_mean(src, axes, out_view):
+    def run():
+        src.mean(axis=axes, out=out_view)
+
+    return run
+
+
+def _inplace_binary(ufunc, target, arr):
+    def run():
+        ufunc(target, arr, out=target)
+
+    return run
+
+
+def _inplace_relu(target):
+    def run():
+        np.maximum(target, 0, out=target)
+
+    return run
+
+
+def _inplace_tanh(target):
+    def run():
+        np.tanh(target, out=target)
+
+    return run
+
+
+def _inplace_sigmoid(target):
+    def run():
+        np.negative(target, out=target)
+        np.exp(target, out=target)
+        np.add(target, 1.0, out=target)
+        np.divide(1.0, target, out=target)
+
+    return run

@@ -1,0 +1,464 @@
+"""Op-graph IR: freeze a module tree, trace it into explicit nodes.
+
+Two stages, mirroring TensorRT's parse→build split:
+
+:func:`freeze_module`
+    snapshots a :class:`~repro.nn.layers.Module` tree into an immutable
+    layer description with *quantized* weights (the same
+    store→compute round-trip the eager compiled path applies), so later
+    mutation of the live model cannot drift the compiled engine.
+
+:func:`trace_frozen` / :func:`trace_module`
+    lowers the frozen tree plus a concrete per-sample input shape into a
+    :class:`Graph` of primitive nodes — ``gather`` (im2col), ``matmul``,
+    ``ewise``, ``reduce`` and ``reshape`` — emitted in exactly the eager
+    evaluation order.  Every elementwise step the eager interpreter
+    takes appears as its own node; the fusion passes then *reschedule*
+    those steps into matmul epilogues without ever reassociating the
+    arithmetic, which is what keeps graph execution bit-identical.
+
+Shapes in the IR are **per-sample**: every batched value's ``ps_shape``
+omits the leading batch axis, so one traced graph serves any batch size
+and the planner scales buffer sizes by the batch it is planning for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.nn.im2col import conv_out_hw
+from repro.nn.layers import (
+    BatchNorm,
+    Conv2d,
+    Dense,
+    Flatten,
+    GlobalAvgPool2d,
+    LeakyReLU,
+    MaxPool2d,
+    Module,
+    PointwiseDense,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+
+__all__ = [
+    "EpStep",
+    "Graph",
+    "Node",
+    "Value",
+    "freeze_module",
+    "quantize",
+    "resolve_precision",
+    "trace_frozen",
+    "trace_module",
+]
+
+
+def resolve_precision(precision: str) -> tuple[np.dtype, np.dtype]:
+    """Map a precision name to (storage, compute) dtypes."""
+    if precision == "fp16":
+        return np.float16, np.float32
+    if precision == "fp32":
+        return np.float32, np.float32
+    raise ValueError(f"precision must be 'fp16' or 'fp32', got {precision!r}")
+
+
+def quantize(arr: np.ndarray, store, compute) -> np.ndarray:
+    """Round-trip an array through the storage precision."""
+    return np.asarray(arr).astype(store).astype(compute)
+
+
+# ---------------------------------------------------------------------- IR
+@dataclass
+class Value:
+    """One tensor in the graph: a batched activation or a constant."""
+
+    vid: int
+    ps_shape: tuple[int, ...] | None  # per-sample shape; None for constants
+    data: np.ndarray | None = None  # constant payload (may be lazily folded)
+    name: str = ""
+
+    @property
+    def batched(self) -> bool:
+        """Whether this value carries a leading batch axis at runtime."""
+        return self.ps_shape is not None
+
+    @property
+    def ps_elems(self) -> int:
+        """Elements per sample."""
+        return int(np.prod(self.ps_shape)) if self.ps_shape else 1
+
+
+@dataclass
+class EpStep:
+    """One in-place epilogue step fused onto a node's output buffer.
+
+    ``fn`` is an elementwise op (``add``/``mul`` with an operand value,
+    or ``max0``/``tanh``/``sigmoid``); ``view_ps`` is the per-sample
+    shape the step originally ran at, so the executor applies it through
+    a view of the producing node's storage with identical broadcasting.
+    """
+
+    fn: str
+    operand: int | None = None  # vid of a const or batched value
+    view_ps: tuple[int, ...] | None = None
+
+
+@dataclass
+class Node:
+    """One primitive op: kind, operand values, output value, attributes."""
+
+    kind: str  # 'gather' | 'matmul' | 'ewise' | 'reduce' | 'reshape'
+    inputs: tuple[int, ...]
+    out: int
+    attrs: dict = field(default_factory=dict)
+    epilogue: list[EpStep] = field(default_factory=list)
+
+
+@dataclass
+class Graph:
+    """A traced inference program: values, nodes in execution order."""
+
+    store: np.dtype
+    compute: np.dtype
+    input_vid: int = -1
+    output_vid: int = -1
+    values: dict[int, Value] = field(default_factory=dict)
+    nodes: list[Node] = field(default_factory=list)
+    _next_vid: int = 0
+
+    # -------------------------------------------------------------- values
+    def new_value(self, ps_shape: tuple[int, ...], name: str = "") -> int:
+        """Register a batched value; returns its vid."""
+        vid = self._next_vid
+        self._next_vid += 1
+        self.values[vid] = Value(vid, tuple(int(d) for d in ps_shape), name=name)
+        return vid
+
+    def new_const(self, data: np.ndarray, name: str = "") -> int:
+        """Register a constant value; returns its vid."""
+        vid = self._next_vid
+        self._next_vid += 1
+        self.values[vid] = Value(vid, None, data=data, name=name)
+        return vid
+
+    def new_shaped_const(self, shape: tuple[int, ...], name: str = "") -> int:
+        """A constant whose payload a const-producing node will define."""
+        vid = self._next_vid
+        self._next_vid += 1
+        self.values[vid] = Value(vid, None, data=None, name=name)
+        return vid
+
+    # ------------------------------------------------------------ topology
+    def producer_of(self, vid: int) -> Node | None:
+        """The node defining ``vid``, or None for graph inputs/constants."""
+        for node in self.nodes:
+            if node.out == vid:
+                return node
+        return None
+
+    def consumers_of(self, vid: int) -> list[Node]:
+        """Nodes reading ``vid`` as input or epilogue operand."""
+        out = []
+        for node in self.nodes:
+            if vid in node.inputs or any(s.operand == vid for s in node.epilogue):
+                out.append(node)
+        return out
+
+    def storage_root(self, vid: int) -> int:
+        """Follow reshape-alias producers back to the owning storage."""
+        node = self.producer_of(vid)
+        while node is not None and node.kind == "reshape":
+            vid = node.inputs[0]
+            node = self.producer_of(vid)
+        return vid
+
+    def const_array(self, vid: int) -> np.ndarray:
+        """Materialize a constant value, folding alias chains lazily."""
+        value = self.values[vid]
+        if value.batched:
+            raise ValueError(f"value {vid} is not a constant")
+        if value.data is None:
+            node = self.producer_of(vid)
+            if node is None or node.kind != "reshape":
+                raise ValueError(f"constant {vid} has no payload")
+            value.data = self.const_array(node.inputs[0]).reshape(
+                node.attrs["shape"]
+            )
+        return value.data
+
+
+# ------------------------------------------------------------- frozen tree
+@dataclass(frozen=True)
+class FrozenConv:
+    weight: np.ndarray  # (out_c, c*k*k), quantized
+    bias: np.ndarray  # (out_c,), quantized
+    kernel: int
+    stride: int
+    padding: int
+
+
+@dataclass(frozen=True)
+class FrozenDense:
+    weight: np.ndarray  # (in, out), quantized
+    bias: np.ndarray  # (out,), quantized
+
+
+@dataclass(frozen=True)
+class FrozenBatchNorm:
+    scale: np.ndarray  # gamma / sqrt(var + eps), fp64 math then quantized
+    shift: np.ndarray  # beta - mean * scale
+
+
+@dataclass(frozen=True)
+class FrozenActivation:
+    kind: str  # 'relu' | 'leaky' | 'tanh' | 'sigmoid'
+    slope: float = 0.0
+
+
+@dataclass(frozen=True)
+class FrozenMaxPool:
+    kernel: int
+
+
+@dataclass(frozen=True)
+class FrozenGlobalAvgPool:
+    pass
+
+
+@dataclass(frozen=True)
+class FrozenFlatten:
+    pass
+
+
+@dataclass(frozen=True)
+class FrozenSequential:
+    items: tuple
+
+
+@dataclass(frozen=True)
+class FrozenResidual:
+    body: "FrozenLayer"
+    projection: Union["FrozenLayer", None]
+
+
+FrozenLayer = Union[
+    FrozenConv,
+    FrozenDense,
+    FrozenBatchNorm,
+    FrozenActivation,
+    FrozenMaxPool,
+    FrozenGlobalAvgPool,
+    FrozenFlatten,
+    FrozenSequential,
+    FrozenResidual,
+]
+
+
+def freeze_module(module: Module, store, compute) -> FrozenLayer:
+    """Snapshot a module tree with weights quantized for inference.
+
+    Raises ``TypeError`` for module types the graph engine cannot lower —
+    the same contract as the eager compiler.
+    """
+    if isinstance(module, Sequential):
+        return FrozenSequential(
+            tuple(freeze_module(m, store, compute) for m in module.layers)
+        )
+    if isinstance(module, ResidualBlock):
+        proj = (
+            freeze_module(module.projection, store, compute)
+            if module.projection is not None
+            else None
+        )
+        return FrozenResidual(freeze_module(module.body, store, compute), proj)
+    if isinstance(module, Conv2d):
+        return FrozenConv(
+            quantize(module.weight.data, store, compute),
+            quantize(module.bias.data, store, compute),
+            module.kernel,
+            module.stride,
+            module.padding,
+        )
+    if isinstance(module, (Dense, PointwiseDense)):
+        return FrozenDense(
+            quantize(module.weight.data, store, compute),
+            quantize(module.bias.data, store, compute),
+        )
+    if isinstance(module, BatchNorm):
+        # identical fp64 folding to the eager path, then quantize once
+        scale64 = module.gamma.data / np.sqrt(module.running_var + module.eps)
+        shift64 = module.beta.data - module.running_mean * scale64
+        return FrozenBatchNorm(
+            quantize(scale64, store, compute), quantize(shift64, store, compute)
+        )
+    if isinstance(module, ReLU):
+        return FrozenActivation("relu")
+    if isinstance(module, LeakyReLU):
+        return FrozenActivation("leaky", slope=float(module.slope))
+    if isinstance(module, Tanh):
+        return FrozenActivation("tanh")
+    if isinstance(module, Sigmoid):
+        return FrozenActivation("sigmoid")
+    if isinstance(module, MaxPool2d):
+        return FrozenMaxPool(module.kernel)
+    if isinstance(module, GlobalAvgPool2d):
+        return FrozenGlobalAvgPool()
+    if isinstance(module, Flatten):
+        return FrozenFlatten()
+    raise TypeError(f"cannot compile module of type {type(module).__name__}")
+
+
+# ------------------------------------------------------------------ tracing
+def trace_module(
+    module: Module, input_ps: tuple[int, ...], precision: str = "fp16"
+) -> Graph:
+    """Freeze and trace a module for per-sample input shape ``input_ps``."""
+    store, compute = resolve_precision(precision)
+    return trace_frozen(freeze_module(module, store, compute), input_ps, store, compute)
+
+
+def trace_frozen(
+    frozen: FrozenLayer, input_ps: tuple[int, ...], store, compute
+) -> Graph:
+    """Lower a frozen layer tree into a :class:`Graph`."""
+    g = Graph(store=store, compute=compute)
+    g.input_vid = g.new_value(tuple(int(d) for d in input_ps), name="input")
+    g.output_vid = _trace(g, frozen, g.input_vid)
+    return g
+
+
+def _ewise(g: Graph, fn: str, x: int, operand: int | None = None, name: str = "") -> int:
+    ps = g.values[x].ps_shape
+    out = g.new_value(ps, name=name)
+    inputs = (x,) if operand is None else (x, operand)
+    g.nodes.append(Node("ewise", inputs, out, {"fn": fn}))
+    return out
+
+
+def _reshape_const(g: Graph, vid: int, shape: tuple[int, ...], name: str) -> int:
+    """Emit a reshape node over a constant (folded away by passes)."""
+    out = g.new_shaped_const(shape, name=name)
+    g.nodes.append(Node("reshape", (vid,), out, {"shape": shape}))
+    return out
+
+
+def _trace(g: Graph, layer: FrozenLayer, x: int) -> int:
+    """Emit nodes for ``layer`` applied to value ``x``; returns out vid."""
+    ps = g.values[x].ps_shape
+
+    if isinstance(layer, FrozenSequential):
+        for item in layer.items:
+            x = _trace(g, item, x)
+        return x
+
+    if isinstance(layer, FrozenResidual):
+        # eager order: projection first, then body, then add + relu
+        skip = _trace(g, layer.projection, x) if layer.projection is not None else x
+        body = _trace(g, layer.body, x)
+        if g.values[body].ps_shape != g.values[skip].ps_shape:
+            raise ValueError(
+                f"residual shape mismatch: body {g.values[body].ps_shape} "
+                f"vs skip {g.values[skip].ps_shape}"
+            )
+        added = _ewise(g, "add", body, skip, name="res_add")
+        return _ewise(g, "max0", added, name="res_relu")
+
+    if isinstance(layer, FrozenConv):
+        if len(ps) != 3:
+            raise ValueError(f"Conv2d expects (C, H, W) per sample, got {ps}")
+        c, h, w = ps
+        k, s, p = layer.kernel, layer.stride, layer.padding
+        oh, ow = conv_out_hw(k, s, h + 2 * p, w + 2 * p)
+        oc = layer.weight.shape[0]
+        ckk = c * k * k
+        cols = g.new_value((ckk, oh * ow), name="cols")
+        g.nodes.append(
+            Node(
+                "gather",
+                (x,),
+                cols,
+                {"kernel": k, "stride": s, "padding": p, "in_ps": (c, h, w)},
+            )
+        )
+        w_vid = g.new_const(layer.weight, name="conv_w")
+        mm = g.new_value((oc, oh * ow), name="conv_mm")
+        g.nodes.append(Node("matmul", (w_vid, cols), mm, {"form": "wx"}))
+        b_vid = g.new_const(layer.bias, name="conv_b")
+        b_shaped = _reshape_const(g, b_vid, (oc, 1), "conv_b_bcast")
+        biased = _ewise(g, "add", mm, b_shaped, name="conv_bias")
+        out = g.new_value((oc, oh, ow), name="conv_out")
+        g.nodes.append(Node("reshape", (biased,), out, {"shape": (oc, oh, ow)}))
+        return out
+
+    if isinstance(layer, FrozenDense):
+        w_vid = g.new_const(layer.weight, name="dense_w")
+        out_features = int(layer.weight.shape[1])
+        mm = g.new_value(ps[:-1] + (out_features,), name="dense_mm")
+        g.nodes.append(Node("matmul", (x, w_vid), mm, {"form": "xw"}))
+        b_vid = g.new_const(layer.bias, name="dense_b")
+        return _ewise(g, "add", mm, b_vid, name="dense_bias")
+
+    if isinstance(layer, FrozenBatchNorm):
+        c = int(layer.scale.shape[0])
+        scale_vid = g.new_const(layer.scale, name="bn_scale")
+        shift_vid = g.new_const(layer.shift, name="bn_shift")
+        if len(ps) == 3:
+            scale_vid = _reshape_const(g, scale_vid, (c, 1, 1), "bn_scale_bcast")
+            shift_vid = _reshape_const(g, shift_vid, (c, 1, 1), "bn_shift_bcast")
+        elif len(ps) != 1:
+            raise ValueError(f"BatchNorm expects 1-D or 3-D per-sample input, got {ps}")
+        scaled = _ewise(g, "mul", x, scale_vid, name="bn_mul")
+        return _ewise(g, "add", scaled, shift_vid, name="bn_add")
+
+    if isinstance(layer, FrozenActivation):
+        fn = {"relu": "max0", "leaky": "leaky", "tanh": "tanh", "sigmoid": "sigmoid"}[
+            layer.kind
+        ]
+        out = _ewise(g, fn, x, name=layer.kind)
+        if layer.kind == "leaky":
+            # eager quantizes the slope to the compute dtype scalar
+            g.nodes[-1].attrs["slope"] = g.compute(layer.slope)
+        return out
+
+    if isinstance(layer, FrozenMaxPool):
+        c, h, w = ps
+        k = layer.kernel
+        if h % k or w % k:
+            raise ValueError(f"spatial dims ({h},{w}) not divisible by pool {k}")
+        out = g.new_value((c, h // k, w // k), name="maxpool")
+        g.nodes.append(
+            Node(
+                "reduce",
+                (x,),
+                out,
+                {
+                    "fn": "max",
+                    "pre_ps": (c, h // k, k, w // k, k),
+                    "axes_ps": (2, 4),
+                },
+            )
+        )
+        return out
+
+    if isinstance(layer, FrozenGlobalAvgPool):
+        c = ps[0]
+        out = g.new_value((c,), name="gap")
+        g.nodes.append(
+            Node("reduce", (x,), out, {"fn": "mean", "pre_ps": None, "axes_ps": (1, 2)})
+        )
+        return out
+
+    if isinstance(layer, FrozenFlatten):
+        n = int(np.prod(ps))
+        out = g.new_value((n,), name="flatten")
+        g.nodes.append(Node("reshape", (x,), out, {"shape": (n,)}))
+        return out
+
+    raise TypeError(f"cannot trace frozen layer of type {type(layer).__name__}")

@@ -1,0 +1,287 @@
+"""Graph optimization passes: folding and fusion without reassociation.
+
+Every pass here is a *scheduling* rewrite.  The bit-identity contract
+with the eager interpreter forbids algebraic folding (e.g. multiplying
+BN scale into conv weights reassociates the FP32 accumulation), so
+instead of changing the arithmetic, the passes absorb elementwise
+follower ops into the **epilogue** of their producer: the executor
+applies the exact same ufuncs, in the exact same order, in place on the
+producer's output buffer — one op node where the eager path ran five
+closures and five temporaries.
+
+Absorption is legal only along single-consumer chains (an in-place
+epilogue destroys the pre-epilogue value, so nobody else may read it);
+``reshape`` nodes are pure storage aliases and are looked through.
+
+The default pipeline, in order:
+
+1. ``fold_constants`` — materialize const-only subgraphs (e.g. the
+   broadcast-reshape of a conv bias) at compile time.
+2. ``fuse_bias`` — matmul + const-add → matmul with bias epilogue.
+3. ``fold_batchnorm`` — const-mul + const-add pairs (inference-mode BN)
+   fold into the preceding matmul's epilogue — conv+BN becomes one op —
+   or into a single node when no matmul precedes.  The matmul node
+   records the analytic ``(scale, shift)`` constants in ``attrs["bn"]``.
+4. ``fuse_activations`` — ReLU/Tanh/Sigmoid absorb into the producer's
+   epilogue (conv-bn-relu and dense-bias-act become one op each).
+5. ``fuse_residual`` — the skip add (and its already-fused ReLU) absorb
+   into the body's last matmul: a whole ResidualBlock tail is one op.
+6. ``eliminate_dead`` — drop nodes and values that no longer feed the
+   output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.nn.graph.ir import EpStep, Graph, Node
+
+__all__ = [
+    "PassStats",
+    "default_passes",
+    "eliminate_dead",
+    "fold_batchnorm",
+    "fold_constants",
+    "fuse_activations",
+    "fuse_bias",
+    "fuse_residual",
+    "optimize",
+]
+
+#: per-pass rewrite counts, in pipeline order
+PassStats = dict[str, int]
+
+#: unary activations an epilogue can apply in place (LeakyReLU is
+#: excluded: its negative branch needs the pre-activation value, which
+#: an in-place epilogue has already destroyed)
+_ACT_FNS = ("max0", "tanh", "sigmoid")
+
+
+def _sole_consumer(g: Graph, vid: int) -> Node | None:
+    consumers = g.consumers_of(vid)
+    return consumers[0] if len(consumers) == 1 else None
+
+
+def _chase(g: Graph, node: Node) -> tuple[int, Node | None]:
+    """Follow ``node.out`` through single-consumer reshape aliases.
+
+    Returns the final value id and its sole consumer (None if the value
+    fans out or terminates the graph).
+    """
+    vid = node.out
+    while True:
+        consumer = _sole_consumer(g, vid)
+        if (
+            consumer is not None
+            and consumer.kind == "reshape"
+            and g.values[consumer.out].batched
+        ):
+            vid = consumer.out
+            continue
+        return vid, consumer
+
+
+def _rewire(g: Graph, old: int, new: int) -> None:
+    """Replace every use of value ``old`` with ``new``."""
+    for node in g.nodes:
+        if old in node.inputs:
+            node.inputs = tuple(new if v == old else v for v in node.inputs)
+        for step in node.epilogue:
+            if step.operand == old:
+                step.operand = new
+    if g.output_vid == old:
+        g.output_vid = new
+
+
+def _absorb(g: Graph, target: Node, ewise: Node) -> None:
+    """Fold an ewise node into ``target``'s epilogue and remove it.
+
+    The step is recorded at the per-sample shape the op originally ran
+    at, so the executor re-applies it through a view of the target's
+    storage with identical broadcasting.  Any epilogue the absorbed node
+    itself carried rides along, preserving order.
+    """
+    x = ewise.inputs[0]
+    operand = ewise.inputs[1] if len(ewise.inputs) > 1 else None
+    target.epilogue.append(
+        EpStep(ewise.attrs["fn"], operand, g.values[x].ps_shape)
+    )
+    target.epilogue.extend(ewise.epilogue)
+    g.nodes.remove(ewise)
+    _rewire(g, ewise.out, x)
+
+
+def fold_constants(g: Graph) -> int:
+    """Materialize nodes whose inputs are all constants; returns count."""
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(g.nodes):
+            if node.epilogue or g.values[node.out].batched:
+                continue
+            if any(g.values[v].batched for v in node.inputs):
+                continue
+            out_value = g.values[node.out]
+            if node.kind == "reshape":
+                out_value.data = g.const_array(node.inputs[0]).reshape(
+                    node.attrs["shape"]
+                )
+            elif node.kind == "ewise" and node.attrs["fn"] in ("add", "mul"):
+                a = g.const_array(node.inputs[0])
+                b = g.const_array(node.inputs[1])
+                out_value.data = a + b if node.attrs["fn"] == "add" else a * b
+            else:
+                continue
+            g.nodes.remove(node)
+            count += 1
+            changed = True
+    return count
+
+
+def _is_const_ewise(g: Graph, node: Node | None, fn: str, vid: int) -> bool:
+    """Is ``node`` an ``fn``-ewise applying a constant to value ``vid``?"""
+    return (
+        node is not None
+        and node.kind == "ewise"
+        and node.attrs["fn"] == fn
+        and len(node.inputs) == 2
+        and node.inputs[0] == vid
+        and not g.values[node.inputs[1]].batched
+    )
+
+
+def fuse_bias(g: Graph) -> int:
+    """Absorb const-add followers into matmul epilogues; returns count."""
+    count = 0
+    for node in list(g.nodes):
+        if node.kind != "matmul" or node not in g.nodes:
+            continue
+        vid, consumer = _chase(g, node)
+        if _is_const_ewise(g, consumer, "add", vid):
+            _absorb(g, node, consumer)
+            count += 1
+    return count
+
+
+def fold_batchnorm(g: Graph) -> int:
+    """Fold inference-mode BN (const mul + const add) pairs; returns count.
+
+    After a matmul, both steps join the matmul epilogue (conv+BN is one
+    op) and the analytic scale/shift value ids are recorded in
+    ``attrs["bn"]``.  Standalone pairs merge into a single two-step node.
+    """
+    count = 0
+    for node in list(g.nodes):
+        if node not in g.nodes:
+            continue
+        if node.kind == "matmul":
+            vid, mul_node = _chase(g, node)
+            if not _is_const_ewise(g, mul_node, "mul", vid):
+                continue
+            add_node = _sole_consumer(g, mul_node.out)
+            if not _is_const_ewise(g, add_node, "add", mul_node.out):
+                continue
+            node.attrs["bn"] = (mul_node.inputs[1], add_node.inputs[1])
+            _absorb(g, node, mul_node)
+            _absorb(g, node, add_node)
+            count += 1
+        elif node.kind == "ewise" and node.attrs["fn"] == "mul":
+            if len(node.inputs) != 2 or g.values[node.inputs[1]].batched:
+                continue
+            add_node = _sole_consumer(g, node.out)
+            if _is_const_ewise(g, add_node, "add", node.out):
+                _absorb(g, node, add_node)
+                count += 1
+    return count
+
+
+def fuse_activations(g: Graph) -> int:
+    """Absorb unary activations into their producer; returns count."""
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(g.nodes):
+            if node.kind not in ("matmul", "ewise", "reduce") or node not in g.nodes:
+                continue
+            vid, consumer = _chase(g, node)
+            if (
+                consumer is not None
+                and consumer.kind == "ewise"
+                and consumer.attrs["fn"] in _ACT_FNS
+                and len(consumer.inputs) == 1
+            ):
+                _absorb(g, node, consumer)
+                count += 1
+                changed = True
+    return count
+
+
+def fuse_residual(g: Graph) -> int:
+    """Absorb skip-adds into the body's last matmul; returns count.
+
+    Only fires when the matmul chain feeds the add's *first* operand —
+    the body branch, traced after the projection — so the skip value is
+    always defined before the epilogue that reads it.
+    """
+    count = 0
+    for node in list(g.nodes):
+        if node.kind != "matmul" or node not in g.nodes:
+            continue
+        vid, consumer = _chase(g, node)
+        if (
+            consumer is not None
+            and consumer.kind == "ewise"
+            and consumer.attrs["fn"] == "add"
+            and len(consumer.inputs) == 2
+            and consumer.inputs[0] == vid
+            and g.values[consumer.inputs[1]].batched
+        ):
+            _absorb(g, node, consumer)
+            count += 1
+    return count
+
+
+def eliminate_dead(g: Graph) -> int:
+    """Drop nodes and values unreachable from the output; returns count."""
+    live = {g.output_vid}
+    changed = True
+    while changed:
+        changed = False
+        for node in g.nodes:
+            if node.out in live:
+                needed = set(node.inputs)
+                needed.update(
+                    s.operand for s in node.epilogue if s.operand is not None
+                )
+                if not needed <= live:
+                    live |= needed
+                    changed = True
+    removed = sum(1 for n in g.nodes if n.out not in live)
+    g.nodes = [n for n in g.nodes if n.out in live]
+    keep = live | {g.input_vid}
+    g.values = {vid: val for vid, val in g.values.items() if vid in keep}
+    return removed
+
+
+def default_passes() -> list[tuple[str, Callable[[Graph], int]]]:
+    """The standard pipeline, in order."""
+    return [
+        ("fold_constants", fold_constants),
+        ("fuse_bias", fuse_bias),
+        ("fold_batchnorm", fold_batchnorm),
+        ("fuse_activations", fuse_activations),
+        ("fuse_residual", fuse_residual),
+        ("eliminate_dead", eliminate_dead),
+    ]
+
+
+def optimize(
+    g: Graph, passes: list[tuple[str, Callable[[Graph], int]]] | None = None
+) -> tuple[Graph, PassStats]:
+    """Run a pass pipeline over ``g`` in place; returns (graph, stats)."""
+    stats: PassStats = {}
+    for name, fn in passes if passes is not None else default_passes():
+        stats[name] = fn(g)
+    return g, stats

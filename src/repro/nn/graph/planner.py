@@ -1,0 +1,200 @@
+"""Liveness-based arena planner: every activation in one buffer.
+
+The eager interpreter allocates a fresh temporary per layer per batch.
+Here, each storage root (a value plus its reshape aliases) gets a live
+interval — defined at its producing step, dead after its last reader —
+and a greedy best-fit allocator packs the intervals into offsets of a
+single flat arena.  The executor allocates that arena **once** per
+(graph, batch) and every kernel writes through preallocated views:
+steady-state inference performs zero array allocations.
+
+Two wrinkles the planner owns:
+
+* **pad slots** — a value consumed by a padded-conv gather is laid out
+  with one extra element per sample row (the "zero slot" of
+  :func:`repro.nn.im2col.conv_zero_slot_plan`); consumers of the value
+  itself read a carved ``[:, :n]`` view.
+* **scratch** — the executor may request per-node scratch buffers (the
+  column-major staging of the batch-folded GEMM); these live only for
+  their node's step.
+
+Plans are deterministic: entries are packed in (definition step, kind,
+id) order with no hashing involved, so the same graph and batch always
+produce the same offsets — asserted by tests via :func:`validate_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.nn.graph.ir import Graph
+
+__all__ = ["MemoryPlan", "plan_memory", "validate_plan"]
+
+#: offsets are kept to multiples of 16 elements (64B at fp32) so every
+#: buffer starts cache-line/SIMD aligned regardless of packing order
+_ALIGN = 16
+
+
+def _align(n: int) -> int:
+    return -(-n // _ALIGN) * _ALIGN
+
+
+@dataclass
+class MemoryPlan:
+    """Packed arena layout for one (graph, batch) pair.
+
+    ``slots`` maps ``("value", root_vid)`` and ``("scratch", node_idx, i)``
+    keys to ``(offset, elems)``; ``intervals`` holds the live range
+    ``(def_step, last_step)`` each slot was packed under.
+    """
+
+    batch: int
+    total_elems: int
+    dtype: np.dtype
+    slots: dict[tuple, tuple[int, int]] = field(default_factory=dict)
+    intervals: dict[tuple, tuple[int, int]] = field(default_factory=dict)
+    slot_roots: frozenset[int] = frozenset()
+
+    @property
+    def total_bytes(self) -> int:
+        """Arena footprint in bytes."""
+        return self.total_elems * np.dtype(self.dtype).itemsize
+
+    @property
+    def naive_elems(self) -> int:
+        """Sum of all buffer sizes — the no-reuse footprint."""
+        return sum(size for _, size in self.slots.values())
+
+    @property
+    def n_buffers(self) -> int:
+        """Number of distinct packed buffers."""
+        return len(self.slots)
+
+
+def _storage_intervals(g: Graph) -> tuple[dict[int, int], dict[int, int]]:
+    """Per-root (definition step, last use step); input defines at -1."""
+    defined: dict[int, int] = {g.storage_root(g.input_vid): -1}
+    last: dict[int, int] = {g.storage_root(g.input_vid): -1}
+    for i, node in enumerate(g.nodes):
+        for vid in node.inputs:
+            if g.values[vid].batched:
+                last[g.storage_root(vid)] = i
+        for step in node.epilogue:
+            if step.operand is not None and g.values[step.operand].batched:
+                last[g.storage_root(step.operand)] = i
+        root = g.storage_root(node.out)
+        if g.values[node.out].batched and root not in defined:
+            defined[root] = i
+            last.setdefault(root, i)
+    out_root = g.storage_root(g.output_vid)
+    last[out_root] = len(g.nodes)
+    return defined, last
+
+
+def plan_memory(
+    g: Graph, batch: int, scratch: dict[int, tuple[int, ...]] | None = None
+) -> MemoryPlan:
+    """Pack all activations and scratch for ``batch`` into one arena.
+
+    ``scratch`` maps node index → absolute element counts of per-node
+    scratch buffers (live only at that node's step).
+    """
+    scratch = scratch or {}
+    slot_roots = frozenset(
+        g.storage_root(node.inputs[0])
+        for node in g.nodes
+        if node.kind == "gather" and node.attrs["padding"] > 0
+    )
+    defined, last = _storage_intervals(g)
+
+    # (def_step, kind_rank, id...) → deterministic packing order
+    entries: list[tuple[tuple, tuple, int]] = []
+    for root in sorted(defined):
+        rowlen = g.values[root].ps_elems + (1 if root in slot_roots else 0)
+        entries.append(
+            (
+                (defined[root], 0, root),
+                ("value", root),
+                _align(batch * rowlen),
+            )
+        )
+    for node_idx in sorted(scratch):
+        for i, elems in enumerate(scratch[node_idx]):
+            entries.append(
+                (
+                    (node_idx, 1, node_idx, i),
+                    ("scratch", node_idx, i),
+                    _align(int(elems)),
+                )
+            )
+    entries.sort(key=lambda e: e[0])
+
+    plan = MemoryPlan(
+        batch=batch, total_elems=0, dtype=np.dtype(g.compute), slot_roots=slot_roots
+    )
+    free: list[tuple[int, int]] = []  # (offset, size), sorted by offset
+    active: list[tuple[int, tuple, int, int]] = []  # (last, key, offset, size)
+
+    def release(up_to_step: int) -> None:
+        nonlocal free
+        still = []
+        for last_step, key, off, size in active:
+            if last_step < up_to_step:
+                free.append((off, size))
+            else:
+                still.append((last_step, key, off, size))
+        active[:] = still
+        free.sort()
+        merged: list[tuple[int, int]] = []
+        for off, size in free:
+            if merged and merged[-1][0] + merged[-1][1] == off:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((off, size))
+        free = merged
+
+    for (def_step, _, *_ids), key, size in entries:
+        release(def_step)
+        best = None
+        for j, (off, hole) in enumerate(free):
+            if hole >= size and (best is None or hole < free[best][1]):
+                best = j
+        if best is not None:
+            off, hole = free.pop(best)
+            if hole > size:
+                free.append((off + size, hole - size))
+                free.sort()
+        else:
+            off = plan.total_elems
+            plan.total_elems += size
+        if key[0] == "value":
+            interval = (defined[key[1]], last.get(key[1], defined[key[1]]))
+        else:
+            interval = (key[1], key[1])
+        plan.slots[key] = (off, size)
+        plan.intervals[key] = interval
+        active.append((interval[1], key, off, size))
+
+    return plan
+
+
+def validate_plan(g: Graph, plan: MemoryPlan) -> bool:
+    """Assert no two live-range-overlapping slots share arena elements."""
+    items = list(plan.slots.items())
+    for key, (off, size) in items:
+        if off + size > plan.total_elems:
+            raise AssertionError(f"slot {key} exceeds arena")
+    for (key_a, (off_a, size_a)), (key_b, (off_b, size_b)) in combinations(items, 2):
+        def_a, last_a = plan.intervals[key_a]
+        def_b, last_b = plan.intervals[key_b]
+        overlap_time = def_a <= last_b and def_b <= last_a
+        overlap_mem = off_a < off_b + size_b and off_b < off_a + size_a
+        if overlap_time and overlap_mem:
+            raise AssertionError(
+                f"slots {key_a} and {key_b} overlap in time and memory"
+            )
+    return True

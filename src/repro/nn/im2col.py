@@ -1,0 +1,102 @@
+"""Shared im2col index plans: one process-wide LRU for every conv.
+
+A convolution lowered to matmul needs a gather plan — the flat indices
+that pull each im2col patch column out of a ``(C, H, W)`` sample.  The
+plan depends only on ``(kernel, stride, C, H, W)``, yet the old design
+cached it per ``Conv2d`` *instance*: sixteen identical residual-block
+convs built sixteen copies of the same multi-megabyte index array, and
+nothing ever evicted them.  This module owns the plans instead — a
+bounded, module-level LRU shared by the training forward pass, the eager
+compiled path and the graph executor.
+
+Two plan flavours:
+
+:func:`conv_index_plan`
+    indices into an already *padded* ``(C, Hp, Wp)`` sample — what the
+    eager path uses after ``np.pad``.
+
+:func:`conv_zero_slot_plan`
+    indices into the *unpadded* sample plus one trailing "zero slot":
+    out-of-bounds taps map to index ``C*H*W``, whose value the executor
+    pins to 0.  The graph engine gathers padding without ever
+    materializing a padded copy of the activation.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["conv_index_plan", "conv_zero_slot_plan", "conv_out_hw", "plan_cache_info"]
+
+#: bound on distinct (kernel, stride, C, H, W) geometries kept alive;
+#: generous for real models (the surrogate needs 5) while stopping a
+#: shape-sweeping workload from pinning unbounded index memory
+_MAX_PLANS = 128
+
+
+def conv_out_hw(kernel: int, stride: int, h: int, w: int) -> tuple[int, int]:
+    """Output spatial dims of a VALID conv over an ``(h, w)`` input."""
+    return (h - kernel) // stride + 1, (w - kernel) // stride + 1
+
+
+@lru_cache(maxsize=_MAX_PLANS)
+def conv_index_plan(kernel: int, stride: int, c: int, h: int, w: int) -> np.ndarray:
+    """Flat indices into ``(C*H*W)`` selecting each im2col patch column.
+
+    Returns an int64 array of shape ``(c*kernel*kernel, oh*ow)`` whose
+    column ``oy*ow + ox`` lists the flat sample offsets of the receptive
+    field at output position ``(oy, ox)``.  Cached process-wide; callers
+    must treat the result as read-only.
+    """
+    oh, ow = conv_out_hw(kernel, stride, h, w)
+    # patch skeleton at output (0, 0): channel-major, then kernel row/col
+    patch = (
+        np.arange(c)[:, None, None] * (h * w)
+        + (np.arange(kernel)[:, None] * w)[None]
+        + np.arange(kernel)[None, None, :]
+    ).reshape(-1)
+    # top-left corner offset of every output position
+    corners = (
+        np.arange(oh)[:, None] * (stride * w) + np.arange(ow)[None, :] * stride
+    ).reshape(-1)
+    idx = patch[:, None] + corners[None, :]
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=_MAX_PLANS)
+def conv_zero_slot_plan(
+    kernel: int, stride: int, padding: int, c: int, h: int, w: int
+) -> np.ndarray:
+    """Padded-conv gather plan over an unpadded sample with a zero slot.
+
+    Derives the plan a padded conv would use over ``(c, h+2p, w+2p)``,
+    then maps every in-bounds tap back to its unpadded flat index and
+    every border tap to the sentinel ``c*h*w`` — the "zero slot" the
+    executor appends to each sample row and pins to 0.  Gathering with
+    this plan yields bit-identical im2col columns to pad-then-gather.
+    """
+    if padding == 0:
+        return conv_index_plan(kernel, stride, c, h, w)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    padded = conv_index_plan(kernel, stride, c, hp, wp)
+    ch, rem = np.divmod(padded, hp * wp)
+    y, x = np.divmod(rem, wp)
+    inside = (
+        (y >= padding) & (y < padding + h) & (x >= padding) & (x < padding + w)
+    )
+    idx = np.where(
+        inside, ch * (h * w) + (y - padding) * w + (x - padding), c * h * w
+    )
+    idx.setflags(write=False)
+    return idx
+
+
+def plan_cache_info():
+    """Combined ``lru_cache`` statistics for both plan flavours."""
+    return {
+        "index": conv_index_plan.cache_info(),
+        "zero_slot": conv_zero_slot_plan.cache_info(),
+    }

@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.nn import autograd as ag
 from repro.nn.autograd import Tensor
+from repro.nn.im2col import conv_index_plan
 
 __all__ = [
     "Parameter",
@@ -177,27 +178,15 @@ class Conv2d(Module):
         self.kernel = kernel
         self.stride = stride
         self.padding = padding
-        self._index_cache: dict[tuple[int, int, int], np.ndarray] = {}
 
     def _gather_indices(self, c: int, h: int, w: int) -> np.ndarray:
-        """Flat indices into (C*H*W) selecting each im2col patch column."""
-        key = (c, h, w)
-        if key not in self._index_cache:
-            k, s = self.kernel, self.stride
-            oh = (h - k) // s + 1
-            ow = (w - k) // s + 1
-            idx = np.empty((c * k * k, oh * ow), dtype=np.int64)
-            col = 0
-            base = np.arange(c)[:, None, None] * (h * w)
-            for oy in range(oh):
-                for ox in range(ow):
-                    rows = (oy * s + np.arange(k))[:, None] * w
-                    cols = ox * s + np.arange(k)[None, :]
-                    patch = (base + rows[None] + cols[None]).reshape(-1)
-                    idx[:, col] = patch
-                    col += 1
-            self._index_cache[key] = idx
-        return self._index_cache[key]
+        """Flat indices into (C*H*W) selecting each im2col patch column.
+
+        Plans live in the process-wide LRU of :mod:`repro.nn.im2col`, so
+        the sixteen identical residual-stage convs of a deep model share
+        one index array instead of building one per layer instance.
+        """
+        return conv_index_plan(self.kernel, self.stride, c, h, w)
 
     def forward(self, x: Tensor) -> Tensor:
         """Forward pass."""

@@ -9,10 +9,11 @@ energies and thus higher docking probabilities."
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.chem.depict import depict
+from repro.chem.depict import N_CHANNELS, depict
 from repro.chem.smiles import parse_smiles
 
 __all__ = ["featurize_smiles", "featurize_batch", "ScoreNormalizer", "IMAGE_SIZE"]
@@ -26,9 +27,29 @@ def featurize_smiles(smiles: str, size: int = IMAGE_SIZE) -> np.ndarray:
     return depict(parse_smiles(smiles), size=size)
 
 
-def featurize_batch(smiles_list: list[str], size: int = IMAGE_SIZE) -> np.ndarray:
-    """Stacked image features: (batch, N_CHANNELS, size, size)."""
-    return np.stack([featurize_smiles(s, size) for s in smiles_list])
+def featurize_batch(
+    smiles_list: Sequence[str], size: int = IMAGE_SIZE, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Stacked image features: (batch, N_CHANNELS, size, size).
+
+    With ``out`` (e.g. a slice of the inference engine's persistent batch
+    buffer), features are written in place and no batch-sized temporary
+    is allocated; the filled ``out`` is returned.  Layout is inherently
+    per-molecule (ragged graphs), so the batch dimension is a loop while
+    the per-molecule rasterization is vectorized in
+    :mod:`repro.chem.depict`.
+    """
+    if out is None:
+        out = np.empty(
+            (len(smiles_list), N_CHANNELS, size, size), dtype=np.float32
+        )
+    if out.shape[0] != len(smiles_list):
+        raise ValueError(
+            f"out has room for {out.shape[0]} records, got {len(smiles_list)}"
+        )
+    for i, smiles in enumerate(smiles_list):  # repro: disable=vectorization — ragged molecule graphs
+        out[i] = featurize_smiles(smiles, size)
+    return out
 
 
 @dataclass

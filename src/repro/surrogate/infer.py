@@ -18,9 +18,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.chem.depict import N_CHANNELS
 from repro.nn.dataloader import PrefetchLoader, ShardReader, partition_shards
 from repro.nn.inference import compile_model
-from repro.surrogate.featurize import featurize_smiles
+from repro.surrogate.featurize import featurize_batch, featurize_smiles
 from repro.surrogate.train import TrainedSurrogate
 
 __all__ = ["InferenceEngine", "ScoredCompound"]
@@ -43,11 +44,35 @@ class InferenceEngine:
         surrogate: TrainedSurrogate,
         precision: str = "fp16",
         batch_size: int = 64,
+        engine: str = "graph",
     ) -> None:
         self.surrogate = surrogate
-        self.compiled = compile_model(surrogate.model, precision=precision)
+        self.compiled = compile_model(
+            surrogate.model, precision=precision, engine=engine
+        )
         self.batch_size = batch_size
+        self.engine = engine
         self.records_scored = 0
+        # persistent feature buffer: every batch — including the padded
+        # final one — runs at exactly ``batch_size``, so the graph engine
+        # binds a single arena plan and no per-batch stacking allocates
+        self._feat_buf = np.zeros(
+            (batch_size, N_CHANNELS, surrogate.image_size, surrogate.image_size),
+            dtype=np.float32,
+        )
+
+    def _score_batch(self, feats_filled: int) -> np.ndarray:
+        """Run the (possibly zero-padded) persistent buffer; drop padding.
+
+        Padding to a fixed batch size keeps one compiled plan hot *and*
+        keeps scores reproducible regardless of how records split into
+        batches: BLAS accumulation depends on batch size, so a variable
+        final batch would score the same compound differently depending
+        on its shard's length.
+        """
+        if feats_filled < self.batch_size:
+            self._feat_buf[feats_filled:] = 0.0
+        return self.compiled(self._feat_buf).reshape(-1)[:feats_filled]
 
     # ------------------------------------------------------------- shards
     def score_shards(
@@ -74,10 +99,9 @@ class InferenceEngine:
                 ),
             )
             for batch in loader:
-                ids = [b[0] for b in batch]
-                smiles = [b[1] for b in batch]
-                feats = np.stack([b[2] for b in batch])
-                preds = self.compiled(feats).reshape(-1)
+                ids, smiles, feats = zip(*batch)
+                np.stack(feats, out=self._feat_buf[: len(feats)])
+                preds = self._score_batch(len(feats))
                 gathered.extend(
                     ScoredCompound(i, s, float(p))
                     for i, s, p in zip(ids, smiles, preds)
@@ -94,15 +118,20 @@ class InferenceEngine:
         if len(ids) != len(smiles_list):
             raise ValueError("ids and smiles_list must be the same length")
         out: list[ScoredCompound] = []
-        for start in range(0, len(smiles_list), self.batch_size):
-            chunk = list(smiles_list[start : start + self.batch_size])
-            feats = np.stack(
-                [featurize_smiles(s, size=self.surrogate.image_size) for s in chunk]
+        chunks = [
+            (list(smiles_list[s : s + self.batch_size]), ids[s : s + self.batch_size])
+            for s in range(0, len(smiles_list), self.batch_size)
+        ]
+        for chunk, chunk_ids in chunks:
+            featurize_batch(
+                chunk,
+                size=self.surrogate.image_size,
+                out=self._feat_buf[: len(chunk)],
             )
-            preds = self.compiled(feats).reshape(-1)
+            preds = self._score_batch(len(chunk))
             out.extend(
                 ScoredCompound(i, s, float(p))
-                for i, s, p in zip(ids[start : start + self.batch_size], chunk, preds)
+                for i, s, p in zip(chunk_ids, chunk, preds)
             )
         self.records_scored += len(out)
         return out

@@ -71,8 +71,8 @@ class RESResult:
             f"{b:7.1e}" for b in self.budget_fractions
         )
         lines.append(header[: max(width, len(header))])
-        for i, tf in enumerate(self.top_fractions):
-            row = " ".join(f"{v:7.2f}" for v in self.surface[i])
+        for tf, surface_row in zip(self.top_fractions, self.surface):
+            row = " ".join(f"{v:7.2f}" for v in surface_row)
             lines.append(f"{tf:9.1e} {row}")
         return "\n".join(lines)
 
@@ -97,10 +97,15 @@ def res_surface(
     lo = min_fraction if min_fraction is not None else max(1.0 / n, 1e-6)
     budgets = np.logspace(np.log10(lo), 0.0, n_budget)
     tops = np.logspace(np.log10(lo), 0.0, n_top)
-    surface = np.empty((n_top, n_budget))
-    for i, tf in enumerate(tops):
-        for j, bf in enumerate(budgets):
-            surface[i, j] = top_fraction_recall(
-                true_scores, pred_scores, bf, tf, lower_is_better=lower_is_better
-            )
+    surface = np.array(
+        [
+            [
+                top_fraction_recall(
+                    true_scores, pred_scores, bf, tf, lower_is_better=lower_is_better
+                )
+                for bf in budgets
+            ]
+            for tf in tops
+        ]
+    )
     return RESResult(budget_fractions=budgets, top_fractions=tops, surface=surface)

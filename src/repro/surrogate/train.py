@@ -157,8 +157,13 @@ def train_surrogate(
         order = shuffle_rng.permutation(train_idx)
         epoch_loss = 0.0
         n_batches = 0
-        for start in range(0, len(order), cfg.batch_size):
-            idx = order[start : start + cfg.batch_size]
+        # minibatches are genuinely sequential (each SGD step depends on
+        # the last), so slice the index batches up front
+        index_batches = [
+            order[start : start + cfg.batch_size]
+            for start in range(0, len(order), cfg.batch_size)
+        ]
+        for idx in index_batches:
             loss = mse_loss(model(Tensor(X[idx])), Tensor(y[idx]))
             model.zero_grad()
             loss.backward()

@@ -1,0 +1,112 @@
+"""Graph-engine regression tests for the ML1 inference engine.
+
+The InferenceEngine pads every batch — including the final partial one —
+to a fixed batch size before scoring, so the graph and eager engines see
+identical batch geometry and must produce identical scores; the padding
+also makes scores independent of how records split into batches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.library import generate_library
+from repro.surrogate.featurize import featurize_batch
+from repro.surrogate.infer import InferenceEngine
+from repro.surrogate.train import TrainConfig, train_surrogate
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    lib = generate_library(48, seed=17)
+    scores = np.array(
+        [-0.1 * len(lib.smiles()[i]) - lib.descriptors(i).aromatic_rings for i in range(len(lib))]
+    )
+    return lib, scores
+
+
+@pytest.fixture(scope="module")
+def surrogate(dataset):
+    lib, scores = dataset
+    cfg = TrainConfig(epochs=3, batch_size=16, width=6)
+    return train_surrogate(lib.smiles(), scores, cfg, seed=2)
+
+
+@pytest.mark.parametrize("precision", ["fp16", "fp32"])
+def test_graph_engine_scores_identical_to_eager(dataset, surrogate, precision):
+    lib, _ = dataset
+    smiles = lib.smiles()[:20]
+    graph = InferenceEngine(surrogate, precision=precision, engine="graph")
+    eager = InferenceEngine(surrogate, precision=precision, engine="eager")
+    assert graph.score_smiles(smiles) == eager.score_smiles(smiles)
+
+
+def test_scores_independent_of_batch_split(dataset, surrogate):
+    """Padding to a fixed batch size makes scoring split-invariant."""
+    lib, _ = dataset
+    smiles = lib.smiles()[:10]
+    engine = InferenceEngine(surrogate, batch_size=16)
+    whole = engine.score_smiles(smiles)
+    split = engine.score_smiles(smiles[:6]) + engine.score_smiles(
+        smiles[6:], ids=[f"CPD{i:07d}" for i in range(6, 10)]
+    )
+    assert [o.score for o in whole] == [o.score for o in split]
+
+
+def test_final_partial_batch_is_padded_not_truncated(dataset, surrogate):
+    lib, _ = dataset
+    smiles = lib.smiles()[:19]  # 19 = 16 + 3: second batch is padded
+    scored = InferenceEngine(surrogate, batch_size=16).score_smiles(smiles)
+    assert len(scored) == 19
+    assert all(np.isfinite(o.score) for o in scored)
+
+
+def test_shard_path_matches_in_memory_with_graph_engine(tmp_path, dataset, surrogate):
+    lib, _ = dataset
+    sub = lib.subset(range(20), name="graphshards")
+    paths = sub.to_shards(tmp_path, shard_size=7)
+    engine = InferenceEngine(surrogate, engine="graph")
+    from_shards = {o.compound_id: o.score for o in engine.score_shards(paths)}
+    in_memory = engine.score_smiles(sub.smiles(), [e.compound_id for e in sub])
+    assert from_shards == {o.compound_id: o.score for o in in_memory}
+
+
+def test_graph_and_eager_rank_identically(dataset, surrogate):
+    lib, _ = dataset
+    smiles = lib.smiles()
+    rank = lambda eng: [
+        o.compound_id
+        for o in InferenceEngine.top_fraction(
+            InferenceEngine(surrogate, engine=eng).score_smiles(smiles), 0.25
+        )
+    ]
+    assert rank("graph") == rank("eager")
+
+
+def test_unknown_engine_rejected(surrogate):
+    with pytest.raises(ValueError):
+        InferenceEngine(surrogate, engine="tensorrt")
+
+
+def test_records_scored_counter(dataset, surrogate):
+    lib, _ = dataset
+    engine = InferenceEngine(surrogate)
+    engine.score_smiles(lib.smiles()[:7])
+    engine.score_smiles(lib.smiles()[:5])
+    assert engine.records_scored == 12
+
+
+def test_featurize_batch_into_caller_buffer(dataset):
+    lib, _ = dataset
+    smiles = lib.smiles()[:6]
+    fresh = featurize_batch(smiles, size=24)
+    buf = np.full((6, fresh.shape[1], 24, 24), 7.0, dtype=np.float32)
+    out = featurize_batch(smiles, size=24, out=buf)
+    assert out is buf
+    np.testing.assert_array_equal(buf, fresh)
+
+
+def test_featurize_batch_rejects_bad_buffer(dataset):
+    lib, _ = dataset
+    bad = np.zeros((2, 1, 24, 24), dtype=np.float32)
+    with pytest.raises(ValueError):
+        featurize_batch(lib.smiles()[:3], size=24, out=bad)
