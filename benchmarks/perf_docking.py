@@ -3,9 +3,9 @@
 Times the same seeded library shard through both `DockingEngine` paths —
 ``batched=False`` (one LGA per ligand) and ``batched=True`` (the fused
 multi-ligand LGA of :mod:`repro.docking.batch`) — and writes
-``BENCH_docking.json`` with wall-clock, ligands/sec, fused-kernel launch
-counts and the speedup.  Ligand preparation is warmed before timing so
-both passes measure pure docking.
+``BENCH_docking.json`` (the shared ``_bench`` envelope) with wall-clock,
+ligands/sec, fused-kernel launch counts and the speedup.  Ligand
+preparation is warmed before timing so both passes measure pure docking.
 
 The two paths must agree *bitwise* per ligand (the batch module's
 determinism contract); the benchmark verifies that on every round and
@@ -30,6 +30,9 @@ import time
 from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench import bench_report, write_report  # noqa: E402
 
 from repro.chem.library import generate_library
 from repro.docking import scoring
@@ -98,11 +101,7 @@ def run_benchmark(
 
     seq_best = min(seq_times)
     fused_best = min(fused_times)
-    return {
-        "n_ligands": n_ligands,
-        "seed": seed,
-        "target": target,
-        "rounds": rounds,
+    metrics = {
         "sequential": {
             "seconds": round(seq_best, 3),
             "ligands_per_sec": round(n_ligands / seq_best, 3),
@@ -117,6 +116,12 @@ def run_benchmark(
         "kernel_call_ratio": round(seq_calls / max(fused_calls, 1), 2),
         "identical": identical,
     }
+    return bench_report(
+        "docking",
+        seed=seed,
+        config={"n_ligands": n_ligands, "target": target, "rounds": rounds},
+        metrics=metrics,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -153,16 +158,17 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(json.dumps(report, indent=2))
 
-    if not report["identical"]:
+    metrics = report["metrics"]
+    if not metrics["identical"]:
         print("FAIL: fused and sequential results are not bit-identical")
         return 1
     if args.smoke:
-        if report["speedup"] < 1.0:
+        if metrics["speedup"] < 1.0:
             print("FAIL: fused path slower than sequential in smoke run")
             return 1
-        print(f"smoke OK: fused {report['speedup']}x, results identical")
+        print(f"smoke OK: fused {metrics['speedup']}x, results identical")
         return 0
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report(report, args.out)
     print(f"wrote {args.out}")
     return 0
 

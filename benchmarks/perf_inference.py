@@ -3,7 +3,8 @@
 Streams the same seeded image batches through both ``compile_model``
 engines — ``"eager"`` (closure-per-layer interpreter) and ``"graph"``
 (traced op graph, fused epilogues, arena-planned ``out=`` kernels) — and
-writes ``BENCH_inference.json`` with wall-clock, samples/sec, the
+writes ``BENCH_inference.json`` (the shared ``_bench`` envelope) with
+wall-clock, samples/sec, the
 speedup, steady-state allocation footprints (via ``tracemalloc``) and
 the graph engine's plan statistics (arena bytes, buffer count, fused
 GEMM strategy counts, pass rewrite counts).
@@ -32,6 +33,9 @@ import tracemalloc
 from pathlib import Path
 
 import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench import bench_report, write_report  # noqa: E402
 
 from repro.nn.autograd import Tensor
 from repro.nn.inference import compile_model
@@ -96,13 +100,7 @@ def run_benchmark(
     graph_best = min(graph_times)
     executor = graph.executor_for((N_CHANNELS, IMAGE_SIZE, IMAGE_SIZE))
     info = executor.plan_info(batch)
-    return {
-        "batch": batch,
-        "n_batches": n_batches,
-        "rounds": rounds,
-        "seed": seed,
-        "width": width,
-        "precision": "fp16",
+    metrics = {
         "eager": {
             "seconds": round(eager_best, 4),
             "samples_per_sec": round(n_samples / eager_best, 1),
@@ -124,6 +122,18 @@ def run_benchmark(
         "speedup": round(eager_best / graph_best, 2),
         "identical": identical,
     }
+    return bench_report(
+        "inference",
+        seed=seed,
+        config={
+            "batch": batch,
+            "n_batches": n_batches,
+            "rounds": rounds,
+            "width": width,
+            "precision": "fp16",
+        },
+        metrics=metrics,
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -160,16 +170,17 @@ def main(argv: list[str] | None = None) -> int:
         )
     print(json.dumps(report, indent=2))
 
-    if not report["identical"]:
+    metrics = report["metrics"]
+    if not metrics["identical"]:
         print("FAIL: graph and eager predictions are not bit-identical")
         return 1
     if args.smoke:
-        if report["speedup"] < 1.0:
+        if metrics["speedup"] < 1.0:
             print("FAIL: graph engine slower than eager in smoke run")
             return 1
-        print(f"smoke OK: graph {report['speedup']}x, predictions identical")
+        print(f"smoke OK: graph {metrics['speedup']}x, predictions identical")
         return 0
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    write_report(report, args.out)
     print(f"wrote {args.out}")
     return 0
 

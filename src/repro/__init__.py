@@ -10,6 +10,7 @@ The package mirrors the paper's architecture:
 * :mod:`repro.ddmd` — S2: DeepDriveMD 3D-AAE adaptive sampling
 * :mod:`repro.ties` — TIES alchemical lead optimization (Table 2's TI row)
 * :mod:`repro.rct` — EnTK/RADICAL-Pilot/RAPTOR workflow infrastructure
+* :mod:`repro.telemetry` — unified tracing/metrics across the whole stack
 * :mod:`repro.core` — the integrated IMPECCABLE campaign and its metrics
 """
 

@@ -11,6 +11,7 @@ from repro.analysis.checkers.base import Checker
 from repro.analysis.checkers.clock import ClockPurityChecker
 from repro.analysis.checkers.determinism import DeterminismChecker
 from repro.analysis.checkers.locks import LockDisciplineChecker
+from repro.analysis.checkers.telemetry import TelemetryDisciplineChecker
 from repro.analysis.checkers.vectorization import VectorizationChecker
 from repro.analysis.checkers.workflow import WorkflowShapeChecker
 
@@ -19,6 +20,7 @@ __all__ = [
     "ClockPurityChecker",
     "DeterminismChecker",
     "LockDisciplineChecker",
+    "TelemetryDisciplineChecker",
     "VectorizationChecker",
     "WorkflowShapeChecker",
     "CHECKER_CLASSES",
@@ -32,6 +34,7 @@ CHECKER_CLASSES: tuple[type[Checker], ...] = (
     ClockPurityChecker,
     DeterminismChecker,
     LockDisciplineChecker,
+    TelemetryDisciplineChecker,
     VectorizationChecker,
     WorkflowShapeChecker,
 )

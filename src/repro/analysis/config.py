@@ -25,6 +25,7 @@ _KEYS = {
     "clock-allow": "clock_allow",
     "determinism-allow": "determinism_allow",
     "hot-modules": "hot_modules",
+    "telemetry-modules": "telemetry_modules",
 }
 
 
@@ -56,6 +57,10 @@ class AnalysisConfig:
     hot_modules:
         Module prefixes whose elementwise Python loops over ndarrays
         the vectorization rule flags.
+    telemetry_modules:
+        Instrumented module prefixes that must read time only through
+        injected clock objects (the telemetry-discipline rule), so
+        traced simulated runs stay byte-identical.
     """
 
     paths: list[str] = field(default_factory=lambda: ["src"])
@@ -64,6 +69,9 @@ class AnalysisConfig:
     determinism_allow: list[str] = field(default_factory=list)
     hot_modules: list[str] = field(
         default_factory=lambda: ["repro.docking", "repro.nn", "repro.md"]
+    )
+    telemetry_modules: list[str] = field(
+        default_factory=lambda: ["repro.rct", "repro.nn.graph", "repro.docking.batch"]
     )
     root: Path = field(default_factory=Path.cwd)
 

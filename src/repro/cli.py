@@ -7,6 +7,7 @@ Subcommands map to the library's main entry points:
 * ``repro screen``    — train a surrogate on docked data and rank a library
 * ``repro costs``     — print the derived Table 2 cost model
 * ``repro simulate``  — run the integrated workflow on the simulated cluster
+* ``repro trace``     — traced demo run exporting a Chrome trace + summary
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -67,6 +68,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--s2", type=int, default=12)
     p_sim.add_argument("--fg", type=int, default=24)
     p_sim.add_argument("--cohorts", type=int, default=6)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="traced demo run; exports a Chrome trace (chrome://tracing, Perfetto)",
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace-event output path")
+    p_trace.add_argument("--jsonl", default=None,
+                         help="also write a flat JSONL span dump here")
+    p_trace.add_argument("--check", action="store_true",
+                         help="validate the exported trace; non-zero exit on errors")
     return parser
 
 
@@ -164,6 +177,36 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.core.tracedemo import run_traced_demo
+    from repro.telemetry import (
+        chrome_trace_json,
+        summary_table,
+        to_chrome_trace,
+        to_jsonl,
+        validate_chrome_trace,
+    )
+
+    tracer = run_traced_demo(seed=args.seed)
+    trace = to_chrome_trace(tracer)
+    Path(args.out).write_text(chrome_trace_json(tracer))
+    print(f"wrote {args.out} ({len(trace['traceEvents'])} events)", file=sys.stderr)
+    if args.jsonl:
+        Path(args.jsonl).write_text(to_jsonl(tracer))
+        print(f"wrote {args.jsonl}", file=sys.stderr)
+    print(summary_table(tracer))
+    if args.check:
+        errors = validate_chrome_trace(trace)
+        if errors:
+            for err in errors:
+                print(f"trace schema error: {err}", file=sys.stderr)
+            return 1
+        print("trace schema: OK", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -173,6 +216,7 @@ def main(argv: list[str] | None = None) -> int:
         "screen": _cmd_screen,
         "costs": _cmd_costs,
         "simulate": _cmd_simulate,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -19,6 +19,7 @@ from repro.core.simulate import (
     build_integrated_pipelines,
     simulate_integrated_run,
 )
+from repro.core.tracedemo import run_traced_demo
 from repro.core.truth import ReferenceOracle
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "StageAccounting",
     "build_integrated_pipelines",
     "enrichment_factor",
+    "run_traced_demo",
     "simulate_integrated_run",
     "throughput",
 ]

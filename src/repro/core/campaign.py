@@ -39,6 +39,7 @@ from repro.md.builder import build_lpc
 from repro.rct.fault import FAILURE_POLICIES, FailureSummary, TaskFailedError
 from repro.surrogate.infer import InferenceEngine
 from repro.surrogate.train import TrainConfig, TrainedSurrogate, train_surrogate
+from repro.telemetry import NULL_TRACER, Tracer
 from repro.util.config import FrozenConfig, validate_positive, validate_range
 from repro.util.log import get_logger
 from repro.util.rng import RngFactory
@@ -175,9 +176,16 @@ class CampaignResult:
 class ImpeccableCampaign:
     """Drive the integrated loop against one receptor."""
 
-    def __init__(self, config: CampaignConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: CampaignConfig | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config or CampaignConfig()
         cfg = self.config
+        #: telemetry sink shared with every engine the campaign drives;
+        #: the default no-op tracer keeps untraced runs instrumentation-free
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.factory = RngFactory(cfg.seed, prefix="campaign")
         pdb_ids = tuple(cfg.pdb_ids) or (cfg.pdb_id,)
         if cfg.pdb_id not in pdb_ids:
@@ -191,7 +199,9 @@ class ImpeccableCampaign:
             cfg.library_size, seed=self.factory.spawn_seed("library"), name="OZD"
         )
         self.engines: dict[str, DockingEngine] = {
-            pdb: DockingEngine(rec, seed=cfg.seed, config=cfg.docking)
+            pdb: DockingEngine(
+                rec, seed=cfg.seed, config=cfg.docking, tracer=self.tracer
+            )
             for pdb, rec in self.receptors.items()
         }
         self.engine = self.engines[cfg.pdb_id]
@@ -292,7 +302,9 @@ class ImpeccableCampaign:
         ]
         if not undocked:
             return []
-        inference = InferenceEngine(surrogate, engine=cfg.ml1_engine)
+        inference = InferenceEngine(
+            surrogate, engine=cfg.ml1_engine, tracer=self.tracer
+        )
         scored = inference.score_smiles(
             [self.library[i].smiles for i in undocked],
             ids=[str(i) for i in undocked],
@@ -363,10 +375,17 @@ class ImpeccableCampaign:
             self._iter_drops = {}  # the failure budget is per iteration
             metrics = CampaignMetrics(iteration=it)
             # ---------------------------------------------------------- ML1
+            # stage boundaries are manual spans on the tracer's own clock
+            # (TickClock in deterministic runs), closed after accounting
+            stage_span = self.tracer.start_span(
+                "stage:ML1", category="campaign.stage", iteration=it
+            )
             t0 = _clock.now()
             selected = self._ml1_select(surrogate)
             ml1_wall = _clock.now() - t0
             n_ranked = len(self.library) - len(self._docked_ids) + len(selected)
+            stage_span.set_attr("n_ligands", n_ranked)
+            stage_span.finish()
             metrics.stages["ML1"] = StageAccounting(
                 stage="ML1",
                 n_ligands=n_ranked,
@@ -378,10 +397,15 @@ class ImpeccableCampaign:
 
             # ----------------------------------------------------------- S1
             _log.info("S1: docking %d ML1-selected compounds", len(selected))
+            stage_span = self.tracer.start_span(
+                "stage:S1", category="campaign.stage", iteration=it
+            )
             t0 = _clock.now()
             docked = self._dock_batch(selected)
             self._all_dock_results.extend(docked)
             s1_wall = _clock.now() - t0
+            stage_span.set_attr("n_ligands", len(docked))
+            stage_span.finish()
             metrics.stages["S1"] = StageAccounting(
                 stage="S1",
                 n_ligands=len(docked),
@@ -399,6 +423,9 @@ class ImpeccableCampaign:
             for dock in cg_inputs:
                 pdb = self._best_structure.get(dock.compound_id, cfg.pdb_id)
                 groups.setdefault(pdb, []).append(dock)
+            stage_span = self.tracer.start_span(
+                "stage:S3-CG", category="campaign.stage", iteration=it
+            )
             t0 = _clock.now()
             cg_results: list[EsmacsResult] = []
             cg_by_pdb: dict[str, list[EsmacsResult]] = {}
@@ -433,6 +460,8 @@ class ImpeccableCampaign:
                         system.topology.protein_atoms
                     ]
             cg_wall = _clock.now() - t0
+            stage_span.set_attr("n_ligands", len(cg_results))
+            stage_span.finish()
             metrics.stages["S3-CG"] = StageAccounting(
                 stage="S3-CG",
                 n_ligands=len(cg_results),
@@ -446,6 +475,9 @@ class ImpeccableCampaign:
             s2_by_structure: dict[str, S2Result] = {}
             fg_results: list[EsmacsResult] = []
             fg_parents: list[str] = []
+            stage_span = self.tracer.start_span(
+                "stage:S2", category="campaign.stage", iteration=it
+            )
             t0 = _clock.now()
             for pdb, pdb_cg in cg_by_pdb.items():
                 if not pdb_cg:
@@ -468,6 +500,11 @@ class ImpeccableCampaign:
                 if s2_unit is not None:
                     s2_by_structure[pdb] = s2_unit
             s2_wall = _clock.now() - t0
+            stage_span.set_attr(
+                "n_ligands",
+                sum(len(r.top_compound_ids) for r in s2_by_structure.values()),
+            )
+            stage_span.finish()
             s2_result = None
             if s2_by_structure:
                 s2_result = max(
@@ -484,6 +521,9 @@ class ImpeccableCampaign:
                 )
 
                 # ---------------------------------------------------- S3-FG
+                stage_span = self.tracer.start_span(
+                    "stage:S3-FG", category="campaign.stage", iteration=it
+                )
                 t0 = _clock.now()
                 for pdb, s2 in s2_by_structure.items():
                     runner_fg = EsmacsRunner(
@@ -517,6 +557,8 @@ class ImpeccableCampaign:
                         fg_results.append(fg_unit)
                         fg_parents.append(sel.compound_id)
                 fg_wall = _clock.now() - t0
+                stage_span.set_attr("n_ligands", len(fg_results))
+                stage_span.finish()
                 metrics.stages["S3-FG"] = StageAccounting(
                     stage="S3-FG",
                     n_ligands=len(fg_results),
@@ -544,6 +586,7 @@ class ImpeccableCampaign:
             surrogate = self._train_surrogate()
             if surrogate.val_losses:
                 metrics.surrogate_val_loss = surrogate.val_losses[-1]
+            metrics.publish(self.tracer.metrics)
 
             result.iterations.append(
                 IterationResult(

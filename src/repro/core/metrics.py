@@ -79,6 +79,24 @@ class CampaignMetrics:
         nh = self.total_node_hours()
         return self.effective_ligands / nh if nh > 0 else 0.0
 
+    def publish(self, registry) -> None:
+        """Mirror this scorecard into a telemetry metrics registry.
+
+        Per-stage ligand counts and node-hours become counters
+        (accumulating across iterations); per-stage node-hours feed a
+        shared histogram.  Only work-derived quantities are published —
+        wall-clock seconds are deliberately excluded so a traced
+        simulated run's metrics snapshot stays deterministic.
+        Idempotence is the caller's concern — publish each iteration's
+        metrics exactly once.
+        """
+        for name, s in sorted(self.stages.items()):
+            registry.counter(f"campaign.{name}.ligands").inc(s.n_ligands)
+            registry.counter(f"campaign.{name}.node_hours").inc(s.node_hours)
+            registry.histogram("campaign.stage_node_hours").observe(s.node_hours)
+        registry.gauge("campaign.effective_ligands").set(self.effective_ligands)
+        registry.gauge("campaign.iteration").set(self.iteration)
+
     def summary(self) -> str:
         """Human-readable multi-line report."""
         rows = [f"iteration {self.iteration}:"]

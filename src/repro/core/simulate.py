@@ -94,15 +94,30 @@ def build_integrated_pipelines(
 def simulate_integrated_run(
     config: SimulatedCampaignConfig | None = None,
     cost_model: CostModel | None = None,
+    tracer=None,
+    fault_model=None,
+    retry=None,
 ) -> Pilot:
     """Execute the integrated workflow on a simulated pilot; returns the
-    pilot (whose utilization tracker holds the Fig 7 series)."""
+    pilot (whose utilization tracker holds the Fig 7 series).
+
+    An explicit ``tracer`` collects the pilot's task/backoff spans into a
+    shared trace; by default the pilot keeps its own private tracer.  A
+    ``fault_model`` injects per-attempt failures into the simulated
+    executor, re-driven under ``retry`` (the pilot's default
+    drop-and-continue policy applies when retries are exhausted).
+    """
     from repro.rct.entk import AppManager
 
     config = config or SimulatedCampaignConfig()
     cost_model = cost_model or CostModel()
     cluster = Cluster(config.n_nodes, cost_model.node)
     allocation: Allocation = cluster.allocate(config.n_nodes, 0.0)
-    pilot = Pilot(allocation, SimExecutor(config.launch_overhead))
+    pilot = Pilot(
+        allocation,
+        SimExecutor(config.launch_overhead, fault_model=fault_model),
+        retry=retry,
+        tracer=tracer,
+    )
     AppManager(pilot).run(build_integrated_pipelines(config, cost_model))
     return pilot

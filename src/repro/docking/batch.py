@@ -54,6 +54,7 @@ from repro.docking.scoring import (
     packed_score_and_gradient_batch,
     packed_score_batch,
 )
+from repro.telemetry import NULL_TRACER, Tracer
 
 __all__ = ["dock_shard"]
 
@@ -330,6 +331,7 @@ def dock_shard(
     rngs: list[np.random.Generator],
     config: LGAConfig | None = None,
     local_search: str = "adadelta",
+    tracer: Tracer | None = None,
 ) -> list[DockingRun]:
     """Dock a shard of prepared ligands with one fused LGA.
 
@@ -347,6 +349,8 @@ def dock_shard(
         raise ValueError("need exactly one RNG stream per ligand")
     if not beads_list:
         return []
+    if tracer is None:
+        tracer = NULL_TRACER
     cfg = config or LGAConfig()
     if local_search == "adadelta":
         refine_cfg: AdadeltaConfig | SolisWetsConfig = AdadeltaConfig()
@@ -360,7 +364,7 @@ def dock_shard(
     buckets = _partition_by_size(beads_list)
     if len(buckets) == 1:
         return _dock_packed(
-            receptor, beads_list, rngs, cfg, refine_cfg, local_search
+            receptor, beads_list, rngs, cfg, refine_cfg, local_search, tracer
         )
     runs: list[DockingRun | None] = [None] * len(beads_list)
     for bucket in buckets:
@@ -371,6 +375,7 @@ def dock_shard(
             cfg,
             refine_cfg,
             local_search,
+            tracer,
         )
         for i, run in zip(bucket, sub):
             runs[i] = run
@@ -384,36 +389,39 @@ def _dock_packed(
     cfg: LGAConfig,
     refine_cfg: AdadeltaConfig | SolisWetsConfig,
     local_search: str,
+    tracer: Tracer = NULL_TRACER,
 ) -> list[DockingRun]:
     """One fused LGA over an (ideally size-homogeneous) ligand bucket."""
     n_lig = len(beads_list)
     p = cfg.population
     n_ls = cfg.n_local_search
     half = receptor.box_size / 2.0
-    pack = pack_ligands(beads_list)
-    t_max = pack.max_torsions
-    plan_pop = pack.plan(p)
-    plan_ls = pack.plan(n_ls)
+    with tracer.span("pack", category="docking.kernel", n_ligands=n_lig):
+        pack = pack_ligands(beads_list)
+        t_max = pack.max_torsions
+        plan_pop = pack.plan(p)
+        plan_ls = pack.plan(n_ls)
 
     # initial population: per-stream draws, stacked into ligand blocks
-    conf = np.empty(n_lig * p, dtype=np.int64)
-    trans = np.empty((n_lig * p, 3))
-    quat = np.empty((n_lig * p, 4))
-    tors = np.zeros((n_lig * p, t_max)) if t_max else None
-    for li, (beads, rng) in enumerate(zip(beads_list, rngs)):
-        c, t, q, a = draw_initial_genes(
-            rng, p, half, beads.n_conformers, beads.n_torsions
-        )
-        rows = slice(li * p, (li + 1) * p)
-        conf[rows] = c
-        trans[rows] = t
-        quat[rows] = q
-        if a is not None:
-            tors[rows, : beads.n_torsions] = a
+    with tracer.span("init-score", category="docking.kernel", n_ligands=n_lig):
+        conf = np.empty(n_lig * p, dtype=np.int64)
+        trans = np.empty((n_lig * p, 3))
+        quat = np.empty((n_lig * p, 4))
+        tors = np.zeros((n_lig * p, t_max)) if t_max else None
+        for li, (beads, rng) in enumerate(zip(beads_list, rngs)):
+            c, t, q, a = draw_initial_genes(
+                rng, p, half, beads.n_conformers, beads.n_torsions
+            )
+            rows = slice(li * p, (li + 1) * p)
+            conf[rows] = c
+            trans[rows] = t
+            quat[rows] = q
+            if a is not None:
+                tors[rows, : beads.n_torsions] = a
 
-    scores = packed_score_batch(
-        receptor, pack, plan_pop, conf, trans, quat, tors
-    )
+        scores = packed_score_batch(
+            receptor, pack, plan_pop, conf, trans, quat, tors
+        )
     n_evals = np.full(n_lig, p, dtype=np.int64)
     histories: list[list[float]] = [
         [float(s)] for s in scores.reshape(n_lig, p).min(axis=1)
@@ -421,68 +429,71 @@ def _dock_packed(
     n_conf_rows = np.repeat(pack.n_conformers, cfg.n_children)
     lig_off = np.arange(n_lig) * p
 
-    for _ in range(cfg.generations):
+    for gen in range(cfg.generations):
         # one generation of randomness per ligand stream, then stacked
-        per_lig = [
-            draw_generation(rng, cfg, beads.n_conformers, beads.n_torsions)
-            for beads, rng in zip(beads_list, rngs)
-        ]
-        d = _stack_draws(per_lig, cfg, t_max)
+        with tracer.span("genetics", category="docking.kernel", gen=gen):
+            per_lig = [
+                draw_generation(rng, cfg, beads.n_conformers, beads.n_torsions)
+                for beads, rng in zip(beads_list, rngs)
+            ]
+            d = _stack_draws(per_lig, cfg, t_max)
 
-        order = np.argsort(scores.reshape(n_lig, p), axis=1)
-        elite_rows = (order[:, : cfg.elitism] + lig_off[:, None]).ravel()
-        new_conf, new_trans, new_quat, new_tors = apply_genetics(
-            cfg, scores, conf, trans, quat, tors, n_conf_rows, d
-        )
+            order = np.argsort(scores.reshape(n_lig, p), axis=1)
+            elite_rows = (order[:, : cfg.elitism] + lig_off[:, None]).ravel()
+            new_conf, new_trans, new_quat, new_tors = apply_genetics(
+                cfg, scores, conf, trans, quat, tors, n_conf_rows, d
+            )
 
-        e = cfg.elitism
-        nc = cfg.n_children
-        conf = np.concatenate(
-            [conf[elite_rows].reshape(n_lig, e), new_conf.reshape(n_lig, nc)],
-            axis=1,
-        ).reshape(n_lig * p)
-        trans = np.concatenate(
-            [trans[elite_rows].reshape(n_lig, e, 3), new_trans.reshape(n_lig, nc, 3)],
-            axis=1,
-        ).reshape(n_lig * p, 3)
-        quat = np.concatenate(
-            [quat[elite_rows].reshape(n_lig, e, 4), new_quat.reshape(n_lig, nc, 4)],
-            axis=1,
-        ).reshape(n_lig * p, 4)
-        if t_max:
-            tors = np.concatenate(
-                [
-                    tors[elite_rows].reshape(n_lig, e, t_max),
-                    new_tors.reshape(n_lig, nc, t_max),
-                ],
+            e = cfg.elitism
+            nc = cfg.n_children
+            conf = np.concatenate(
+                [conf[elite_rows].reshape(n_lig, e), new_conf.reshape(n_lig, nc)],
                 axis=1,
-            ).reshape(n_lig * p, t_max)
-        scores = packed_score_batch(
-            receptor, pack, plan_pop, conf, trans, quat, tors
-        )
+            ).reshape(n_lig * p)
+            trans = np.concatenate(
+                [trans[elite_rows].reshape(n_lig, e, 3), new_trans.reshape(n_lig, nc, 3)],
+                axis=1,
+            ).reshape(n_lig * p, 3)
+            quat = np.concatenate(
+                [quat[elite_rows].reshape(n_lig, e, 4), new_quat.reshape(n_lig, nc, 4)],
+                axis=1,
+            ).reshape(n_lig * p, 4)
+            if t_max:
+                tors = np.concatenate(
+                    [
+                        tors[elite_rows].reshape(n_lig, e, t_max),
+                        new_tors.reshape(n_lig, nc, t_max),
+                    ],
+                    axis=1,
+                ).reshape(n_lig * p, t_max)
+        with tracer.span("score", category="docking.kernel", gen=gen):
+            scores = packed_score_batch(
+                receptor, pack, plan_pop, conf, trans, quat, tors
+            )
         n_evals += p
 
         # Lamarckian step: refine each ligand's chosen subset, write back
-        chosen = d.chosen
-        chosen_a = None if tors is None else tors[chosen]
-        if local_search == "adadelta":
-            ref_t, ref_q, ref_s, ref_a, ref_evals = _fused_adadelta(
-                receptor, pack, plan_ls, refine_cfg,
-                conf[chosen], trans[chosen], quat[chosen], chosen_a,
-            )
-        else:
-            ref_t, ref_q, ref_s, ref_a, ref_evals = _fused_solis_wets(
-                receptor, pack, plan_ls, refine_cfg,
-                conf[chosen], trans[chosen], quat[chosen], chosen_a, rngs,
-            )
-        n_evals += ref_evals
-        better = ref_s < scores[chosen]
-        idx = chosen[better]
-        trans[idx] = ref_t[better]
-        quat[idx] = ref_q[better]
-        if t_max and ref_a is not None:
-            tors[idx] = ref_a[better]
-        scores[idx] = ref_s[better]
+        with tracer.span("local-search", category="docking.kernel", gen=gen):
+            chosen = d.chosen
+            chosen_a = None if tors is None else tors[chosen]
+            if local_search == "adadelta":
+                ref_t, ref_q, ref_s, ref_a, ref_evals = _fused_adadelta(
+                    receptor, pack, plan_ls, refine_cfg,
+                    conf[chosen], trans[chosen], quat[chosen], chosen_a,
+                )
+            else:
+                ref_t, ref_q, ref_s, ref_a, ref_evals = _fused_solis_wets(
+                    receptor, pack, plan_ls, refine_cfg,
+                    conf[chosen], trans[chosen], quat[chosen], chosen_a, rngs,
+                )
+            n_evals += ref_evals
+            better = ref_s < scores[chosen]
+            idx = chosen[better]
+            trans[idx] = ref_t[better]
+            quat[idx] = ref_q[better]
+            if t_max and ref_a is not None:
+                tors[idx] = ref_a[better]
+            scores[idx] = ref_s[better]
         gen_best = scores.reshape(n_lig, p).min(axis=1)
         for li, s in enumerate(gen_best):  # repro: disable=vectorization — list-of-lists append
             histories[li].append(float(s))

@@ -27,6 +27,7 @@ from repro.chem.smiles import parse_smiles
 from repro.docking.lga import DockingRun, LamarckianGA, LGAConfig
 from repro.docking.ligand import LigandBeads, prepare_ligand
 from repro.docking.receptor import Receptor
+from repro.telemetry import NULL_TRACER, Tracer
 from repro.util.rng import RngFactory
 
 __all__ = ["DockingEngine", "DockingResult"]
@@ -68,8 +69,10 @@ class DockingEngine:
         config: LGAConfig | None = None,
         local_search: str = "adadelta",
         n_conformers: int = 3,
+        tracer: Tracer | None = None,
     ) -> None:
         self.receptor = receptor
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.rng_factory = RngFactory(
             seed, prefix=f"docking/{receptor.target}/{receptor.pdb_id}"
         )
@@ -122,11 +125,14 @@ class DockingEngine:
         """Dock a single compound given as SMILES."""
         key = compound_id or smiles
         beads = self._prepared(smiles, compound_id)
-        run: DockingRun = self.ga.dock(
-            self.receptor, beads, self.rng_factory.stream(f"lga/{key}")
-        )
+        with self.tracer.span(f"dock:{key}", category="docking", compound=key):
+            run: DockingRun = self.ga.dock(
+                self.receptor, beads, self.rng_factory.stream(f"lga/{key}")
+            )
         self.total_evals += run.n_evals
         self.total_ligands += 1
+        self.tracer.metrics.counter("docking.evals").inc(run.n_evals)
+        self.tracer.metrics.counter("docking.ligands").inc()
         return self._to_result(smiles, compound_id, run)
 
     def dock_entries(
@@ -166,6 +172,7 @@ class DockingEngine:
             rngs,
             config=self.ga.config,
             local_search=self._local_search,
+            tracer=self.tracer,
         )
         return [
             self._to_result(smiles, compound_id, run)
@@ -195,6 +202,11 @@ class DockingEngine:
         for r in results:
             self.total_evals += r.n_evals
             self.total_ligands += 1
+        if results:
+            self.tracer.metrics.counter("docking.evals").inc(
+                sum(r.n_evals for r in results)
+            )
+            self.tracer.metrics.counter("docking.ligands").inc(len(results))
         return results
 
     def pose_coordinates(self, result: DockingResult) -> np.ndarray:

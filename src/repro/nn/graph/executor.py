@@ -30,6 +30,7 @@ import numpy as np
 from repro.nn.graph.ir import Graph, quantize
 from repro.nn.graph.planner import plan_memory
 from repro.nn.im2col import conv_index_plan, conv_zero_slot_plan
+from repro.telemetry import NULL_TRACER, Tracer
 
 __all__ = ["GraphExecutor"]
 
@@ -37,12 +38,25 @@ __all__ = ["GraphExecutor"]
 class _BoundPlan:
     """One graph bound to an arena for a fixed batch size."""
 
-    __slots__ = ("input", "output", "steps", "arena", "memory", "strategies")
+    __slots__ = (
+        "input",
+        "output",
+        "steps",
+        "labels",
+        "arena",
+        "memory",
+        "strategies",
+    )
 
-    def __init__(self, input_view, output_view, steps, arena, memory, strategies):
+    def __init__(
+        self, input_view, output_view, steps, labels, arena, memory, strategies
+    ):
         self.input = input_view
         self.output = output_view
         self.steps = steps
+        #: per-step profiling labels, parallel to ``steps``:
+        #: (span name, attrs with node kind / output vid / arena offset)
+        self.labels = labels
         self.arena = arena
         self.memory = memory
         self.strategies = strategies
@@ -58,20 +72,35 @@ class GraphExecutor:
     (e.g. via ``astype``) before the next call.  Not thread-safe.
     """
 
-    def __init__(self, graph: Graph) -> None:
+    def __init__(self, graph: Graph, tracer: Tracer | None = None) -> None:
         self.graph = graph
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._plans: dict[int, _BoundPlan] = {}
         self._probe_cache: dict[tuple, bool] = {}
 
     def run(self, xq: np.ndarray) -> np.ndarray:
-        """Run one quantized compute-dtype batch; returns an arena view."""
+        """Run one quantized compute-dtype batch; returns an arena view.
+
+        With tracing enabled, each bound step emits one ``nn.op`` span
+        (labels carry node kind, output vid and arena slot offset); the
+        enabled check happens once per batch, so the disabled path pays a
+        single branch, not one per op.
+        """
         batch = int(xq.shape[0])
         plan = self._plans.get(batch)
         if plan is None:
             plan = self._plans[batch] = self._bind(batch)
         np.copyto(plan.input, xq)
-        for step in plan.steps:
-            step()
+        if self._tracer.enabled:
+            tracer = self._tracer
+            for step, (name, attrs) in zip(plan.steps, plan.labels):
+                with tracer.span(name, category="nn.op", attrs=attrs):
+                    step()
+            tracer.metrics.counter("nn.batches").inc()
+            tracer.metrics.counter("nn.samples").inc(batch)
+        else:
+            for step in plan.steps:
+                step()
         return plan.output
 
     def plan_info(self, batch: int) -> dict:
@@ -179,6 +208,28 @@ class GraphExecutor:
             return fns
 
         steps: list = []
+        labels: list[tuple[str, dict]] = []
+
+        def emit(fn, name: str, node) -> None:
+            # label attrs are computed once at bind time; run() only
+            # reads them, so tracing adds no per-step bookkeeping
+            steps.append(fn)
+            slot = memory.slots.get(("value", g.storage_root(node.out)))
+            labels.append(
+                (
+                    name,
+                    {
+                        "kind": node.kind,
+                        "out": node.out,
+                        "arena_off": slot[0] if slot is not None else -1,
+                    },
+                )
+            )
+
+        def emit_epilogue(node, skip_first: bool = False) -> None:
+            for fn in bind_epilogue(node, skip_first=skip_first):
+                emit(fn, f"{node.kind}.epilogue", node)
+
         for i, node in enumerate(g.nodes):  # repro: disable=vectorization — kernel binding
             if node.kind == "reshape":
                 continue  # pure storage alias (or a lazily folded constant)
@@ -193,12 +244,18 @@ class GraphExecutor:
                 if pad:
                     idx = conv_zero_slot_plan(k, stride, pad, c, h, w)
                     src = row_view(src_root, carve=False)
-                    steps.append(
-                        _gather_padded(src, g.values[src_root].ps_elems, idx, out_view)
+                    emit(
+                        _gather_padded(src, g.values[src_root].ps_elems, idx, out_view),
+                        "gather.padded",
+                        node,
                     )
                 else:
                     idx = conv_index_plan(k, stride, c, h, w)
-                    steps.append(_gather(row_view(src_root, carve=True), idx, out_view))
+                    emit(
+                        _gather(row_view(src_root, carve=True), idx, out_view),
+                        "gather",
+                        node,
+                    )
 
             elif node.kind == "matmul":
                 out_view = view(node.out)
@@ -225,15 +282,19 @@ class GraphExecutor:
                             fused = (ufunc, g.const_array(first.operand))
                         else:
                             fused = None
-                        steps.append(_conv_folded(wq, cols, stage, acc, out_view, fused))
-                        steps.extend(bind_epilogue(node, skip_first=fuse_first))
+                        emit(
+                            _conv_folded(wq, cols, stage, acc, out_view, fused),
+                            "matmul.folded",
+                            node,
+                        )
+                        emit_epilogue(node, skip_first=fuse_first)
                     else:
-                        steps.append(_matmul_bcast(wq, cols, out_view))
-                        steps.extend(bind_epilogue(node))
+                        emit(_matmul_bcast(wq, cols, out_view), "matmul.bcast", node)
+                        emit_epilogue(node)
                 else:
                     wq = g.const_array(node.inputs[1])
-                    steps.append(_matmul_xw(view(node.inputs[0]), wq, out_view))
-                    steps.extend(bind_epilogue(node))
+                    emit(_matmul_xw(view(node.inputs[0]), wq, out_view), "matmul", node)
+                    emit_epilogue(node)
 
             elif node.kind == "ewise":
                 fn = node.attrs["fn"]
@@ -241,18 +302,22 @@ class GraphExecutor:
                 out_view = view(node.out)
                 if fn in ("add", "mul"):
                     ufunc = np.add if fn == "add" else np.multiply
-                    steps.append(_binary(ufunc, xv, operand_array(node.inputs[1]), out_view))
+                    emit(
+                        _binary(ufunc, xv, operand_array(node.inputs[1]), out_view),
+                        f"ewise.{fn}",
+                        node,
+                    )
                 elif fn == "max0":
-                    steps.append(_relu(xv, out_view))
+                    emit(_relu(xv, out_view), "ewise.relu", node)
                 elif fn == "leaky":
-                    steps.append(_leaky(xv, node.attrs["slope"], out_view))
+                    emit(_leaky(xv, node.attrs["slope"], out_view), "ewise.leaky", node)
                 elif fn == "tanh":
-                    steps.append(_tanh(xv, out_view))
+                    emit(_tanh(xv, out_view), "ewise.tanh", node)
                 elif fn == "sigmoid":
-                    steps.append(_sigmoid(xv, out_view))
+                    emit(_sigmoid(xv, out_view), "ewise.sigmoid", node)
                 else:  # pragma: no cover - trace emits no other fns
                     raise ValueError(f"unknown ewise fn {fn!r}")
-                steps.extend(bind_epilogue(node))
+                emit_epilogue(node)
 
             elif node.kind == "reduce":
                 pre = node.attrs["pre_ps"]
@@ -260,16 +325,22 @@ class GraphExecutor:
                 src = view_at(node.inputs[0], pre) if pre else view(node.inputs[0])
                 out_view = view(node.out)
                 if node.attrs["fn"] == "max":
-                    steps.append(_reduce_max(src, axes, out_view))
+                    emit(_reduce_max(src, axes, out_view), "reduce.max", node)
                 else:
-                    steps.append(_reduce_mean(src, axes, out_view))
-                steps.extend(bind_epilogue(node))
+                    emit(_reduce_mean(src, axes, out_view), "reduce.mean", node)
+                emit_epilogue(node)
 
             else:  # pragma: no cover - trace emits no other kinds
                 raise ValueError(f"unknown node kind {node.kind!r}")
 
         return _BoundPlan(
-            view(g.input_vid), view(g.output_vid), steps, arena, memory, strategies
+            view(g.input_vid),
+            view(g.output_vid),
+            steps,
+            labels,
+            arena,
+            memory,
+            strategies,
         )
 
 

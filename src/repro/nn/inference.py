@@ -57,12 +57,14 @@ class CompiledModel:
         engine: str,
         fn=None,
         frozen=None,
+        tracer=None,
     ) -> None:
         self.store_dtype = store_dtype
         self.compute_dtype = compute_dtype
         self.engine = engine
         self._fn = fn
         self._frozen = frozen
+        self._tracer = tracer
         self._executors: dict[tuple[int, ...], GraphExecutor] = {}
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
@@ -82,12 +84,17 @@ class CompiledModel:
                 self._frozen, key, self.store_dtype, self.compute_dtype
             )
             graph, self.pass_stats = optimize(graph)
-            executor = self._executors[key] = GraphExecutor(graph)
+            executor = self._executors[key] = GraphExecutor(
+                graph, tracer=self._tracer
+            )
         return executor
 
 
 def compile_model(
-    model: Module, precision: str = "fp16", engine: str = "graph"
+    model: Module,
+    precision: str = "fp16",
+    engine: str = "graph",
+    tracer=None,
 ) -> CompiledModel:
     """Compile a module tree into a pure-NumPy inference function.
 
@@ -111,7 +118,11 @@ def compile_model(
     store, compute = resolve_precision(precision)
     if engine == "graph":
         return CompiledModel(
-            store, compute, engine, frozen=freeze_module(model, store, compute)
+            store,
+            compute,
+            engine,
+            frozen=freeze_module(model, store, compute),
+            tracer=tracer,
         )
     if engine == "eager":
         return CompiledModel(

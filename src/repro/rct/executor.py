@@ -28,11 +28,11 @@ import itertools
 import math
 import queue
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.rct.fault import FaultModel
 from repro.rct.task import TaskRecord, TaskState
+from repro.util.timer import WallClock
 
 __all__ = ["SimExecutor", "ThreadExecutor"]
 
@@ -130,9 +130,14 @@ class SimExecutor:
 
 
 class ThreadExecutor:
-    """Real execution on a thread pool; time is the wall clock."""
+    """Real execution on a thread pool; time comes from the injected clock.
 
-    def __init__(self, max_workers: int = 8) -> None:
+    The default clock is :class:`~repro.util.timer.WallClock`; tests and
+    deterministic traces may substitute any object with ``now()`` and
+    ``sleep(seconds)`` methods.
+    """
+
+    def __init__(self, max_workers: int = 8, clock: WallClock | None = None) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self._pool = ThreadPoolExecutor(max_workers=max_workers)
@@ -140,12 +145,12 @@ class ThreadExecutor:
         self._running = 0
         self._abandoned = 0
         self._lock = threading.Lock()
-        self._clock = time.perf_counter
+        self._clock = clock if clock is not None else WallClock()
 
     @property
     def now(self) -> float:
         """Current time in seconds."""
-        return self._clock()
+        return self._clock.now()
 
     @property
     def n_running(self) -> int:
@@ -230,7 +235,7 @@ class ThreadExecutor:
         """Sleep the wall clock forward to ``t`` (retry backoff)."""
         delta = t - self.now
         if delta > 0:
-            time.sleep(delta)
+            self._clock.sleep(delta)
 
     def shutdown(self) -> None:
         """Stop the worker pool.

@@ -28,6 +28,7 @@ from repro.rct.executor import SimExecutor, ThreadExecutor
 from repro.rct.fault import FAILURE_POLICIES, FailureSummary, RetryPolicy, TaskFailedError
 from repro.rct.task import TaskRecord, TaskSpec, TaskState
 from repro.rct.utilization import UtilizationTracker
+from repro.telemetry import ExecutorClock, Span, Tracer
 
 __all__ = ["Pilot", "Placement"]
 
@@ -51,6 +52,7 @@ class Pilot:
         retry: RetryPolicy | None = None,
         failure_policy: str = "drop_and_continue",
         failure_budget: int | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -74,9 +76,16 @@ class Pilot:
         self._retry_queue: list[tuple[float, TaskSpec, int]] = []
         self._n_running = 0
         self.records: list[TaskRecord] = []
-        self.utilization = UtilizationTracker(
-            total_gpus=n * spec.gpus, total_cpus=n * spec.cpus
+        self._total_gpus = n * spec.gpus
+        self._total_cpus = n * spec.cpus
+        # The pilot is always traced: every placement becomes a
+        # "pilot.task" span (explicit executor times, so the same code
+        # path is deterministic under simulation) and the utilization
+        # tracker below is a pure view over those spans.
+        self.tracer = (
+            tracer if tracer is not None else Tracer(clock=ExecutorClock(executor))
         )
+        self._task_spans: dict[tuple[int, int], Span] = {}
 
     # ------------------------------------------------------------ placement
     @property
@@ -163,8 +172,18 @@ class Pilot:
             record, timeout=self.retry.timeout if self.retry else None
         )
         self.records.append(record)
-        self.utilization.record_start(
-            self.executor.now, placement.gpus, placement.cpus, task.stage
+        self._task_spans[(task.uid, attempt)] = self.tracer.start_span(
+            task.name,
+            category="pilot.task",
+            attrs={
+                "stage": task.stage,
+                "uid": task.uid,
+                "attempt": attempt,
+                "gpus": placement.gpus,
+                "cpus": placement.cpus,
+                "nodes": len(placement.node_ids),
+            },
+            start=self.executor.now,
         )
         self._n_running += 1
         return True
@@ -197,24 +216,41 @@ class Pilot:
         """
         record = self.executor.next_completion()
         placement = self._placements[record.spec.uid]
-        self.utilization.record_end(
-            self.executor.now, placement.gpus, placement.cpus, record.spec.stage
-        )
+        span = self._task_spans.pop((record.spec.uid, record.attempt))
         self._release(record.spec.uid)
         self._n_running -= 1
         if record.state is TaskState.FAILED:
+            span.set_error(record.error or "failed")
+            if record.timed_out:
+                span.set_attr("timed_out", True)
             self.failures.record_failure(record.wall_time, record.timed_out)
             if self.retry is not None and self.retry.should_retry(record.attempt):
                 backoff = self.retry.backoff(record.spec.uid, record.attempt)
+                span.set_attr("retried", True)
+                span.finish(end=self.executor.now)
                 self.failures.record_retry(backoff)
-                self.utilization.record_backoff(
-                    self.executor.now, backoff, record.spec.stage
+                # the backoff interval is itself a span, carrying the
+                # exact policy-drawn seconds (end-start would reintroduce
+                # float round-off into the reconciliation)
+                self.tracer.record_span(
+                    f"backoff:{record.spec.name}",
+                    start=self.executor.now,
+                    end=self.executor.now + backoff,
+                    category="pilot.backoff",
+                    attrs={
+                        "stage": record.spec.stage,
+                        "uid": record.spec.uid,
+                        "attempt": record.attempt,
+                        "seconds": backoff,
+                    },
                 )
                 self._retry_queue.append(
                     (self.executor.now + backoff, record.spec, record.attempt + 1)
                 )
                 record.state = TaskState.RETRYING
             else:
+                span.set_attr("dropped", True)
+                span.finish(end=self.executor.now)
                 self.failures.record_drop(record.spec.stage)
                 if self.failure_policy == "fail_fast":
                     raise TaskFailedError(
@@ -232,7 +268,10 @@ class Pilot:
                         record,
                     )
         elif record.state is TaskState.DONE:
+            span.finish(end=self.executor.now)
             self.failures.record_success(record.attempt)
+        else:
+            span.finish(end=self.executor.now)
         return record
 
     @property
@@ -280,6 +319,13 @@ class Pilot:
         return finished
 
     # ----------------------------------------------------------- accounting
+    @property
+    def utilization(self) -> UtilizationTracker:
+        """Fig 7 utilization, reconstructed as a view over the trace."""
+        return UtilizationTracker.from_trace(
+            self.tracer, total_gpus=self._total_gpus, total_cpus=self._total_cpus
+        )
+
     def node_hours(self) -> float:
         """Total node-hours consumed by completed tasks."""
         spec = self.spec

@@ -31,7 +31,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -39,7 +38,9 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.rct.fault import FailureSummary, FaultModel, RetryPolicy
+from repro.telemetry import NULL_TRACER, Tracer
 from repro.util.config import FrozenConfig, validate_positive
+from repro.util.timer import WallClock
 
 __all__ = [
     "RaptorConfig",
@@ -113,6 +114,7 @@ def simulate_raptor(
     config: RaptorConfig,
     fault_model: FaultModel | None = None,
     retry: RetryPolicy | None = None,
+    tracer: Tracer | None = None,
 ) -> RaptorResult:
     """Discrete-event simulation of a RAPTOR run.
 
@@ -121,7 +123,15 @@ def simulate_raptor(
     With a ``fault_model``, attempts may crash/straggle/hang; failed
     items re-enter the queue after the ``retry`` policy's backoff (on the
     virtual clock) until retries are exhausted.
+
+    With a ``tracer``, every master dispatch, item attempt, and retry
+    backoff is recorded as a pre-timed span on the virtual clock
+    (categories ``raptor.dispatch`` / ``raptor.exec`` /
+    ``raptor.backoff``); failed attempts carry error status so the trace
+    reconciles with the returned :class:`FailureSummary`.
     """
+    if tracer is None:
+        tracer = NULL_TRACER
     durations = np.asarray(durations, dtype=np.float64)
     if len(durations) == 0:
         raise ValueError("no items to run")
@@ -203,6 +213,14 @@ def simulate_raptor(
         dispatch_end = dispatch_start + cfg.dispatch_overhead
         master_free_at[master] = dispatch_end
         master_busy[master] += cfg.dispatch_overhead
+        if tracer.enabled:
+            tracer.record_span(
+                f"dispatch:m{master}",
+                start=dispatch_start,
+                end=dispatch_end,
+                category="raptor.dispatch",
+                attrs={"master": master, "worker": worker, "n_items": len(bulk)},
+            )
         work = 0.0
         for i in bulk:
             attempt = attempts.get(i, 0)
@@ -221,12 +239,48 @@ def simulate_raptor(
             item_end = dispatch_end + work + busy
             work += busy
             if not failed:
+                if tracer.enabled:
+                    tracer.record_span(
+                        f"item:{i}",
+                        start=item_end - busy,
+                        end=item_end,
+                        category="raptor.exec",
+                        attrs={"item": i, "attempt": attempt, "worker": worker},
+                    )
                 summary.record_success(attempt)
                 continue
             summary.record_failure(busy, timed_out)
-            if retry is not None and retry.should_retry(attempt):
+            will_retry = retry is not None and retry.should_retry(attempt)
+            if tracer.enabled:
+                tracer.record_span(
+                    f"item:{i}",
+                    start=item_end - busy,
+                    end=item_end,
+                    category="raptor.exec",
+                    attrs={
+                        "item": i,
+                        "attempt": attempt,
+                        "worker": worker,
+                        "timed_out": timed_out,
+                        "retried": will_retry,
+                        "dropped": not will_retry,
+                    },
+                    status="error",
+                    error=f"injected failure (attempt {attempt})"
+                    if not timed_out
+                    else f"timeout after {timeout}s (attempt {attempt})",
+                )
+            if will_retry:
                 backoff = retry.backoff(i, attempt)
                 summary.record_retry(backoff)
+                if tracer.enabled:
+                    tracer.record_span(
+                        f"backoff:{i}",
+                        start=item_end,
+                        end=item_end + backoff,
+                        category="raptor.backoff",
+                        attrs={"item": i, "attempt": attempt, "seconds": backoff},
+                    )
                 attempts[i] = attempt + 1
                 heapq.heappush(retry_heap, (item_end + backoff, i))
             else:
@@ -252,6 +306,8 @@ def run_raptor(
     fn: Callable,
     config: RaptorConfig,
     retry: RetryPolicy | None = None,
+    clock: WallClock | None = None,
+    tracer: Tracer | None = None,
 ) -> RaptorResult:
     """Real execution: apply ``fn`` to every item with bulk semantics.
 
@@ -269,10 +325,20 @@ def run_raptor(
     indistinguishable from legitimate return values.  Per-attempt
     timeouts are not enforced here: a thread cannot be killed mid-call
     (use the pilot's thread backend for abandonable tasks).
+
+    Attempt timing comes from the injected ``clock`` (default
+    :class:`~repro.util.timer.WallClock`); with a ``tracer``, each
+    attempt is recorded as a ``raptor.exec`` span (error status on
+    raising items) — ``record_span`` is thread-safe, so worker threads
+    report directly.
     """
     items = list(items)
     if not items:
         raise ValueError("no items to run")
+    if clock is None:
+        clock = WallClock()
+    if tracer is None:
+        tracer = NULL_TRACER
     cfg = config
     master_queues = _partition_round_robin(len(items), cfg.n_masters)
     bulks: list[list[int]] = []
@@ -303,20 +369,45 @@ def run_raptor(
     def run_item(i: int) -> None:
         attempt = 0
         while True:
-            t0 = time.perf_counter()
+            t0 = clock.now()
             try:
                 result = fn(items[i])
             except Exception as exc:  # noqa: BLE001 - task isolation: one
                 # failing item must not sink its bulk (RP "isolates the
                 # execution of each task")
-                elapsed = time.perf_counter() - t0
+                t1 = clock.now()
+                elapsed = t1 - t0
                 busy_cell()[0] += elapsed
                 with ledger_lock:
                     summary.record_failure(elapsed)
-                if retry is not None and retry.should_retry(attempt):
+                will_retry = retry is not None and retry.should_retry(attempt)
+                if tracer.enabled:
+                    tracer.record_span(
+                        f"item:{i}",
+                        start=t0,
+                        end=t1,
+                        category="raptor.exec",
+                        attrs={
+                            "item": i,
+                            "attempt": attempt,
+                            "retried": will_retry,
+                            "dropped": not will_retry,
+                        },
+                        status="error",
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                if will_retry:
                     backoff = retry.backoff(i, attempt)
                     with ledger_lock:
                         summary.record_retry(backoff)
+                    if tracer.enabled:
+                        tracer.record_span(
+                            f"backoff:{i}",
+                            start=t1,
+                            end=t1 + backoff,
+                            category="raptor.backoff",
+                            attrs={"item": i, "attempt": attempt, "seconds": backoff},
+                        )
                     attempt += 1
                     continue
                 results[i] = exc
@@ -324,7 +415,16 @@ def run_raptor(
                     summary.record_drop(_STAGE)
                     failed_indices.append(i)
                 return
-            busy_cell()[0] += time.perf_counter() - t0
+            t1 = clock.now()
+            busy_cell()[0] += t1 - t0
+            if tracer.enabled:
+                tracer.record_span(
+                    f"item:{i}",
+                    start=t0,
+                    end=t1,
+                    category="raptor.exec",
+                    attrs={"item": i, "attempt": attempt},
+                )
             results[i] = result
             with ledger_lock:
                 summary.record_success(attempt)
@@ -334,10 +434,10 @@ def run_raptor(
         for i in bulk:
             run_item(i)
 
-    t_start = time.perf_counter()
+    t_start = clock.now()
     with ThreadPoolExecutor(max_workers=cfg.n_workers) as pool:
         list(pool.map(run_bulk, bulks))
-    makespan = time.perf_counter() - t_start
+    makespan = clock.now() - t_start
     worker_busy = np.zeros(cfg.n_workers)
     for slot, cell in enumerate(busy_cells):
         worker_busy[slot] = cell[0]
@@ -359,6 +459,7 @@ def dock_library_raptor(
     shard_size: int = 16,
     retry: RetryPolicy | None = None,
     limit: int | None = None,
+    tracer: Tracer | None = None,
 ) -> RaptorResult:
     """RAPTOR-ize a library screen over fused multi-ligand shards.
 
@@ -387,11 +488,14 @@ def dock_library_raptor(
         for start in range(0, n, shard_size)
     ]
 
+    if tracer is None:
+        tracer = getattr(engine, "tracer", None)
     outcome = run_raptor(
         shards,
         lambda shard: engine.dock_entries(shard, batched=True),
         config,
         retry=retry,
+        tracer=tracer,
     )
 
     flat: list = []

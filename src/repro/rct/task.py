@@ -15,9 +15,21 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-__all__ = ["TaskSpec", "TaskRecord", "TaskState"]
+__all__ = ["TaskSpec", "TaskRecord", "TaskState", "reset_uid_counter"]
 
 _task_counter = itertools.count()
+
+
+def reset_uid_counter(start: int = 0) -> None:
+    """Restart :class:`TaskSpec` uid assignment from ``start``.
+
+    Fault draws are keyed on ``(seed, uid, attempt)``, so a run is only
+    reproducible within a process if its tasks get the same uids each
+    time.  Deterministic demos call this before building their workload;
+    uids stay unique within any single pilot built afterwards.
+    """
+    global _task_counter
+    _task_counter = itertools.count(start)
 
 
 class TaskState(enum.Enum):

@@ -65,6 +65,47 @@ class UtilizationTracker:
     _backoffs: list[tuple[float, float, str]] = field(default_factory=list)
     # each backoff: (time, seconds, stage)
 
+    @classmethod
+    def from_trace(
+        cls, tracer, total_gpus: int, total_cpus: int
+    ) -> "UtilizationTracker":
+        """Rebuild the tracker from a telemetry trace (Fig 7 as a view).
+
+        ``pilot.task`` spans contribute a start (+slots) and end
+        (-slots) event; still-open spans contribute only their start.
+        ``pilot.backoff`` spans carry the exact policy-drawn ``seconds``
+        attribute, so backoff totals reconcile with the retry policy
+        without float round-off.  Events are replayed in tracer sequence
+        order — program order — reproducing exactly the event list the
+        pilot used to record inline.
+        """
+        tracker = cls(total_gpus=total_gpus, total_cpus=total_cpus)
+        events: list[tuple[int, float, int, int, str]] = []
+        backoffs: list[tuple[int, float, float, str]] = []
+        spans = list(tracer.finished) + tracer.active_spans()
+        for span in spans:
+            if span.category == "pilot.task":
+                gpus = int(span.attrs.get("gpus", 0))
+                cpus = int(span.attrs.get("cpus", 0))
+                stage = span.attrs.get("stage", "")
+                events.append((span.seq_start, span.start, gpus, cpus, stage))
+                if span.end is not None:
+                    events.append((span.seq_end, span.end, -gpus, -cpus, stage))
+            elif span.category == "pilot.backoff":
+                backoffs.append(
+                    (
+                        span.seq_start,
+                        span.start,
+                        float(span.attrs.get("seconds", span.end - span.start)),
+                        span.attrs.get("stage", ""),
+                    )
+                )
+        events.sort(key=lambda e: e[0])
+        backoffs.sort(key=lambda b: b[0])
+        tracker._events = [(t, dg, dc, s) for _, t, dg, dc, s in events]
+        tracker._backoffs = [(t, sec, s) for _, t, sec, s in backoffs]
+        return tracker
+
     def record_start(self, time: float, gpus: int, cpus: int, stage: str) -> None:
         """Log a task start (slots become busy)."""
         self._events.append((time, gpus, cpus, stage))

@@ -45,10 +45,11 @@ class InferenceEngine:
         precision: str = "fp16",
         batch_size: int = 64,
         engine: str = "graph",
+        tracer=None,
     ) -> None:
         self.surrogate = surrogate
         self.compiled = compile_model(
-            surrogate.model, precision=precision, engine=engine
+            surrogate.model, precision=precision, engine=engine, tracer=tracer
         )
         self.batch_size = batch_size
         self.engine = engine

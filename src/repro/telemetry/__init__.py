@@ -1,0 +1,53 @@
+"""Unified tracing, metrics, and kernel profiling for the campaign stack.
+
+One trace schema spans every layer: pilot scheduling and placement,
+RAPTOR dispatch/retry/backoff, docking kernel phases, per-op graph
+execution, and campaign stage boundaries — whether the run is a real
+thread-pool execution on :class:`~repro.util.timer.WallClock` or a
+discrete-event simulation on a virtual clock.  See ``DESIGN.md``
+("Observability") for the schema and the clock-duality contract.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace_json,
+    summary_table,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    ExecutorClock,
+    NullTracer,
+    Span,
+    TickClock,
+    Tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NullTracer",
+    "NULL_TRACER",
+    "TickClock",
+    "ExecutorClock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "to_jsonl",
+    "summary_table",
+]

@@ -1,0 +1,212 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, terminal summary.
+
+All exporters walk the tracer's finished spans in timeline order
+(``(start, seq_start)`` — clock time with program order breaking ties)
+and serialise with ``sort_keys=True`` and fixed separators, so a
+deterministic trace (simulated clock or :class:`~repro.telemetry.tracer.
+TickClock`) exports to *byte-identical* output across runs.
+
+The Chrome format targets ``chrome://tracing`` / Perfetto: each span
+category becomes a named "thread" row (metadata ``M`` events), spans are
+complete ``X`` events with microsecond ``ts``/``dur``, span events
+become instant ``i`` events, and the metrics snapshot rides along under
+``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "validate_chrome_trace",
+    "to_jsonl",
+    "summary_table",
+]
+
+_PID = 1
+_US = 1_000_000.0
+
+
+def _us(seconds: float) -> float:
+    """Seconds → microseconds, rounded to fixed precision (nanoseconds)
+    so float formatting is stable across platforms."""
+    return round(seconds * _US, 3)
+
+
+def _ordered_spans(tracer):
+    return sorted(tracer.finished, key=lambda s: (s.start, s.seq_start))
+
+
+def _tids(tracer) -> dict[str, int]:
+    """Category → stable small thread id, in sorted category order."""
+    cats = sorted({s.category for s in tracer.finished})
+    return {cat: i for i, cat in enumerate(cats)}
+
+
+def to_chrome_trace(tracer) -> dict:
+    """Render the trace as a Chrome trace-event object (JSON-ready)."""
+    tids = _tids(tracer)
+    events: list[dict] = []
+    for cat, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": cat or "(uncategorized)"},
+            }
+        )
+    for span in _ordered_spans(tracer):
+        tid = tids[span.category]
+        args = dict(span.attrs)
+        args["status"] = span.status
+        if span.error is not None:
+            args["error"] = span.error
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "name": span.name,
+                "cat": span.category,
+                "ts": _us(span.start),
+                "dur": _us(span.end - span.start),
+                "args": args,
+            }
+        )
+        for time, name, attrs in span.events:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": name,
+                    "cat": span.category,
+                    "ts": _us(time),
+                    "args": dict(attrs),
+                }
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"metrics": tracer.metrics.snapshot()},
+    }
+
+
+def chrome_trace_json(tracer) -> str:
+    """Canonical byte-stable serialisation of :func:`to_chrome_trace`."""
+    return json.dumps(
+        to_chrome_trace(tracer), sort_keys=True, separators=(",", ":")
+    )
+
+
+def validate_chrome_trace(data: dict) -> list[str]:
+    """Structural checks on an exported trace; returns problem strings.
+
+    An empty list means the trace is loadable by ``chrome://tracing``:
+    required keys present, durations non-negative, complete events carry
+    numeric timestamps, and every ``X``/``i`` event's category has a
+    thread-name metadata row.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return ["trace root must be an object"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    named_tids = set()
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            named_tids.add(ev.get("tid"))
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "i"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"event {i}: missing name")
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"event {i}: non-numeric ts")
+        if ev.get("tid") not in named_tids:
+            problems.append(f"event {i}: tid {ev.get('tid')!r} has no thread_name")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)):
+                problems.append(f"event {i}: non-numeric dur")
+            elif dur < 0:
+                problems.append(f"event {i}: negative dur {dur}")
+    return problems
+
+
+def to_jsonl(tracer) -> str:
+    """Flat JSONL event log: one span per line, timeline-ordered."""
+    lines = []
+    for span in _ordered_spans(tracer):
+        record = {
+            "name": span.name,
+            "cat": span.category,
+            "start": span.start,
+            "end": span.end,
+            "status": span.status,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "attrs": span.attrs,
+        }
+        if span.error is not None:
+            record["error"] = span.error
+        if span.events:
+            record["events"] = [
+                {"time": t, "name": n, "attrs": a} for t, n, a in span.events
+            ]
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def summary_table(tracer) -> str:
+    """Aggregate spans by (category, name) into an aligned text table."""
+    groups: dict[tuple[str, str], list] = {}
+    for span in tracer.finished:
+        groups.setdefault((span.category, span.name), []).append(span)
+
+    header = ("category", "name", "count", "errors", "total_s", "mean_s", "max_s")
+    rows = [header]
+    for (cat, name), spans in sorted(groups.items()):
+        durs = [s.end - s.start for s in spans]
+        total = sum(durs)
+        rows.append(
+            (
+                cat or "-",
+                name,
+                str(len(spans)),
+                str(sum(1 for s in spans if s.status == "error")),
+                f"{total:.4f}",
+                f"{total / len(spans):.4f}",
+                f"{max(durs):.4f}",
+            )
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for j, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+
+    snap = tracer.metrics.snapshot()
+    if snap:
+        lines.append("")
+        lines.append("metrics:")
+        for name, inst in snap.items():
+            if inst.get("kind") == "histogram":
+                lines.append(
+                    f"  {name}: n={inst['count']} sum={inst['sum']:.4f} "
+                    f"min={inst['min']} max={inst['max']}"
+                )
+            else:
+                lines.append(f"  {name}: {inst['value']}")
+    return "\n".join(lines)

@@ -4,11 +4,23 @@ Long-running drivers (the campaign, ESMACS sweeps) report progress
 through standard :mod:`logging` so downstream users can silence, route
 or timestamp it without touching library code.  ``get_logger`` attaches
 one stderr handler to the package root exactly once.
+
+Two knobs beyond the basics:
+
+* ``get_logger(name, context={...})`` returns an adapter that stamps
+  every record with a rendered ``[k=v ...]`` context block — the
+  ``%(context)s`` field in the handler format — so concurrent workers
+  (shard ids, worker ranks, compound ids) stay distinguishable in a
+  merged stream.
+* The ``REPRO_LOG`` environment variable sets the package root level at
+  first configuration (``REPRO_LOG=DEBUG`` also surfaces telemetry span
+  enter/exit mirroring from tracers built with ``log_spans=True``).
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import sys
 
 __all__ = ["get_logger"]
@@ -17,19 +29,69 @@ _ROOT = "repro"
 _configured = False
 
 
-def get_logger(name: str) -> logging.Logger:
-    """Logger namespaced under ``repro.``; handler installed on first use."""
+class _ContextFilter(logging.Filter):
+    """Default ``record.context`` to empty so the format never KeyErrors."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if not hasattr(record, "context"):
+            record.context = ""
+        return True
+
+
+class _ContextAdapter(logging.LoggerAdapter):
+    """Inject a pre-rendered context block into every record."""
+
+    def __init__(self, logger: logging.Logger, rendered: str) -> None:
+        super().__init__(logger, {})
+        self._rendered = rendered
+
+    @property
+    def name(self) -> str:
+        """The underlying logger's dotted name."""
+        return self.logger.name
+
+    def process(self, msg, kwargs):
+        extra = dict(kwargs.get("extra") or {})
+        extra.setdefault("context", self._rendered)
+        kwargs["extra"] = extra
+        return msg, kwargs
+
+
+def _render_context(context: dict) -> str:
+    body = " ".join(f"{k}={context[k]}" for k in sorted(context))
+    return f" [{body}]" if body else ""
+
+
+def _configure_root() -> None:
     global _configured
-    if not _configured:
-        root = logging.getLogger(_ROOT)
-        if not root.handlers:
-            handler = logging.StreamHandler(sys.stderr)
-            handler.setFormatter(
-                logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    root = logging.getLogger(_ROOT)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(name)s %(levelname)s%(context)s %(message)s"
             )
-            root.addHandler(handler)
-            root.setLevel(logging.WARNING)
-        _configured = True
-    if name.startswith(_ROOT):
-        return logging.getLogger(name)
-    return logging.getLogger(f"{_ROOT}.{name}")
+        )
+        handler.addFilter(_ContextFilter())
+        root.addHandler(handler)
+        level_name = os.environ.get("REPRO_LOG", "").strip().upper()
+        level = getattr(logging, level_name, None) if level_name else None
+        root.setLevel(level if isinstance(level, int) else logging.WARNING)
+    _configured = True
+
+
+def get_logger(name: str, context: dict | None = None):
+    """Logger namespaced under ``repro.``; handler installed on first use.
+
+    With a ``context`` dict, returns a :class:`logging.LoggerAdapter`
+    whose records carry a rendered ``[k=v ...]`` block in the
+    ``%(context)s`` format field (keys sorted for stable output); without
+    one, returns the plain :class:`logging.Logger` as before.
+    """
+    if not _configured:
+        _configure_root()
+    qualified = name if name.startswith(_ROOT) else f"{_ROOT}.{name}"
+    logger = logging.getLogger(qualified)
+    if context is None:
+        return logger
+    return _ContextAdapter(logger, _render_context(dict(context)))

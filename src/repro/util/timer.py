@@ -21,6 +21,11 @@ class WallClock:
         """Current time in seconds."""
         return time.perf_counter()
 
+    def sleep(self, seconds: float) -> None:
+        """Idle forward; virtual clocks advance instead of sleeping."""
+        if seconds > 0:
+            time.sleep(seconds)
+
 
 @dataclass
 class Timer:

@@ -1,0 +1,16 @@
+"""Known-good telemetry discipline: injected clocks, with-ed spans."""
+
+from repro.telemetry import NULL_TRACER
+from repro.util.timer import WallClock
+
+
+def run_item(tracer, clock=None):
+    clock = clock if clock is not None else WallClock()
+    t0 = clock.now()  # sanctioned: the injected clock object
+    with tracer.span("item", category="exec") as span:
+        span.set_attr("t0", t0)
+    manual = tracer.start_span("manual", start=t0)  # manual API is fine
+    manual.finish(end=clock.now())
+    tracer.record_span("pre-timed", start=t0, end=clock.now())
+    NULL_TRACER.metrics.counter("items").inc()
+    return manual

@@ -118,3 +118,31 @@ def test_workflow_bad_flags_every_malformed_literal():
 
 def test_workflow_good_is_clean():
     assert lint_fixture("workflow_good.py", "workflow-shape").ok
+
+
+# ----------------------------------------------------- telemetry-discipline
+def test_telemetry_bad_flags_clock_reads_and_bare_spans():
+    result = lint_fixture(
+        "telemetry_bad.py", "telemetry-discipline", module="repro.rct.raptor"
+    )
+    messages = [f.message for f in result.findings]
+    assert len(result.findings) == 5
+    assert any("time.perf_counter()" in m for m in messages)
+    assert any("time.time()" in m for m in messages)
+    # the span-CM findings: `tracer.span(...)` and `self_like.span` is
+    # not flagged (receiver tail has no "tracer"), NULL_TRACER.span is
+    assert sum("outside a with-statement" in m for m in messages) == 2
+
+
+def test_telemetry_good_is_clean_in_instrumented_module():
+    result = lint_fixture(
+        "telemetry_good.py", "telemetry-discipline", module="repro.nn.graph.executor"
+    )
+    assert result.ok
+
+
+def test_telemetry_clock_reads_silent_outside_instrumented_modules():
+    # ...but a bare tracer.span(...) is a leak anywhere
+    result = lint_fixture("telemetry_bad.py", "telemetry-discipline")
+    assert all("outside a with-statement" in f.message for f in result.findings)
+    assert len(result.findings) == 2

@@ -164,6 +164,7 @@ def test_rule_names_cover_all_domain_rules():
         "clock-purity",
         "determinism",
         "lock-discipline",
+        "telemetry-discipline",
         "vectorization",
         "workflow-shape",
     }

@@ -1,0 +1,118 @@
+"""Exporters: Chrome trace structure, JSONL, summary table, validation."""
+
+import json
+
+from repro.telemetry import (
+    TickClock,
+    Tracer,
+    chrome_trace_json,
+    summary_table,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+
+
+def small_tracer() -> Tracer:
+    tracer = Tracer(clock=TickClock())
+    tracer.record_span("dock", start=0.0, end=1.5, category="docking",
+                       attrs={"compound": "C1"})
+    tracer.record_span("fail", start=0.5, end=0.75, category="raptor.exec",
+                       status="error", error="crash")
+    with tracer.span("stage", category="campaign.stage") as span:
+        span.add_event("checkpoint", time=2.0, step=1)
+    tracer.metrics.counter("docking.evals").inc(100)
+    tracer.metrics.histogram("durs").observe(1.5)
+    return tracer
+
+
+# ------------------------------------------------------------ chrome trace
+def test_chrome_trace_structure():
+    trace = to_chrome_trace(small_tracer())
+    events = trace["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    # one thread row per category, in sorted order
+    assert [m["args"]["name"] for m in meta] == [
+        "campaign.stage", "docking", "raptor.exec",
+    ]
+    assert len(complete) == 3
+    assert len(instants) == 1
+    assert trace["otherData"]["metrics"]["docking.evals"]["value"] == 100.0
+
+
+def test_chrome_x_events_carry_microsecond_times_and_status():
+    trace = to_chrome_trace(small_tracer())
+    dock = next(e for e in trace["traceEvents"] if e.get("name") == "dock")
+    assert dock["ts"] == 0.0
+    assert dock["dur"] == 1_500_000.0
+    assert dock["args"]["compound"] == "C1"
+    assert dock["args"]["status"] == "ok"
+    fail = next(e for e in trace["traceEvents"] if e.get("name") == "fail")
+    assert fail["args"]["status"] == "error"
+    assert fail["args"]["error"] == "crash"
+
+
+def test_chrome_trace_round_trips_through_json():
+    tracer = small_tracer()
+    data = json.loads(chrome_trace_json(tracer))
+    assert validate_chrome_trace(data) == []
+    # X events appear in timeline order: ts non-decreasing, durs >= 0
+    xs = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    ts = [e["ts"] for e in xs]
+    assert ts == sorted(ts)
+    assert all(e["dur"] >= 0 for e in xs)
+
+
+def test_chrome_trace_json_is_canonical():
+    tracer = small_tracer()
+    assert chrome_trace_json(tracer) == chrome_trace_json(tracer)
+    assert '": ' not in chrome_trace_json(tracer)  # compact separators
+
+
+# -------------------------------------------------------------- validation
+def test_validate_flags_malformed_traces():
+    assert validate_chrome_trace([]) == ["trace root must be an object"]
+    assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+    bad = {
+        "traceEvents": [
+            {"ph": "Z", "name": "n", "ts": 0},
+            {"ph": "X", "name": "n", "ts": 0.0, "dur": -1.0, "tid": 9},
+            {"ph": "X", "name": "", "ts": "zero", "dur": 1.0, "tid": 9},
+        ]
+    }
+    problems = validate_chrome_trace(bad)
+    assert any("unknown phase" in p for p in problems)
+    assert any("negative dur" in p for p in problems)
+    assert any("non-numeric ts" in p for p in problems)
+    assert any("no thread_name" in p for p in problems)
+
+
+# ------------------------------------------------------------------- jsonl
+def test_jsonl_one_parseable_line_per_span():
+    tracer = small_tracer()
+    lines = to_jsonl(tracer).splitlines()
+    assert len(lines) == 3
+    records = [json.loads(line) for line in lines]
+    # timeline order: dock @0.0, stage @ first tick (0.001), fail @0.5
+    assert [r["name"] for r in records] == ["dock", "stage", "fail"]
+    fail = records[2]
+    assert fail["status"] == "error" and fail["error"] == "crash"
+    stage = records[1]
+    assert stage["events"] == [
+        {"time": 2.0, "name": "checkpoint", "attrs": {"step": 1}}
+    ]
+
+
+def test_jsonl_empty_tracer_is_empty_string():
+    assert to_jsonl(Tracer(clock=TickClock())) == ""
+
+
+# ----------------------------------------------------------- summary table
+def test_summary_table_aggregates_and_lists_metrics():
+    text = summary_table(small_tracer())
+    assert "category" in text and "errors" in text
+    assert "raptor.exec" in text
+    assert "docking.evals: 100.0" in text
+    assert "durs: n=1" in text

@@ -1,0 +1,58 @@
+"""End-to-end traced demo: byte-identical reruns, full category coverage."""
+
+import json
+
+import pytest
+
+from repro.core.tracedemo import run_traced_demo
+from repro.telemetry import chrome_trace_json, validate_chrome_trace
+
+REQUIRED_CATEGORIES = {
+    "campaign.stage",
+    "docking",
+    "docking.kernel",
+    "nn.op",
+    "pilot.task",
+    "pilot.backoff",
+    "raptor.dispatch",
+    "raptor.exec",
+    "raptor.backoff",
+}
+
+
+@pytest.fixture(scope="module")
+def demo_traces():
+    """Two independent same-seed demo runs, exported to Chrome JSON."""
+    first = chrome_trace_json(run_traced_demo(seed=0))
+    second = chrome_trace_json(run_traced_demo(seed=0))
+    return first, second
+
+
+def test_same_seed_traces_are_byte_identical(demo_traces):
+    first, second = demo_traces
+    assert first == second
+
+
+def test_demo_trace_covers_every_instrumented_layer(demo_traces):
+    data = json.loads(demo_traces[0])
+    rows = {
+        e["args"]["name"]
+        for e in data["traceEvents"]
+        if e["ph"] == "M" and e.get("name") == "thread_name"
+    }
+    assert REQUIRED_CATEGORIES <= rows
+
+
+def test_demo_trace_is_valid_and_timeline_consistent(demo_traces):
+    data = json.loads(demo_traces[0])
+    assert validate_chrome_trace(data) == []
+    xs = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) > 50
+    ts = [e["ts"] for e in xs]
+    assert ts == sorted(ts)
+    assert all(e["dur"] >= 0 for e in xs)
+
+
+def test_different_seeds_produce_different_traces(demo_traces):
+    other = chrome_trace_json(run_traced_demo(seed=1))
+    assert other != demo_traces[0]

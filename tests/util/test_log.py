@@ -29,3 +29,47 @@ def test_messages_propagate_to_root(caplog):
     with caplog.at_level(logging.INFO, logger="repro"):
         log.info("hello %d", 42)
     assert "hello 42" in caplog.text
+
+
+def test_context_adapter_name_and_field(caplog):
+    log = get_logger("ctx.module", context={"shard": 3, "rank": 1})
+    assert log.name == "repro.ctx.module"
+    with caplog.at_level(logging.INFO, logger="repro"):
+        log.info("working")
+    record = caplog.records[-1]
+    assert record.context == " [rank=1 shard=3]"
+
+
+def test_context_keys_sorted_and_empty_dict_renders_nothing(caplog):
+    log = get_logger("ctx.empty", context={})
+    with caplog.at_level(logging.INFO, logger="repro"):
+        log.info("plain")
+    assert caplog.records[-1].context == ""
+
+
+def test_plain_records_format_without_context_field():
+    # the handler's filter must default %(context)s for non-adapter records
+    handler = logging.getLogger("repro").handlers[0]
+    record = logging.LogRecord(
+        "repro.x", logging.WARNING, __file__, 1, "msg", (), None
+    )
+    for f in handler.filters:
+        f.filter(record)
+    assert handler.format(record).endswith("WARNING msg")
+
+
+def test_repro_log_env_sets_level(monkeypatch):
+    import repro.util.log as log_mod
+
+    root = logging.getLogger("repro")
+    saved_handlers, saved_level = root.handlers[:], root.level
+    try:
+        root.handlers[:] = []
+        monkeypatch.setattr(log_mod, "_configured", False)
+        monkeypatch.setenv("REPRO_LOG", "debug")
+        log_mod.get_logger("env.test")
+        assert root.level == logging.DEBUG
+    finally:
+        root.handlers[:] = saved_handlers
+        root.setLevel(saved_level)
+        log_mod._configured = True
