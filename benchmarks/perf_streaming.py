@@ -1,0 +1,255 @@
+"""Streaming library pipeline benchmark: throughput and flat RSS.
+
+Exercises the §6.1.1 shape at scale on one box: a seeded compound pool is
+cycled into gzip NDJSON shards on disk (streamed writes, bounded memory),
+then the whole shard set flows back through ``ShardReader`` +
+``PrefetchLoader`` with bounded queues while a fixed-size top-K selector
+consumes the stream — the IO/selection spine of a 10^7-compound screen.
+A sub-stream additionally runs full ML1 scoring (featurize + compiled
+surrogate, checkpointed per shard) to measure the end-to-end scoring
+rate; scoring 10^7 compounds through the CNN is a GPU-fleet job in the
+paper and is extrapolated from that measured rate here.
+
+The headline assertion is **flat RSS**: resident set size is sampled
+throughout the read phase, and the run fails if late-phase RSS grows
+beyond a small tolerance over the post-warmup baseline — i.e. memory
+must not scale with the number of records streamed.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_streaming.py            # 10^7 records
+    PYTHONPATH=src python benchmarks/perf_streaming.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench import bench_report, write_report  # noqa: E402
+
+from repro.chem.library import generate_library
+from repro.core.streaming import _TopK
+from repro.nn.dataloader import PrefetchLoader, ShardReader
+from repro.surrogate.infer import InferenceEngine, ScoredCompound
+from repro.surrogate.train import TrainConfig, train_surrogate
+from repro.util.checkpoint import CheckpointManifest
+from repro.util.shardio import shard_path, write_shard
+
+_PAGE = os.sysconf("SC_PAGE_SIZE")
+
+
+def _rss_kb() -> int:
+    """Current resident set size in KiB (Linux /proc, no psutil)."""
+    with open("/proc/self/statm") as fh:
+        return int(fh.read().split()[1]) * _PAGE // 1024
+
+
+def _write_stream_shards(
+    directory: Path, pool, n_records: int, shard_size: int
+) -> tuple[list[Path], float]:
+    """Cycle the compound pool into ``n_records`` NDJSON shard records."""
+    t0 = time.perf_counter()
+    paths = []
+    n_pool = len(pool)
+    written = 0
+    s = 0
+    while written < n_records:
+        count = min(shard_size, n_records - written)
+        records = [
+            (f"STR{written + i:09d}", pool[(written + i) % n_pool].smiles)
+            for i in range(count)
+        ]
+        path = shard_path(directory, "bench", s, format="ndjson")
+        write_shard(path, records)
+        paths.append(path)
+        written += count
+        s += 1
+    return paths, time.perf_counter() - t0
+
+
+def _pipeline_phase(
+    paths: list[Path], batch_size: int, keep_top: int
+) -> tuple[int, float, list[int]]:
+    """Stream every shard through the prefetch pipeline + top-K selector.
+
+    The selector scores records with a cheap deterministic proxy (SMILES
+    hash → [0,1]) so selection pressure — the bounded-heap part of the
+    campaign — is exercised without the CNN.  Returns
+    ``(records, seconds, rss_samples_kb)``.
+    """
+    top = _TopK(keep_top)
+    rss: list[int] = []
+    n = 0
+    t0 = time.perf_counter()
+    loader = PrefetchLoader(ShardReader(paths), batch_size=batch_size)
+    for batch in loader:
+        for cid, smiles in batch:
+            top.offer(ScoredCompound(cid, smiles, (hash(smiles) & 0xFFFF) / 65535.0))
+        n += len(batch)
+        if (n // batch_size) % 32 == 0:
+            rss.append(_rss_kb())
+    dt = time.perf_counter() - t0
+    assert len(top.ranked()) == min(keep_top, n)
+    return n, dt, rss
+
+
+def _score_phase(
+    paths: list[Path], pool, seed: int, batch_size: int, ckpt_dir: Path
+) -> tuple[int, float]:
+    """Full ML1 scoring (featurize + compiled surrogate) on a sub-stream."""
+    rng = np.random.default_rng(seed)
+    surrogate = train_surrogate(
+        [e.smiles for e in pool[:64]],
+        rng.normal(size=64),
+        TrainConfig(epochs=2, width=4),
+        seed=seed,
+    )
+    engine = InferenceEngine(surrogate, batch_size=batch_size)
+    manifest = CheckpointManifest(ckpt_dir / "ml1-manifest.jsonl")
+    n = 0
+    t0 = time.perf_counter()
+    for _sid, scored in engine.iter_score_shards(
+        paths, checkpoint=manifest, artifact_dir=ckpt_dir / "ml1"
+    ):
+        n += len(scored)
+    return n, time.perf_counter() - t0
+
+
+def _flatness(rss: list[int]) -> dict:
+    """Flat-RSS verdict: late-phase peak vs post-warmup baseline."""
+    if len(rss) < 4:
+        return {"flat": True, "baseline_kb": rss[0] if rss else 0,
+                "late_peak_kb": rss[-1] if rss else 0, "growth": 0.0}
+    warmup = max(1, len(rss) // 10)
+    baseline = max(rss[:warmup])
+    late_peak = max(rss[len(rss) // 2 :])
+    growth = (late_peak - baseline) / baseline
+    # tolerance: allocator noise + fragmentation, not data growth
+    flat = late_peak <= baseline * 1.25 + 49152
+    return {
+        "flat": bool(flat),
+        "baseline_kb": int(baseline),
+        "late_peak_kb": int(late_peak),
+        "growth": round(growth, 4),
+    }
+
+
+def run_benchmark(
+    records: int,
+    shard_size: int,
+    batch_size: int,
+    keep_top: int,
+    score_records: int,
+    seed: int,
+) -> dict:
+    pool = generate_library(512, seed=seed, name="pool").entries
+    with tempfile.TemporaryDirectory(prefix="perf-streaming-") as tmp:
+        tmp = Path(tmp)
+        paths, write_dt = _write_stream_shards(
+            tmp / "shards", pool, records, shard_size
+        )
+        n_read, read_dt, rss = _pipeline_phase(paths, batch_size, keep_top)
+        assert n_read == records, f"stream dropped records: {n_read} != {records}"
+        score_paths, _ = _write_stream_shards(
+            tmp / "score-shards", pool, score_records, min(shard_size, 2048)
+        )
+        n_scored, score_dt = _score_phase(
+            score_paths, pool, seed, batch_size, tmp / "ckpt"
+        )
+        assert n_scored == score_records
+    flat = _flatness(rss)
+    score_rate = n_scored / score_dt
+    metrics = {
+        "write": {
+            "records_per_sec": round(records / write_dt, 1),
+            "seconds": round(write_dt, 2),
+            "n_shards": len(paths),
+        },
+        "stream": {
+            "records_per_sec": round(records / read_dt, 1),
+            "seconds": round(read_dt, 2),
+            "records": records,
+        },
+        "ml1_score": {
+            "records_scored": n_scored,
+            "samples_per_sec": round(score_rate, 1),
+            "projected_hours_for_stream": round(records / score_rate / 3600, 2),
+        },
+        "rss": flat,
+    }
+    return bench_report(
+        "streaming",
+        seed=seed,
+        config={
+            "records": records,
+            "shard_size": shard_size,
+            "batch_size": batch_size,
+            "keep_top": keep_top,
+            "score_records": score_records,
+        },
+        metrics=metrics,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=10_000_000)
+    parser.add_argument("--shard-size", type=int, default=50_000)
+    parser.add_argument("--batch-size", type=int, default=512)
+    parser.add_argument("--keep-top", type=int, default=1000)
+    parser.add_argument("--score-records", type=int, default=4096,
+                        help="records run through full ML1 scoring")
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_streaming.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run, no JSON; exit non-zero if RSS is not flat or "
+        "records are dropped",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_benchmark(
+            records=120_000, shard_size=10_000, batch_size=256,
+            keep_top=100, score_records=512, seed=args.seed,
+        )
+    else:
+        report = run_benchmark(
+            records=args.records,
+            shard_size=args.shard_size,
+            batch_size=args.batch_size,
+            keep_top=args.keep_top,
+            score_records=args.score_records,
+            seed=args.seed,
+        )
+    print(json.dumps(report, indent=2))
+
+    if not report["metrics"]["rss"]["flat"]:
+        print("FAIL: RSS grew with stream length (not flat)")
+        return 1
+    if args.smoke:
+        print(f"smoke OK: {report['metrics']['stream']['records_per_sec']} rec/s, "
+              f"RSS flat (baseline {report['metrics']['rss']['baseline_kb']} KiB, "
+              f"late peak {report['metrics']['rss']['late_peak_kb']} KiB)")
+        return 0
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,8 @@ from repro.chem.library import (
     LibraryEntry,
     generate_library,
     library_overlap,
+    stream_library,
+    write_library_shards,
 )
 from repro.chem.mol import Atom, Bond, Molecule
 from repro.chem.smiles import SmilesError, canonical_smiles, parse_smiles, write_smiles
@@ -48,6 +50,8 @@ __all__ = [
     "morgan_fingerprint",
     "parse_smiles",
     "partial_charges",
+    "stream_library",
     "tanimoto",
+    "write_library_shards",
     "write_smiles",
 ]

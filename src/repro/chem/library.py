@@ -9,14 +9,17 @@ top-ranking compounds" of any downstream experiment are exactly
 reproducible — which is what lets benches measure enrichment without a
 4.2-billion-compound data release.
 
-Shard I/O mirrors §6.1.1: libraries serialize to gzip-compressed pickle
-shards of fixed size, the format the ML1 inference pipeline streams.
+Shard I/O mirrors §6.1.1: libraries serialize to gzip-compressed shards
+of fixed size — legacy pickle payloads or streaming NDJSON (see
+:mod:`repro.util.shardio`) — the format the ML1 inference pipeline
+streams.  :func:`stream_library` is the generator-backed path: it emits
+the *same* seeded compounds as :func:`generate_library`, shard by shard,
+without ever materializing the library, which is what lets a
+billion-compound screen run at bounded memory.
 """
 
 from __future__ import annotations
 
-import gzip
-import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -28,8 +31,16 @@ from repro.chem.fingerprint import morgan_fingerprint
 from repro.chem.mol import Atom, Molecule
 from repro.chem.smiles import canonical_smiles, parse_smiles, write_smiles
 from repro.util.rng import RngFactory
+from repro.util.shardio import read_shard, shard_path, write_shard
 
-__all__ = ["CompoundLibrary", "generate_library", "library_overlap", "LibraryEntry"]
+__all__ = [
+    "CompoundLibrary",
+    "LibraryEntry",
+    "generate_library",
+    "library_overlap",
+    "stream_library",
+    "write_library_shards",
+]
 
 
 # --------------------------------------------------------------- fragments
@@ -259,29 +270,89 @@ class CompoundLibrary:
         )
 
     # ----------------------------------------------------------- shard I/O
-    def to_shards(self, directory: str | Path, shard_size: int = 1000) -> list[Path]:
-        """Write gzip-pickled shards (the ML1 streaming format)."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
+    def to_shards(
+        self,
+        directory: str | Path,
+        shard_size: int = 1000,
+        format: str = "pickle",
+    ) -> list[Path]:
+        """Write fixed-size shards (the ML1 streaming format).
+
+        ``format`` is ``"pickle"`` (the legacy gzip-pickle payload,
+        default for compatibility) or ``"ndjson"`` (gzip NDJSON, the
+        streaming pipeline's format).  Both round-trip identically.
+        """
         paths = []
         for s, start in enumerate(range(0, len(self), shard_size)):
             chunk = self.entries[start : start + shard_size]
-            payload = [(e.compound_id, e.smiles) for e in chunk]
-            path = directory / f"{self.name}-shard-{s:05d}.pkl.gz"
-            with gzip.open(path, "wb") as fh:
-                pickle.dump(payload, fh)
+            path = shard_path(directory, self.name, s, format=format)
+            write_shard(path, [(e.compound_id, e.smiles) for e in chunk])
             paths.append(path)
         return paths
 
     @classmethod
     def from_shards(cls, paths: Sequence[str | Path], name: str) -> "CompoundLibrary":
-        """Rebuild a library from gzip-pickle shards."""
+        """Rebuild a library from shards (either format)."""
         entries = []
         for path in paths:
-            with gzip.open(path, "rb") as fh:
-                for compound_id, smiles in pickle.load(fh):
-                    entries.append(LibraryEntry(compound_id, smiles))
+            for compound_id, smiles in read_shard(path):
+                entries.append(LibraryEntry(compound_id, smiles))
         return cls(name=name, entries=entries)
+
+
+def _entry_stream(
+    n: int,
+    seed: int,
+    name: str,
+    shared_fraction: float,
+    shared_seed: int | None,
+) -> Iterator[LibraryEntry]:
+    """Yield the library's entries one at a time, in generation order.
+
+    This is the single generation core: :func:`generate_library` is
+    ``list()`` of this stream and :func:`stream_library` chunks it into
+    shards, so both paths draw from identical RNG streams and produce
+    identical compounds for the same seed.  The uniqueness ``seen`` set
+    holds one canonical SMILES per emitted compound — the only
+    O(n) state the streaming path keeps (strings, not molecules).
+    """
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise ValueError("shared_fraction must be in [0, 1]")
+    factory = RngFactory(seed, prefix=f"library/{name}")
+    rng = factory.stream("generate")
+    shared_rng = (
+        RngFactory(shared_seed, prefix="library/shared").stream("generate")
+        if shared_seed is not None
+        else None
+    )
+    n_shared = int(round(n * shared_fraction)) if shared_rng is not None else 0
+
+    seen: set[str] = set()
+    emitted = 0
+
+    def draw(
+        generator: np.random.Generator, prefix: str, count: int
+    ) -> Iterator[LibraryEntry]:
+        nonlocal emitted
+        attempts = 0
+        produced = 0
+        while produced < count:
+            attempts += 1
+            if attempts > 60 * count + 1000:
+                raise RuntimeError("library generator failed to find enough unique molecules")
+            mol = _random_molecule(generator)
+            smi = canonical_smiles(mol)
+            if smi in seen:
+                continue
+            seen.add(smi)
+            entry = LibraryEntry(f"{prefix}{emitted:07d}", write_smiles(mol))
+            emitted += 1
+            produced += 1
+            yield entry
+
+    if shared_rng is not None and n_shared > 0:
+        yield from draw(shared_rng, "SHR", n_shared)
+    yield from draw(rng, name[:3].upper(), n - n_shared)
 
 
 def generate_library(
@@ -298,40 +369,64 @@ def generate_library(
     same ``shared_seed`` produces the controlled overlap the paper observes
     (~1.5 M of 6.5 M) between its ZINC- and MCULE-derived subsets.
     """
-    if not 0.0 <= shared_fraction <= 1.0:
-        raise ValueError("shared_fraction must be in [0, 1]")
-    factory = RngFactory(seed, prefix=f"library/{name}")
-    rng = factory.stream("generate")
-    shared_rng = (
-        RngFactory(shared_seed, prefix="library/shared").stream("generate")
-        if shared_seed is not None
-        else None
+    return CompoundLibrary(
+        name=name,
+        entries=list(_entry_stream(n, seed, name, shared_fraction, shared_seed)),
     )
-    n_shared = int(round(n * shared_fraction)) if shared_rng is not None else 0
 
-    seen: set[str] = set()
-    entries: list[LibraryEntry] = []
 
-    def draw(generator: np.random.Generator, prefix: str, count: int) -> None:
-        attempts = 0
-        produced = 0
-        while produced < count:
-            attempts += 1
-            if attempts > 60 * count + 1000:
-                raise RuntimeError("library generator failed to find enough unique molecules")
-            mol = _random_molecule(generator)
-            smi = canonical_smiles(mol)
-            if smi in seen:
-                continue
-            seen.add(smi)
-            entries.append(LibraryEntry(f"{prefix}{len(entries):07d}", write_smiles(mol)))
-            produced += 1
+def stream_library(
+    n: int,
+    seed: int,
+    name: str = "OZD",
+    shard_size: int = 1000,
+    shared_fraction: float = 0.0,
+    shared_seed: int | None = None,
+) -> Iterator[list[LibraryEntry]]:
+    """Generate the library as a stream of shards, without materializing it.
 
-    draw_shared_first = shared_rng is not None and n_shared > 0
-    if draw_shared_first:
-        draw(shared_rng, "SHR", n_shared)
-    draw(rng, name[:3].upper(), n - n_shared)
-    return CompoundLibrary(name=name, entries=entries)
+    Yields lists of at most ``shard_size`` entries.  The compounds — ids,
+    SMILES, order — are *identical* to ``generate_library(n, seed, ...)``
+    for the same arguments (both run the same generator core), so a
+    streamed screen and a materialized screen see the same library.
+    Peak memory is one shard plus the uniqueness set.
+    """
+    if shard_size <= 0:
+        raise ValueError("shard_size must be positive")
+    shard: list[LibraryEntry] = []
+    for entry in _entry_stream(n, seed, name, shared_fraction, shared_seed):
+        shard.append(entry)
+        if len(shard) == shard_size:
+            yield shard
+            shard = []
+    if shard:
+        yield shard
+
+
+def write_library_shards(
+    directory: str | Path,
+    n: int,
+    seed: int,
+    name: str = "OZD",
+    shard_size: int = 1000,
+    format: str = "ndjson",
+    shared_fraction: float = 0.0,
+    shared_seed: int | None = None,
+) -> list[Path]:
+    """Stream a seeded library straight to on-disk shards (bounded memory).
+
+    The entry point for building screen inputs at scale: equivalent to
+    ``generate_library(...).to_shards(...)`` but never holds more than
+    one shard of entries.  Each shard is written atomically.
+    """
+    paths = []
+    for s, shard in enumerate(
+        stream_library(n, seed, name, shard_size, shared_fraction, shared_seed)
+    ):
+        path = shard_path(directory, name, s, format=format)
+        write_shard(path, [(e.compound_id, e.smiles) for e in shard])
+        paths.append(path)
+    return paths
 
 
 def library_overlap(a: CompoundLibrary, b: CompoundLibrary) -> int:

@@ -7,6 +7,7 @@ Subcommands map to the library's main entry points:
 * ``repro screen``    — train a surrogate on docked data and rank a library
 * ``repro costs``     — print the derived Table 2 cost model
 * ``repro simulate``  — run the integrated workflow on the simulated cluster
+* ``repro stream``    — streamed, checkpointed library screen (resumable)
 * ``repro trace``     — traced demo run exporting a Chrome trace + summary
 
 Invoke as ``python -m repro <subcommand> --help``.
@@ -68,6 +69,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--s2", type=int, default=12)
     p_sim.add_argument("--fg", type=int, default=24)
     p_sim.add_argument("--cohorts", type=int, default=6)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="streamed ML1→S1 screen over on-disk shards, resumable "
+        "from a checkpoint after a kill",
+    )
+    p_stream.add_argument("--target", default="PLPro")
+    p_stream.add_argument("--library-size", type=int, default=64)
+    p_stream.add_argument("--shard-size", type=int, default=16)
+    p_stream.add_argument("--keep-top", type=int, default=8)
+    p_stream.add_argument("--train-size", type=int, default=16,
+                          help="compounds docked to bootstrap the surrogate")
+    p_stream.add_argument("--dock-shard-size", type=int, default=8)
+    p_stream.add_argument("--seed", type=int, default=0)
+    p_stream.add_argument("--workdir", default="stream-run",
+                          help="holds shards/ and checkpoints/")
+    p_stream.add_argument("--out", default=None,
+                          help="write the docked top compounds as CSV here")
+    p_stream.add_argument("--fresh", action="store_true",
+                          help="discard any existing checkpoints first")
+    p_stream.add_argument("--kill-after", type=int, default=None, metavar="N",
+                          help="abort (exit 3) after N completed shards — "
+                          "exercises the kill/resume path")
 
     p_trace = sub.add_parser(
         "trace",
@@ -177,6 +201,83 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import shutil
+    from pathlib import Path
+
+    from repro.chem import generate_library, write_library_shards
+    from repro.core.streaming import run_streamed_screen
+    from repro.docking import DockingEngine, LGAConfig, make_receptor
+    from repro.surrogate import TrainConfig, train_surrogate
+
+    workdir = Path(args.workdir)
+    shard_dir = workdir / "shards"
+    ckpt_dir = workdir / "checkpoints"
+    if args.fresh and ckpt_dir.exists():
+        shutil.rmtree(ckpt_dir)
+
+    existing = sorted(shard_dir.glob("*.ndjson.gz"))
+    if existing:
+        paths = existing
+        print(f"reusing {len(paths)} shards in {shard_dir}", file=sys.stderr)
+    else:
+        paths = write_library_shards(
+            shard_dir, args.library_size, seed=args.seed,
+            shard_size=args.shard_size,
+        )
+        print(f"wrote {len(paths)} NDJSON shards to {shard_dir}", file=sys.stderr)
+
+    receptor = make_receptor(args.target)
+    lga = LGAConfig(population=12, generations=5)
+    print(f"bootstrapping surrogate on {args.train_size} docked compounds ...",
+          file=sys.stderr)
+    train_lib = generate_library(args.train_size, seed=args.seed + 1, name="boot")
+    boot_engine = DockingEngine(receptor, seed=args.seed, config=lga)
+    scores = np.array([r.score for r in boot_engine.dock_library(train_lib)])
+    surrogate = train_surrogate(
+        train_lib.smiles(), scores, TrainConfig(epochs=6), seed=args.seed
+    )
+
+    shards_done = 0
+
+    def on_shard(stage: str, shard_id: str) -> None:
+        nonlocal shards_done
+        shards_done += 1
+        print(f"  [{stage}] {shard_id} done ({shards_done} shards)",
+              file=sys.stderr)
+        if args.kill_after is not None and shards_done >= args.kill_after:
+            print(f"--kill-after {args.kill_after}: aborting mid-run "
+                  "(rerun to resume)", file=sys.stderr)
+            raise SystemExit(3)
+
+    engine = DockingEngine(receptor, seed=args.seed, config=lga)
+    result = run_streamed_screen(
+        engine, surrogate, paths,
+        keep_top=args.keep_top,
+        checkpoint_dir=ckpt_dir,
+        dock_shard_size=args.dock_shard_size,
+        on_shard=on_shard,
+    )
+    print(f"streamed {result.records_streamed} records "
+          f"({result.shards_total} ML1 shards, {result.shards_resumed} resumed; "
+          f"{result.dock_shards_total} S1 shards, "
+          f"{result.dock_shards_resumed} resumed)", file=sys.stderr)
+    ranked = DockingEngine.rank(result.docked)
+    print(f"{'rank':>4s} {'id':<12s} {'dock':>8s} {'pred':>6s}  smiles")
+    pred = {s.compound_id: s.score for s in result.selected}
+    for i, r in enumerate(ranked):
+        print(f"{i + 1:4d} {r.compound_id:<12s} {r.score:8.2f} "
+              f"{pred[r.compound_id]:6.3f}  {r.smiles}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("compound_id,smiles,dock_score,pred_score\n")
+            for r in ranked:
+                fh.write(f"{r.compound_id},{r.smiles},{r.score!r},"
+                         f"{pred[r.compound_id]!r}\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from pathlib import Path
 
@@ -216,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
         "screen": _cmd_screen,
         "costs": _cmd_costs,
         "simulate": _cmd_simulate,
+        "stream": _cmd_stream,
         "trace": _cmd_trace,
     }
     return handlers[args.command](args)

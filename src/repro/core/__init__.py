@@ -19,6 +19,7 @@ from repro.core.simulate import (
     build_integrated_pipelines,
     simulate_integrated_run,
 )
+from repro.core.streaming import StreamedScreenResult, run_streamed_screen
 from repro.core.tracedemo import run_traced_demo
 from repro.core.truth import ReferenceOracle
 
@@ -33,8 +34,10 @@ __all__ = [
     "ReferenceOracle",
     "SimulatedCampaignConfig",
     "StageAccounting",
+    "StreamedScreenResult",
     "build_integrated_pipelines",
     "enrichment_factor",
+    "run_streamed_screen",
     "run_traced_demo",
     "simulate_integrated_run",
     "throughput",

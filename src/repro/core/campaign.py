@@ -113,6 +113,12 @@ class CampaignConfig(FrozenConfig):
     #: with drop_and_continue, max drops tolerated per stage per iteration
     #: before the campaign gives up (None = unlimited)
     stage_failure_budget: int | None = None
+    #: on-disk library shards (NDJSON or pickle, see repro.util.shardio);
+    #: when non-empty the campaign loads its library from these instead
+    #: of generating one, which is how a streamed/sharded library (e.g.
+    #: written by repro.chem.write_library_shards) feeds the iterative
+    #: loop — library_size is ignored in that case
+    library_shards: tuple = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -180,6 +186,7 @@ class ImpeccableCampaign:
         self,
         config: CampaignConfig | None = None,
         tracer: Tracer | None = None,
+        library: CompoundLibrary | None = None,
     ) -> None:
         self.config = config or CampaignConfig()
         cfg = self.config
@@ -195,9 +202,21 @@ class ImpeccableCampaign:
             for pdb in pdb_ids
         }
         self.receptor: Receptor = self.receptors[cfg.pdb_id]
-        self.library = generate_library(
-            cfg.library_size, seed=self.factory.spawn_seed("library"), name="OZD"
-        )
+        if library is not None:
+            self.library = library
+        elif cfg.library_shards:
+            self.library = CompoundLibrary.from_shards(
+                list(cfg.library_shards), name="OZD"
+            )
+        else:
+            self.library = generate_library(
+                cfg.library_size, seed=self.factory.spawn_seed("library"), name="OZD"
+            )
+        if len(self.library) <= cfg.seed_train_size:
+            raise ValueError(
+                "library must hold more compounds than seed_train_size, "
+                f"got {len(self.library)} <= {cfg.seed_train_size}"
+            )
         self.engines: dict[str, DockingEngine] = {
             pdb: DockingEngine(
                 rec, seed=cfg.seed, config=cfg.docking, tracer=self.tracer

@@ -1,26 +1,33 @@
 """Streaming, compressed, prefetching data pipeline.
 
 §6.1.1 describes ML1's inference IO in detail: the library arrives as
-thousands of gzip-compressed pickle shards; each rank stages its shard
-set, then one prefetch thread loads+decompresses files while a second
+thousands of gzip-compressed shards; each rank stages its shard set,
+then one prefetch thread loads+decompresses files while a second
 iterates the decompressed records and feeds the network, glued together
 with thread-safe queues and "careful exception handling to make the setup
 resilient against sporadic IO errors".  This module is that pipeline.
+
+Shards may be either of the two library formats — legacy gzip-pickle or
+streaming gzip NDJSON (see :mod:`repro.util.shardio`); the reader
+dispatches on the filename.
 """
 
 from __future__ import annotations
 
-import gzip
-import pickle
 import queue
 import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator, Sequence
 
+from repro.util.shardio import SHARD_READ_ERRORS, read_shard
+
 __all__ = ["ShardReader", "PrefetchLoader", "partition_shards"]
 
 _END = object()
+
+#: how often a blocked producer re-checks the consumer's stop flag
+_PUT_POLL_SECONDS = 0.05
 
 
 def partition_shards(paths: Sequence[Path | str], rank: int, world: int) -> list[Path]:
@@ -45,17 +52,20 @@ class LoaderStats:
 
 
 class ShardReader:
-    """Iterates records from gzip-pickle shards with error resilience.
+    """Iterates records from gzip shards (pickle or NDJSON) with resilience.
 
-    A shard that fails to read (corrupt gzip, truncated pickle, missing
-    file) increments ``stats.io_errors`` and is skipped — the paper's
-    "resilient against sporadic IO errors" behaviour — unless
+    A shard that fails to read (corrupt gzip, truncated pickle, malformed
+    NDJSON, missing file) increments ``stats.io_errors`` and is skipped —
+    the paper's "resilient against sporadic IO errors" behaviour — unless
     ``strict=True``.
 
     ``staging_dir`` enables the §6.1.1 staging step ("each rank stages
     its assigned shard of the data from GPFS into node-local NVME"):
     each shard is copied into the staging directory before being read,
-    and subsequent passes read the staged copy.
+    and subsequent passes read the staged copy.  Staging is crash-safe:
+    the copy lands under a temp name and is moved into place atomically,
+    so an interrupted copy can never leave a truncated staged file that
+    later passes would silently trust.
     """
 
     def __init__(
@@ -72,12 +82,19 @@ class ShardReader:
     def _resolve(self, path: Path) -> Path:
         if self.staging_dir is None:
             return path
+        import os
         import shutil
 
         self.staging_dir.mkdir(parents=True, exist_ok=True)
         staged = self.staging_dir / path.name
         if not staged.exists():
-            shutil.copyfile(path, staged)
+            tmp = staged.with_name(staged.name + ".staging")
+            try:
+                shutil.copyfile(path, tmp)
+                os.replace(tmp, staged)
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
             self.stats.shards_staged += 1
         return staged
 
@@ -85,9 +102,8 @@ class ShardReader:
         for path in self.paths:
             try:
                 local = self._resolve(path)
-                with gzip.open(local, "rb") as fh:
-                    records = pickle.load(fh)
-            except (OSError, EOFError, pickle.UnpicklingError):
+                records = read_shard(local)
+            except SHARD_READ_ERRORS:
                 if self.strict:
                     raise
                 self.stats.io_errors += 1
@@ -105,6 +121,15 @@ class PrefetchLoader:
     record queue.  Stage 2 (this iterator) assembles fixed-size batches,
     applying ``transform`` per record (e.g. SMILES → image featurization)
     so featurization overlaps IO — the §6.1.1 design.
+
+    Concurrency contract:
+
+    * Abandoning iteration early (``break``) releases the producer: its
+      queue puts poll the stop flag instead of blocking forever on a
+      full queue, so ``worker.join`` always succeeds and no thread leaks.
+    * A producer-side exception (e.g. a corrupt shard under
+      ``strict=True``) is captured and re-raised in the consumer — a
+      truncated stream is an error, never a clean end-of-data.
     """
 
     def __init__(
@@ -121,20 +146,41 @@ class PrefetchLoader:
         self.transform = transform
         self.queue_depth = queue_depth
 
-    def _producer(self, q: queue.Queue, stop: threading.Event) -> None:
+    def _producer(
+        self,
+        q: queue.Queue,
+        stop: threading.Event,
+        errors: list[BaseException],
+    ) -> None:
+        def offer(item) -> bool:
+            """Put honoring ``stop``: poll so an abandoned consumer with a
+            full queue can never wedge this thread."""
+            while not stop.is_set():
+                try:
+                    q.put(item, timeout=_PUT_POLL_SECONDS)
+                    return True
+                except queue.Full:
+                    continue
+            return False
+
         try:
             for rec in self.reader:
-                if stop.is_set():
+                if not offer(rec):
                     return
-                q.put(rec)
+        except Exception as exc:  # noqa: BLE001 - relayed to the consumer
+            errors.append(exc)
         finally:
-            q.put(_END)
+            offer(_END)
 
     def __iter__(self) -> Iterator[list]:
         q: queue.Queue = queue.Queue(maxsize=self.queue_depth)
         stop = threading.Event()
+        errors: list[BaseException] = []
         worker = threading.Thread(
-            target=self._producer, args=(q, stop), daemon=True, name="shard-prefetch"
+            target=self._producer,
+            args=(q, stop, errors),
+            daemon=True,
+            name="shard-prefetch",
         )
         worker.start()
         try:
@@ -147,6 +193,8 @@ class PrefetchLoader:
                 if len(batch) == self.batch_size:
                     yield batch
                     batch = []
+            if errors:
+                raise errors[0]
             if batch:
                 yield batch
         finally:

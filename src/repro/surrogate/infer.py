@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -23,6 +23,14 @@ from repro.nn.dataloader import PrefetchLoader, ShardReader, partition_shards
 from repro.nn.inference import compile_model
 from repro.surrogate.featurize import featurize_batch, featurize_smiles
 from repro.surrogate.train import TrainedSurrogate
+from repro.telemetry import NULL_TRACER
+from repro.util.checkpoint import (
+    CheckpointManifest,
+    load_artifact,
+    save_artifact,
+    shard_fingerprint,
+)
+from repro.util.shardio import read_shard
 
 __all__ = ["InferenceEngine", "ScoredCompound"]
 
@@ -48,12 +56,14 @@ class InferenceEngine:
         tracer=None,
     ) -> None:
         self.surrogate = surrogate
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.compiled = compile_model(
             surrogate.model, precision=precision, engine=engine, tracer=tracer
         )
         self.batch_size = batch_size
         self.engine = engine
         self.records_scored = 0
+        self.shards_resumed = 0
         # persistent feature buffer: every batch — including the padded
         # final one — runs at exactly ``batch_size``, so the graph engine
         # binds a single arena plan and no per-batch stacking allocates
@@ -76,38 +86,129 @@ class InferenceEngine:
         return self.compiled(self._feat_buf).reshape(-1)[:feats_filled]
 
     # ------------------------------------------------------------- shards
+    def _score_one_shard(self, path: Path) -> list[ScoredCompound]:
+        """Stream one shard file through prefetch + padded batches."""
+        scored: list[ScoredCompound] = []
+        loader = PrefetchLoader(
+            ShardReader([path]),
+            batch_size=self.batch_size,
+            transform=lambda rec: (
+                rec[0],
+                rec[1],
+                featurize_smiles(rec[1], size=self.surrogate.image_size),
+            ),
+        )
+        for batch in loader:
+            ids, smiles, feats = zip(*batch)
+            np.stack(feats, out=self._feat_buf[: len(feats)])
+            preds = self._score_batch(len(feats))
+            scored.extend(
+                ScoredCompound(i, s, float(p))
+                for i, s, p in zip(ids, smiles, preds)
+            )
+        return scored
+
+    def iter_score_shards(
+        self,
+        paths: Sequence[Path | str],
+        checkpoint: CheckpointManifest | None = None,
+        artifact_dir: Path | str | None = None,
+    ) -> Iterator[tuple[str, list[ScoredCompound]]]:
+        """Score shards one at a time, yielding ``(shard_id, scores)``.
+
+        The bounded-memory ML1 path: only one shard's records and one
+        padded feature batch are ever resident.  With ``checkpoint``
+        (and ``artifact_dir`` for the per-shard score files), completed
+        shards are durably recorded as they finish and *reloaded instead
+        of rescored* on a resumed run; reloaded scores are bit-identical
+        (exact-float JSONL artifacts).  A resumed shard whose content
+        fingerprint no longer matches the manifest raises — a stale
+        checkpoint directory cannot silently corrupt a screen.
+
+        Because every batch is zero-padded to ``batch_size``
+        (:meth:`_score_batch`), per-shard scoring is split-invariant:
+        scores are bit-identical to scoring the whole shard set in one
+        stream, whatever the shard boundaries.
+        """
+        if checkpoint is not None and artifact_dir is None:
+            raise ValueError("checkpointed scoring needs an artifact_dir")
+        for path in paths:
+            path = Path(path)
+            shard_id = path.name
+            if checkpoint is not None and checkpoint.is_done(shard_id):
+                rows = load_artifact(Path(artifact_dir) / f"{shard_id}.scores.jsonl.gz")
+                scored = [
+                    ScoredCompound(r["id"], r["smiles"], r["score"]) for r in rows
+                ]
+                recorded = checkpoint.payload(shard_id).get("fingerprint")
+                actual = shard_fingerprint(read_shard(path))
+                if recorded is not None and recorded != actual:
+                    raise RuntimeError(
+                        f"checkpoint fingerprint mismatch for shard {shard_id}: "
+                        "stale checkpoint directory?"
+                    )
+                self.shards_resumed += 1
+                self.tracer.metrics.counter("stream.shards_resumed").inc()
+                with self.tracer.span(
+                    f"shard:{shard_id}", category="stream.shard",
+                    shard=shard_id, n_records=len(scored), resumed=True,
+                ):
+                    pass
+                yield shard_id, scored
+                continue
+            with self.tracer.span(
+                f"shard:{shard_id}", category="stream.shard", shard=shard_id
+            ) as span:
+                scored = self._score_one_shard(path)
+                span.set_attr("n_records", len(scored))
+                span.set_attr("resumed", False)
+            self.records_scored += len(scored)
+            self.tracer.metrics.counter("stream.shards_scored").inc()
+            self.tracer.metrics.counter("stream.records_scored").inc(len(scored))
+            if checkpoint is not None:
+                save_artifact(
+                    Path(artifact_dir) / f"{shard_id}.scores.jsonl.gz",
+                    [
+                        {"id": s.compound_id, "smiles": s.smiles, "score": s.score}
+                        for s in scored
+                    ],
+                )
+                with self.tracer.span(
+                    f"checkpoint:{shard_id}", category="stream.checkpoint",
+                    shard=shard_id,
+                ):
+                    checkpoint.mark_done(
+                        shard_id,
+                        n_records=len(scored),
+                        fingerprint=shard_fingerprint(
+                            (s.compound_id, s.smiles) for s in scored
+                        ),
+                    )
+            yield shard_id, scored
+
     def score_shards(
-        self, paths: Sequence[Path | str], world: int = 1
+        self,
+        paths: Sequence[Path | str],
+        world: int = 1,
+        checkpoint: CheckpointManifest | None = None,
+        artifact_dir: Path | str | None = None,
     ) -> list[ScoredCompound]:
         """Score every compound in a shard set.
 
         ``world`` splits the shard list into rank-partitions that are
         processed independently and gathered at the end — the single-node
         equivalent of the paper's MPI distribution; results are identical
-        for any ``world``.
+        for any ``world`` (fixed-size padded batches make scores
+        split-invariant).  ``checkpoint``/``artifact_dir`` enable
+        per-shard resume via :meth:`iter_score_shards`.
         """
         gathered: list[ScoredCompound] = []
         for rank in range(world):
             mine = partition_shards(paths, rank, world)
-            reader = ShardReader(mine)
-            loader = PrefetchLoader(
-                reader,
-                batch_size=self.batch_size,
-                transform=lambda rec: (
-                    rec[0],
-                    rec[1],
-                    featurize_smiles(rec[1], size=self.surrogate.image_size),
-                ),
-            )
-            for batch in loader:
-                ids, smiles, feats = zip(*batch)
-                np.stack(feats, out=self._feat_buf[: len(feats)])
-                preds = self._score_batch(len(feats))
-                gathered.extend(
-                    ScoredCompound(i, s, float(p))
-                    for i, s, p in zip(ids, smiles, preds)
-                )
-        self.records_scored += len(gathered)
+            for _shard_id, scored in self.iter_score_shards(
+                mine, checkpoint=checkpoint, artifact_dir=artifact_dir
+            ):
+                gathered.extend(scored)
         return gathered
 
     # -------------------------------------------------------------- lists

@@ -1,0 +1,121 @@
+"""Library shard IO: gzip NDJSON and legacy gzip-pickle formats.
+
+§6.1.1's libraries travel as thousands of gzip-compressed shards.  The
+seed reproduction used gzip-pickle payloads (a list of ``(compound_id,
+smiles)`` tuples); the streaming pipeline adds gzip NDJSON — one
+``{"id": ..., "smiles": ...}`` object per line, the format of the Open
+Molecule Data Pipeline's checkpointed connectors — because NDJSON shards
+can be written incrementally, inspected with ``zcat``, and truncation is
+detectable line-by-line instead of corrupting a whole pickle.
+
+Both formats carry the same records and round-trip losslessly; readers
+dispatch on the filename suffix.  All writes are atomic (temp file +
+``os.replace``) so a crash mid-write never leaves a truncated shard
+under the final name.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "SHARD_FORMATS",
+    "SHARD_READ_ERRORS",
+    "read_shard",
+    "shard_format",
+    "shard_path",
+    "write_shard",
+]
+
+#: supported on-disk shard formats
+SHARD_FORMATS = ("ndjson", "pickle")
+
+#: everything :func:`read_shard` raises for a damaged/missing shard:
+#: OSError (missing file, bad gzip), EOFError (truncated stream),
+#: UnpicklingError (corrupt pickle), ValueError (malformed NDJSON)
+SHARD_READ_ERRORS = (OSError, EOFError, pickle.UnpicklingError, ValueError)
+
+_SUFFIX_BY_FORMAT = {"ndjson": ".ndjson.gz", "pickle": ".pkl.gz"}
+
+
+def shard_format(path: Path | str) -> str:
+    """Shard format implied by ``path``'s suffix.
+
+    ``.ndjson.gz`` / ``.jsonl.gz`` → ``"ndjson"``; anything else is the
+    legacy pickle payload (the seed format used ``.pkl.gz`` but older
+    callers passed arbitrary names).
+    """
+    name = Path(path).name
+    if name.endswith((".ndjson.gz", ".jsonl.gz")):
+        return "ndjson"
+    return "pickle"
+
+
+def shard_path(directory: Path | str, name: str, index: int, format: str = "ndjson") -> Path:
+    """Canonical path of shard ``index`` of library ``name``."""
+    if format not in SHARD_FORMATS:
+        raise ValueError(f"format must be one of {SHARD_FORMATS}, got {format!r}")
+    return Path(directory) / f"{name}-shard-{index:05d}{_SUFFIX_BY_FORMAT[format]}"
+
+
+def write_shard(
+    path: Path | str,
+    records: Iterable[Sequence[str]],
+    format: str | None = None,
+) -> Path:
+    """Write ``(compound_id, smiles)`` records to one shard, atomically.
+
+    ``format`` defaults to whatever ``path``'s suffix implies.  The shard
+    is written to a sibling temp file and moved into place with
+    ``os.replace``, so readers never observe a half-written shard.
+    """
+    path = Path(path)
+    format = format or shard_format(path)
+    if format not in SHARD_FORMATS:
+        raise ValueError(f"format must be one of {SHARD_FORMATS}, got {format!r}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        if format == "ndjson":
+            with gzip.open(tmp, "wt", encoding="utf-8") as fh:
+                for cid, smiles in records:
+                    fh.write(json.dumps({"id": cid, "smiles": smiles}) + "\n")
+        else:
+            with gzip.open(tmp, "wb") as fh:
+                pickle.dump([(cid, smiles) for cid, smiles in records], fh)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def read_shard(path: Path | str) -> list[tuple[str, str]]:
+    """Read one shard (either format) into ``(compound_id, smiles)`` tuples.
+
+    Raises the usual IO/parse errors (``OSError``, ``EOFError``,
+    ``pickle.UnpicklingError``, ``ValueError`` for malformed NDJSON) —
+    resilience policy belongs to the caller
+    (:class:`repro.nn.dataloader.ShardReader` counts-and-skips).
+    """
+    path = Path(path)
+    if shard_format(path) == "ndjson":
+        records: list[tuple[str, str]] = []
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                rec = json.loads(line)
+                try:
+                    records.append((rec["id"], rec["smiles"]))
+                except (TypeError, KeyError) as exc:
+                    raise ValueError(f"malformed NDJSON record in {path.name}") from exc
+        return records
+    with gzip.open(path, "rb") as fh:
+        return [(cid, smiles) for cid, smiles in pickle.load(fh)]

@@ -8,8 +8,11 @@ from repro.chem.library import (
     LibraryEntry,
     generate_library,
     library_overlap,
+    stream_library,
+    write_library_shards,
 )
 from repro.chem.smiles import canonical_smiles, parse_smiles
+from repro.util.shardio import shard_format
 
 
 @pytest.fixture(scope="module")
@@ -111,3 +114,41 @@ def test_shards_are_gzip(tmp_path, lib):
 def test_entry_is_frozen(lib):
     with pytest.raises(AttributeError):
         lib[0].smiles = "C"
+
+
+def test_stream_library_equals_generate(lib):
+    """The streaming contract: shard-by-shard generation draws the same
+    RNG sequence as the materialized path, so the entries are identical
+    — ids, SMILES, order — whatever the shard size."""
+    for shard_size in (7, 25, 60, 100):
+        shards = list(stream_library(60, seed=11, name="OZD", shard_size=shard_size))
+        assert [len(s) for s in shards[:-1]] == [shard_size] * (len(shards) - 1)
+        flat = [e for s in shards for e in s]
+        assert flat == lib.entries
+
+
+def test_stream_library_shared_fraction_matches():
+    lib = generate_library(30, seed=3, name="X", shared_fraction=0.3, shared_seed=7)
+    flat = [
+        e
+        for s in stream_library(
+            30, seed=3, name="X", shard_size=8, shared_fraction=0.3, shared_seed=7
+        )
+        for e in s
+    ]
+    assert flat == lib.entries
+
+
+def test_write_library_shards_roundtrip(tmp_path, lib):
+    paths = write_library_shards(tmp_path, 60, seed=11, name="OZD", shard_size=25)
+    assert len(paths) == 3
+    assert all(shard_format(p) == "ndjson" for p in paths)
+    back = CompoundLibrary.from_shards(paths, name="OZD")
+    assert back.entries == lib.entries
+
+
+def test_to_shards_ndjson_format_reads_back(tmp_path, lib):
+    nd = lib.to_shards(tmp_path / "nd", shard_size=20, format="ndjson")
+    pk = lib.to_shards(tmp_path / "pk", shard_size=20, format="pickle")
+    assert CompoundLibrary.from_shards(nd, name="OZD").entries == lib.entries
+    assert CompoundLibrary.from_shards(pk, name="OZD").entries == lib.entries

@@ -109,3 +109,20 @@ def test_config_validation():
         CampaignConfig(library_size=10, seed_train_size=10)
     with pytest.raises(ValueError):
         CampaignConfig(ml1_keep_fraction=1.5)
+
+
+def test_campaign_library_from_shards(tmp_path):
+    """A campaign pointed at on-disk shards screens exactly that
+    library instead of generating one."""
+    from repro.chem.library import generate_library, write_library_shards
+
+    paths = write_library_shards(tmp_path, 30, seed=44, shard_size=10)
+    cfg = TINY.replace(library_shards=tuple(str(p) for p in paths))
+    campaign = ImpeccableCampaign(cfg)
+    assert campaign.library.smiles() == generate_library(30, seed=44).smiles()
+
+    too_small = write_library_shards(tmp_path / "small", 8, seed=44, shard_size=10)
+    with pytest.raises(ValueError):
+        ImpeccableCampaign(
+            TINY.replace(library_shards=tuple(str(p) for p in too_small))
+        )

@@ -54,3 +54,33 @@ def test_simulate_command(capsys):
 def test_bad_local_search_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["dock", "CCO", "--local-search", "newton"])
+
+
+def _stream_args(tmp_path, workdir, out):
+    return [
+        "stream",
+        "--library-size", "24",
+        "--shard-size", "6",
+        "--keep-top", "4",
+        "--train-size", "8",
+        "--dock-shard-size", "2",
+        "--workdir", str(tmp_path / workdir),
+        "--out", str(tmp_path / out),
+    ]
+
+
+def test_stream_command_kill_and_resume_byte_identical(tmp_path, capsys):
+    """The resumable-campaign quick-start: kill mid-ML1, rerun the same
+    command, and the output CSV matches an uninterrupted run exactly."""
+    with pytest.raises(SystemExit) as exc:
+        main(_stream_args(tmp_path, "wd", "a.csv") + ["--kill-after", "2"])
+    assert exc.value.code == 3
+
+    assert main(_stream_args(tmp_path, "wd", "a.csv")) == 0
+    captured = capsys.readouterr()
+    assert "2 resumed" in captured.err  # the two ML1 shards done pre-kill
+
+    assert main(_stream_args(tmp_path, "wd2", "b.csv")) == 0
+    a = (tmp_path / "a.csv").read_bytes()
+    assert a == (tmp_path / "b.csv").read_bytes()
+    assert a.count(b"\n") == 5  # header + keep-top rows

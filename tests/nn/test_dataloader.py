@@ -2,10 +2,14 @@
 
 import gzip
 import pickle
+import threading
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.nn.dataloader import PrefetchLoader, ShardReader, partition_shards
+from repro.util.shardio import shard_path, write_shard
 
 
 def _write_shards(tmp_path, n_shards=4, per_shard=10):
@@ -128,6 +132,103 @@ def test_staging_copies_shards_locally(tmp_path):
     records2 = list(reader)
     assert records2 == records
     assert reader.stats.shards_staged == 3
+
+
+def test_reader_mixes_ndjson_and_pickle_shards(tmp_path):
+    nd = shard_path(tmp_path, "m", 0, format="ndjson")
+    pk = shard_path(tmp_path, "m", 1, format="pickle")
+    write_shard(nd, [("N1", "CCO"), ("N2", "CCN")])
+    write_shard(pk, [("P1", "CCC")])
+    reader = ShardReader([nd, pk])
+    assert list(reader) == [("N1", "CCO"), ("N2", "CCN"), ("P1", "CCC")]
+    assert reader.stats.shards_read == 2
+
+
+def _no_prefetch_threads(timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not any(t.name == "shard-prefetch" for t in threading.enumerate()):
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_early_break_unblocks_producer(tmp_path):
+    """Regression: with a full depth-1 queue, abandoning iteration used to
+    leave the producer blocked forever in ``q.put``."""
+    paths = _write_shards(tmp_path, n_shards=4, per_shard=50)  # 200 records
+    loader = PrefetchLoader(ShardReader(paths), batch_size=5, queue_depth=1)
+    it = iter(loader)
+    assert len(next(it)) == 5
+    it.close()  # consumer walks away mid-stream
+    assert _no_prefetch_threads(), "producer thread leaked after early break"
+
+
+def test_repeated_early_breaks_do_not_leak_threads(tmp_path):
+    paths = _write_shards(tmp_path, n_shards=4, per_shard=50)
+    loader = PrefetchLoader(ShardReader(paths), batch_size=5, queue_depth=1)
+    for _ in range(5):
+        for _batch in loader:
+            break
+    assert _no_prefetch_threads()
+
+
+def test_producer_error_reraised_not_silent_eof(tmp_path):
+    """Regression: a producer-side exception (corrupt shard under
+    ``strict=True``) used to be swallowed, truncating the stream into
+    what looked like a clean end-of-data."""
+    paths = _write_shards(tmp_path, n_shards=3, per_shard=4)
+    paths[1].write_bytes(b"garbage")
+    loader = PrefetchLoader(ShardReader(paths, strict=True), batch_size=4)
+    seen = []
+    with pytest.raises(OSError):
+        for batch in loader:
+            seen.append(batch)
+    assert len(seen) <= 1  # at most shard 0; never shard 2's records
+
+
+def test_producer_error_beats_pending_partial_batch(tmp_path):
+    """The error must surface before any trailing partial batch is
+    yielded — a half-delivered stream is an error, not data."""
+    paths = _write_shards(tmp_path, n_shards=2, per_shard=4)
+    paths[1].write_bytes(b"garbage")
+    loader = PrefetchLoader(ShardReader(paths, strict=True), batch_size=100)
+    with pytest.raises(OSError):
+        list(loader)
+    assert _no_prefetch_threads()
+
+
+def test_staging_interrupted_copy_is_crash_safe(tmp_path, monkeypatch):
+    """Regression: an interrupted stage copy used to leave a truncated
+    file at the final staged name, which later passes silently reused."""
+    import shutil
+
+    src = tmp_path / "gpfs"
+    src.mkdir()
+    paths = _write_shards(src, n_shards=1, per_shard=4)
+    staging = tmp_path / "nvme"
+
+    real_copyfile = shutil.copyfile
+    calls = {"n": 0}
+
+    def flaky(srcp, dstp, **kw):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            Path(dstp).write_bytes(Path(srcp).read_bytes()[:10])  # torn copy
+            raise OSError("interrupted mid-copy")
+        return real_copyfile(srcp, dstp, **kw)
+
+    monkeypatch.setattr("shutil.copyfile", flaky)
+
+    reader = ShardReader(paths, staging_dir=staging)
+    assert list(reader) == []
+    assert reader.stats.io_errors == 1
+    # nothing truncated left behind — neither final name nor temp
+    assert list(staging.iterdir()) == []
+    # the retry pass stages cleanly and reads every record
+    records = list(reader)
+    assert len(records) == 4
+    assert (staging / paths[0].name).exists()
 
 
 def test_staging_tolerates_missing_source(tmp_path):

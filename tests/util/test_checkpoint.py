@@ -1,0 +1,105 @@
+"""Tests for the checkpoint manifest and exact-precision artifacts."""
+
+import math
+
+import pytest
+
+from repro.util.checkpoint import (
+    CheckpointManifest,
+    load_artifact,
+    save_artifact,
+    shard_fingerprint,
+)
+
+
+def test_manifest_round_trip(tmp_path):
+    m = CheckpointManifest(tmp_path / "manifest.jsonl")
+    assert len(m) == 0
+    assert not m.is_done("a")
+    m.mark_done("a", n_records=3, fingerprint="deadbeef")
+    m.mark_done("b", n_records=5)
+    assert m.is_done("a") and "a" in m
+    assert m.completed() == ["a", "b"]
+    assert m.payload("a")["n_records"] == 3
+
+    # a fresh instance reads the same state back from disk
+    m2 = CheckpointManifest(tmp_path / "manifest.jsonl")
+    assert m2.completed() == ["a", "b"]
+    assert m2.payload("a") == m.payload("a")
+
+
+def test_manifest_tolerates_truncated_tail(tmp_path):
+    """A crash mid-append leaves a partial final line; the loader must
+    treat it as not-completed, never as corruption."""
+    path = tmp_path / "manifest.jsonl"
+    m = CheckpointManifest(path)
+    m.mark_done("shard-0", n_records=4)
+    m.mark_done("shard-1", n_records=4)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"shard": "shard-2", "n_rec')  # killed mid-write
+
+    m2 = CheckpointManifest(path)
+    assert m2.completed() == ["shard-0", "shard-1"]
+    assert not m2.is_done("shard-2")
+    # and appending still works after the torn line
+    m2.mark_done("shard-2", n_records=4)
+    assert CheckpointManifest(path).is_done("shard-2")
+
+
+def test_manifest_ignores_non_shard_lines(tmp_path):
+    path = tmp_path / "manifest.jsonl"
+    path.write_text('[1, 2]\n{"no_shard_key": 1}\n{"shard": "ok"}\n')
+    m = CheckpointManifest(path)
+    assert m.completed() == ["ok"]
+
+
+def test_manifest_clear(tmp_path):
+    m = CheckpointManifest(tmp_path / "manifest.jsonl")
+    m.mark_done("a")
+    m.clear()
+    assert len(m) == 0
+    assert not (tmp_path / "manifest.jsonl").exists()
+
+
+def test_artifact_floats_round_trip_exactly(tmp_path):
+    """Resume correctness rests on this: reloaded floats are the same
+    bits, not merely close."""
+    rows = [
+        {"id": "a", "score": 0.1 + 0.2},
+        {"id": "b", "score": 1.0 / 3.0},
+        {"id": "c", "score": -7.25e-17, "pose": [math.pi, 2**-30, 1e300]},
+    ]
+    p = save_artifact(tmp_path / "s.scores.jsonl.gz", rows)
+    loaded = load_artifact(p)
+    assert loaded == rows
+    for got, want in zip(loaded, rows):
+        assert got["score"].hex() == want["score"].hex()
+
+
+def test_artifact_write_is_atomic(tmp_path):
+    p = tmp_path / "s.scores.jsonl.gz"
+    with pytest.raises(TypeError):
+        save_artifact(p, [{"id": "a", "bad": object()}])
+    assert not p.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_fingerprint_is_order_sensitive_and_stable():
+    recs = [("x", "CCO"), ("y", "CCN"), ("z", "CCC")]
+    a = shard_fingerprint(recs)
+    assert a == shard_fingerprint(list(recs))
+    assert a != shard_fingerprint(recs[::-1])
+    assert len(a) == 16 and int(a, 16) >= 0
+
+
+def test_fingerprint_covers_smiles_not_just_ids():
+    """Compound ids are positional (OZD0000042) and collide across
+    libraries; content changes must still change the fingerprint."""
+    a = shard_fingerprint([("OZD0000000", "CCO")])
+    b = shard_fingerprint([("OZD0000000", "CCN")])
+    assert a != b
+    # field/record boundaries are unambiguous
+    assert shard_fingerprint([("ab", "c")]) != shard_fingerprint([("a", "bc")])
+    assert shard_fingerprint([("a", "b"), ("c", "d")]) != shard_fingerprint(
+        [("a", "b"), ("c",), ("d",)]
+    )

@@ -1,0 +1,94 @@
+"""Tests for the dual-format (NDJSON / pickle) shard IO layer."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.util.shardio import (
+    SHARD_READ_ERRORS,
+    shard_format,
+    shard_path,
+    read_shard,
+    write_shard,
+)
+
+RECORDS = [("CPD0000001", "CCO"), ("CPD0000002", "c1ccccc1"), ("CPD0000003", "CC(=O)O")]
+
+
+def test_shard_format_dispatch():
+    assert shard_format("lib-shard-00000.ndjson.gz") == "ndjson"
+    assert shard_format("lib-shard-00000.jsonl.gz") == "ndjson"
+    assert shard_format("lib-shard-00000.pkl.gz") == "pickle"
+    assert shard_format("whatever.gz") == "pickle"  # legacy default
+
+
+def test_shard_path_naming(tmp_path):
+    p = shard_path(tmp_path, "OZD", 3, format="ndjson")
+    assert p.name == "OZD-shard-00003.ndjson.gz"
+    p = shard_path(tmp_path, "OZD", 3, format="pickle")
+    assert p.name == "OZD-shard-00003.pkl.gz"
+    with pytest.raises(ValueError):
+        shard_path(tmp_path, "OZD", 0, format="parquet")
+
+
+@pytest.mark.parametrize("fmt", ["ndjson", "pickle"])
+def test_roundtrip(tmp_path, fmt):
+    p = shard_path(tmp_path, "lib", 0, format=fmt)
+    write_shard(p, RECORDS)
+    assert read_shard(p) == RECORDS
+
+
+def test_formats_read_identically(tmp_path):
+    """Satellite contract: NDJSON and pickle shards of the same records
+    are interchangeable to every consumer."""
+    nd = shard_path(tmp_path, "a", 0, format="ndjson")
+    pk = shard_path(tmp_path, "b", 0, format="pickle")
+    write_shard(nd, RECORDS)
+    write_shard(pk, RECORDS)
+    assert read_shard(nd) == read_shard(pk)
+
+
+def test_ndjson_is_one_json_object_per_line(tmp_path):
+    p = shard_path(tmp_path, "lib", 0, format="ndjson")
+    write_shard(p, RECORDS)
+    with gzip.open(p, "rt", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    assert len(lines) == len(RECORDS)
+    row = json.loads(lines[0])
+    assert row == {"id": "CPD0000001", "smiles": "CCO"}
+
+
+def test_write_is_atomic_no_partial_file(tmp_path, monkeypatch):
+    """A crash mid-write must not leave a (truncated) shard at the final
+    path, nor the temp file."""
+    p = shard_path(tmp_path, "lib", 0, format="ndjson")
+
+    bad = [("ok", "CCO"), None]  # None explodes during serialization
+    with pytest.raises(Exception):
+        write_shard(p, bad)
+    assert not p.exists()
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_corrupt_shards_raise_read_errors(tmp_path):
+    garbage = tmp_path / "x-shard-00000.ndjson.gz"
+    garbage.write_bytes(b"not gzip at all")
+    with pytest.raises(SHARD_READ_ERRORS):
+        read_shard(garbage)
+
+    truncated = tmp_path / "y-shard-00000.ndjson.gz"
+    truncated.write_bytes(gzip.compress(b'{"id": "a", "smiles"'))
+    with pytest.raises(SHARD_READ_ERRORS):
+        read_shard(truncated)
+
+    with pytest.raises(SHARD_READ_ERRORS):
+        read_shard(tmp_path / "missing-shard-00000.pkl.gz")
+
+
+def test_malformed_ndjson_row_raises(tmp_path):
+    p = tmp_path / "z-shard-00000.ndjson.gz"
+    with gzip.open(p, "wt", encoding="utf-8") as fh:
+        fh.write('{"id": "a", "smiles": "CCO"}\n{"wrong": "keys"}\n')
+    with pytest.raises(SHARD_READ_ERRORS):
+        read_shard(p)
