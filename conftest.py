@@ -1,0 +1,7 @@
+"""Repo-root pytest wiring: expose the concurrency-sanitizer plugin.
+
+The plugin is inert unless ``--repro-sanitize`` is passed (CI's
+``sanitize`` job); plain runs pay nothing.
+"""
+
+pytest_plugins = ["repro.analysis.sanitize.plugin"]

@@ -60,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated subset of rules to run (default: all)",
     )
     parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help=(
+            "whole-program mode: build the project symbol table/call "
+            "graph and run the interprocedural checkers (rng-taint, "
+            "atomic-write, lockset) on top of the per-file rules"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print registered rules and exit",
@@ -71,8 +80,15 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
+        from repro.analysis.interprocedural import PROJECT_CHECKER_CLASSES
+
         for cls in CHECKER_CLASSES:
             print(f"{cls.rule:18s} [{cls.severity:7s}] {cls.description}")
+        for cls in PROJECT_CHECKER_CLASSES:
+            print(
+                f"{cls.rule:18s} [{cls.severity:7s}] "
+                f"(interprocedural) {cls.description}"
+            )
         return 0
 
     pyproject = args.config
@@ -109,7 +125,12 @@ def main(argv: list[str] | None = None) -> int:
     else:
         factory = all_checkers
 
-    result = run_analysis(paths, config, checker_factory=factory)
+    if args.interprocedural:
+        from repro.analysis.interprocedural import run_interprocedural
+
+        result = run_interprocedural(paths, config, checker_factory=factory)
+    else:
+        result = run_analysis(paths, config, checker_factory=factory)
     print(REPORTERS[args.format](result))
     return 0 if result.ok else 1
 

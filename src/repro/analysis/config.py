@@ -26,6 +26,8 @@ _KEYS = {
     "determinism-allow": "determinism_allow",
     "hot-modules": "hot_modules",
     "telemetry-modules": "telemetry_modules",
+    "taint-sink-modules": "taint_sink_modules",
+    "durable-modules": "durable_modules",
 }
 
 
@@ -61,6 +63,14 @@ class AnalysisConfig:
         Instrumented module prefixes that must read time only through
         injected clock objects (the telemetry-discipline rule), so
         traced simulated runs stay byte-identical.
+    taint_sink_modules:
+        Hot-path module prefixes that values derived from unseeded RNG
+        sources must never reach (the interprocedural rng-taint rule):
+        campaign, docking, surrogate and streaming layers.
+    durable_modules:
+        Module prefixes whose file writes must follow the
+        tmp+``os.replace`` idiom (the interprocedural atomic-write
+        rule), including everything reachable from them.
     """
 
     paths: list[str] = field(default_factory=lambda: ["src"])
@@ -72,6 +82,22 @@ class AnalysisConfig:
     )
     telemetry_modules: list[str] = field(
         default_factory=lambda: ["repro.rct", "repro.nn.graph", "repro.docking.batch"]
+    )
+    taint_sink_modules: list[str] = field(
+        default_factory=lambda: [
+            "repro.core",
+            "repro.docking",
+            "repro.nn",
+            "repro.surrogate",
+            "repro.md",
+        ]
+    )
+    durable_modules: list[str] = field(
+        default_factory=lambda: [
+            "repro.util.checkpoint",
+            "repro.util.shardio",
+            "repro.nn.serialization",
+        ]
     )
     root: Path = field(default_factory=Path.cwd)
 

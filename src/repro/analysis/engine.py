@@ -9,11 +9,14 @@ re-parse, never re-read, and never see suppressed findings — inline
 are filtered here, after collection, so suppression counts stay
 observable.
 
-Suppression syntax (comma-separated rule names, or ``all``):
+Suppression syntax (comma-separated rule names, or ``all``), with a
+mandatory trailing reason (``--`` or ``—`` separated) — a suppression
+that does not say *why* is itself a finding (``suppression-reason``):
 
-* ``some_code()  # repro: disable=clock-purity`` — suppress on this line;
-* ``# repro: disable-file=vectorization`` — anywhere in the file,
-  suppress for the whole file.
+* ``some_code()  # repro: disable=clock-purity -- real-time UI path`` —
+  suppress on this line;
+* ``# repro: disable-file=vectorization -- ragged shapes`` — anywhere
+  in the file, suppress for the whole file.
 """
 
 from __future__ import annotations
@@ -29,20 +32,87 @@ from repro.analysis.findings import Finding
 __all__ = [
     "AnalysisResult",
     "FileContext",
+    "Suppressions",
     "analyze_file",
     "analyze_source",
+    "analyze_tree",
     "run_analysis",
 ]
 
-_SUPPRESS_LINE = re.compile(r"#\s*repro:\s*disable=([\w\-, ]+)")
-_SUPPRESS_FILE = re.compile(r"#\s*repro:\s*disable-file=([\w\-, ]+)")
+#: rules group (lazy) plus an optional `-- reason` / `— reason` tail
+_SUPPRESS_LINE = re.compile(
+    r"#\s*repro:\s*disable=([\w, -]+?)(?:\s*(?:--|[—–])\s*(\S.*))?$"
+)
+_SUPPRESS_FILE = re.compile(
+    r"#\s*repro:\s*disable-file=([\w, -]+?)(?:\s*(?:--|[—–])\s*(\S.*))?$"
+)
 
 #: rule name reserved for files the engine cannot parse
 PARSE_ERROR_RULE = "parse-error"
 
+#: rule name for suppressions carrying no reason
+SUPPRESSION_REASON_RULE = "suppression-reason"
+
 
 def _split_rules(spec: str) -> set[str]:
-    return {part.strip() for part in spec.split(",") if part.strip()}
+    return {part.strip(" -") for part in spec.split(",") if part.strip(" -")}
+
+
+@dataclass
+class Suppressions:
+    """Inline-suppression tables for one file.
+
+    ``reasonless`` holds ``(lineno, rules)`` for every suppression
+    comment missing its ``-- <reason>`` tail; the engine (and the
+    interprocedural runner) turn those into findings so a suppression
+    can never silently drop a rule without justification.
+    """
+
+    line: dict[int, set[str]] = field(default_factory=dict)
+    file: set[str] = field(default_factory=set)
+    reasonless: list[tuple[int, set[str]]] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, lines: list[str]) -> "Suppressions":
+        supp = cls()
+        for lineno, text in enumerate(lines, start=1):
+            m = _SUPPRESS_FILE.search(text)
+            if m:
+                rules = _split_rules(m.group(1))
+                supp.file |= rules
+                if not m.group(2):
+                    supp.reasonless.append((lineno, rules))
+                continue
+            m = _SUPPRESS_LINE.search(text)
+            if m:
+                rules = _split_rules(m.group(1))
+                supp.line.setdefault(lineno, set()).update(rules)
+                if not m.group(2):
+                    supp.reasonless.append((lineno, rules))
+        return supp
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether an inline comment suppresses this finding."""
+        for rules in (self.file, self.line.get(finding.line, ())):
+            if finding.rule in rules or "all" in rules:
+                return True
+        return False
+
+    def reason_findings(self, path: str) -> list[Finding]:
+        """One ``suppression-reason`` finding per reasonless comment."""
+        return [
+            Finding(
+                rule=SUPPRESSION_REASON_RULE,
+                message=(
+                    f"suppression of {sorted(rules)} has no reason; append "
+                    "`-- <why this is safe>` so the next reader does not "
+                    "have to re-derive the justification"
+                ),
+                path=path,
+                line=lineno,
+            )
+            for lineno, rules in self.reasonless
+        ]
 
 
 @dataclass
@@ -56,23 +126,11 @@ class FileContext:
     config: AnalysisConfig
     lines: list[str] = field(default_factory=list)
     findings: list[Finding] = field(default_factory=list)
-    #: line number → set of rules suppressed on that line
-    line_suppressions: dict[int, set[str]] = field(default_factory=dict)
-    #: rules suppressed for the whole file
-    file_suppressions: set[str] = field(default_factory=set)
+    suppressions: Suppressions = field(default_factory=Suppressions)
 
     def __post_init__(self) -> None:
         self.lines = self.source.splitlines()
-        for lineno, text in enumerate(self.lines, start=1):
-            m = _SUPPRESS_FILE.search(text)
-            if m:
-                self.file_suppressions |= _split_rules(m.group(1))
-                continue
-            m = _SUPPRESS_LINE.search(text)
-            if m:
-                self.line_suppressions.setdefault(lineno, set()).update(
-                    _split_rules(m.group(1))
-                )
+        self.suppressions = Suppressions.parse(self.lines)
 
     # ------------------------------------------------------------- reporting
     def report(
@@ -96,13 +154,7 @@ class FileContext:
 
     def is_suppressed(self, finding: Finding) -> bool:
         """Whether an inline comment suppresses this finding."""
-        for rules in (
-            self.file_suppressions,
-            self.line_suppressions.get(finding.line, ()),
-        ):
-            if finding.rule in rules or "all" in rules:
-                return True
-        return False
+        return self.suppressions.covers(finding)
 
     def module_in(self, prefixes: list[str]) -> bool:
         """Whether this file's module falls under any prefix."""
@@ -153,30 +205,23 @@ def module_name_for(path: Path) -> str:
     return ".".join(parts)
 
 
-def analyze_source(
+def analyze_tree(
     source: str,
+    tree: ast.Module,
     checkers: list,
     config: AnalysisConfig | None = None,
     module: str = "<module>",
     path: str = "<string>",
 ) -> AnalysisResult:
-    """Analyze one source string with the given checker instances."""
+    """Analyze one already-parsed module (parent links must be set).
+
+    This is the shared core of :func:`analyze_source` and the
+    interprocedural runner — the project builder parses each file once
+    and both the per-file checkers and the whole-program checkers walk
+    the same trees.
+    """
     config = config or AnalysisConfig()
     result = AnalysisResult(n_files=1)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        result.findings.append(
-            Finding(
-                rule=PARSE_ERROR_RULE,
-                message=f"cannot parse: {exc.msg}",
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 1) - 1,
-            )
-        )
-        return result
-    _set_parents(tree)
     ctx = FileContext(
         path=path, module=module, source=source, tree=tree, config=config
     )
@@ -208,7 +253,40 @@ def analyze_source(
             result.n_suppressed += 1
         else:
             result.findings.append(finding)
+    # reasonless suppressions surface after filtering, so a wildcard
+    # `disable=all` cannot suppress the very finding that polices it
+    if SUPPRESSION_REASON_RULE not in disabled:
+        result.findings.extend(ctx.suppressions.reason_findings(path))
     return result
+
+
+def analyze_source(
+    source: str,
+    checkers: list,
+    config: AnalysisConfig | None = None,
+    module: str = "<module>",
+    path: str = "<string>",
+) -> AnalysisResult:
+    """Analyze one source string with the given checker instances."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return AnalysisResult(
+            n_files=1,
+            findings=[
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    message=f"cannot parse: {exc.msg}",
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 1) - 1,
+                )
+            ],
+        )
+    _set_parents(tree)
+    return analyze_tree(
+        source, tree, checkers, config, module=module, path=path
+    )
 
 
 def analyze_file(

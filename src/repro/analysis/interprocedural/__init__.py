@@ -1,0 +1,112 @@
+"""Whole-program checkers and their runner.
+
+``run_interprocedural`` is the engine behind ``repro-lint
+--interprocedural``: it parses the tree **once** into a
+:class:`~repro.analysis.project.Project`, replays the per-file checkers
+over those same ASTs (so one invocation covers everything the plain
+run covers), then executes every registered
+:class:`~repro.analysis.interprocedural.base.ProjectChecker` against
+the project.  Inline suppressions and config disables apply to project
+findings the same way they do per-file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import AnalysisResult, analyze_tree
+from repro.analysis.interprocedural.atomic_write import AtomicWriteChecker
+from repro.analysis.interprocedural.base import ProjectChecker
+from repro.analysis.interprocedural.lockset import LocksetChecker
+from repro.analysis.interprocedural.rng_taint import RngTaintChecker
+from repro.analysis.project import Project, build_project
+
+__all__ = [
+    "PROJECT_CHECKER_CLASSES",
+    "AtomicWriteChecker",
+    "LocksetChecker",
+    "ProjectChecker",
+    "RngTaintChecker",
+    "all_project_checkers",
+    "project_rule_names",
+    "run_interprocedural",
+    "run_project_checkers",
+]
+
+PROJECT_CHECKER_CLASSES = (
+    RngTaintChecker,
+    AtomicWriteChecker,
+    LocksetChecker,
+)
+
+
+def all_project_checkers() -> list[ProjectChecker]:
+    """Fresh instances of every registered whole-program checker."""
+    return [cls() for cls in PROJECT_CHECKER_CLASSES]
+
+
+def project_rule_names() -> list[str]:
+    """Sorted rule names of the whole-program checkers."""
+    return sorted(cls.rule for cls in PROJECT_CHECKER_CLASSES)
+
+
+def run_project_checkers(
+    project: Project,
+    config: AnalysisConfig | None = None,
+    checkers: list[ProjectChecker] | None = None,
+) -> AnalysisResult:
+    """Run whole-program checkers on a built project, with suppression."""
+    config = config or AnalysisConfig()
+    checkers = all_project_checkers() if checkers is None else checkers
+    disabled = set(config.disable)
+    by_path = {pf.path: pf.suppressions for pf in project.files.values()}
+    result = AnalysisResult(n_files=len(project.files))
+    for checker in checkers:
+        if checker.rule in disabled:
+            continue
+        for finding in checker.check(project, config):
+            supp = by_path.get(finding.path)
+            if supp is not None and supp.covers(finding):
+                result.n_suppressed += 1
+            else:
+                result.findings.append(finding)
+    return result
+
+
+def run_interprocedural(
+    paths: list[Path],
+    config: AnalysisConfig | None = None,
+    checker_factory=None,
+    project_checkers: list[ProjectChecker] | None = None,
+) -> AnalysisResult:
+    """Full two-layer run: per-file checkers + whole-program checkers.
+
+    The project's trees are parsed once and shared by both layers;
+    files that fail to parse report ``parse-error`` and are skipped by
+    the project checkers (same contract as :func:`run_analysis`).
+    """
+    config = config or AnalysisConfig()
+    if checker_factory is None:
+        from repro.analysis.checkers import all_checkers
+
+        checker_factory = all_checkers
+    project = build_project(paths, root=config.root)
+    result = AnalysisResult()
+    result.findings.extend(project.parse_findings)
+    result.n_files = len(project.parse_findings)
+    for pf in project.files.values():
+        result.merge(
+            analyze_tree(
+                pf.source,
+                pf.tree,
+                checker_factory(),
+                config,
+                module=pf.module,
+                path=pf.path,
+            )
+        )
+    result.merge(run_project_checkers(project, config, project_checkers))
+    result.n_files = len(project.files) + len(project.parse_findings)
+    result.findings.sort(key=lambda f: f.sort_key)
+    return result

@@ -1,0 +1,46 @@
+"""Base protocol for whole-program checkers.
+
+Unlike per-file checkers (which see one :class:`FileContext` at a
+time), a project checker receives the entire built
+:class:`~repro.analysis.project.Project` — symbol table, call graph,
+receiver types — and returns findings for the whole tree in one call.
+The runner applies inline suppressions and config disables afterwards,
+exactly as the per-file engine does.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.project import Project
+
+__all__ = ["ProjectChecker"]
+
+
+class ProjectChecker:
+    """One whole-program rule.
+
+    Subclasses set ``rule``/``description`` and implement
+    :meth:`check`; ``severity`` defaults to error.
+    """
+
+    rule: str = ""
+    description: str = ""
+    severity: str = "error"
+
+    def check(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        """Analyze the project and return findings (unsuppressed)."""
+        raise NotImplementedError
+
+    def finding(
+        self, message: str, path: str, line: int, col: int = 0
+    ) -> Finding:
+        """Build one finding under this checker's rule."""
+        return Finding(
+            rule=self.rule,
+            message=message,
+            path=path,
+            line=line,
+            col=col,
+            severity=self.severity,
+        )

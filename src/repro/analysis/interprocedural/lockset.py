@@ -1,0 +1,323 @@
+"""lockset: thread-shared attributes need a consistent lock.
+
+Eraser-style lockset inference, scoped to where it is sound and quiet:
+classes that actually hand one of their bound methods to a thread
+(``threading.Thread(target=self._producer)``, ``pool.submit(self.run)``).
+For each such class the checker splits its methods into *thread context*
+(the thread entry plus every class method it transitively calls) and
+*caller context* (everything else), then tracks every ``self.<attr>``
+access in both, with the set of ``with self.<lock>:`` guards held at
+the access.
+
+An attribute is reported when all of these hold:
+
+* it is accessed in both contexts (that is what makes it shared — a
+  producer-only buffer is fine);
+* at least one access outside ``__init__`` is a write (init-only
+  configuration published before ``Thread.start()`` is ordered by the
+  start's happens-before edge);
+* the intersection of locksets over all non-init accesses is empty
+  (no single lock consistently guards it);
+* it is not itself a synchronization object (``Lock``/``Queue``/
+  ``Event``/``deque`` constructors, lock-ish names) or thread-local.
+
+This supersedes the per-file ``lock-discipline`` pattern for
+instance-attribute state: it sees method calls across the class, not
+just augmented assignments inside one function.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import iter_parents
+from repro.analysis.checkers.locks import (
+    _LOCK_NAME,
+    _SUBMIT_METHODS,
+    _THREAD_LOCAL_NAME,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.findings import Finding
+from repro.analysis.interprocedural.base import ProjectChecker
+from repro.analysis.project import (
+    THREAD_SAFE_CTORS,
+    ClassInfo,
+    FunctionInfo,
+    Project,
+)
+
+__all__ = ["LocksetChecker"]
+
+#: container methods that mutate their receiver — ``self.items.append(x)``
+#: is a write to ``items`` for lockset purposes, not a read
+_MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "pop",
+        "popleft",
+        "appendleft",
+        "clear",
+        "add",
+        "discard",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+def _self_param(info: FunctionInfo) -> str | None:
+    params = info.positional_params()
+    return params[0] if info.is_method and params else None
+
+
+class _Access:
+    """One ``self.<attr>`` touch: where, read/write, locks held."""
+
+    __slots__ = ("attr", "write", "locks", "path", "line", "col", "function")
+
+    def __init__(self, attr, write, locks, path, line, col, function):
+        self.attr = attr
+        self.write = write
+        self.locks = locks
+        self.path = path
+        self.line = line
+        self.col = col
+        self.function = function
+
+
+class LocksetChecker(ProjectChecker):
+    """Infer per-attribute locksets for thread-target classes."""
+
+    rule = "lockset"
+    description = (
+        "attributes shared between a thread-target method and its class "
+        "must be guarded by one consistent lock or be thread-local"
+    )
+
+    def check(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls_q, entries in sorted(self._thread_entries(project).items()):
+            cls = project.classes.get(cls_q)
+            if cls is None:
+                continue
+            findings.extend(self._check_class(project, cls, entries))
+        return findings
+
+    # ------------------------------------------------------ thread entries
+    def _thread_entries(self, project: Project) -> dict[str, set[str]]:
+        """Class qualname → method qualnames handed to threads."""
+        entries: dict[str, set[str]] = {}
+        for fq, info in project.functions.items():
+            for edge in project.calls_from(fq):
+                if edge.callee == "threading.Thread" or (
+                    edge.external
+                    and edge.callee.rsplit(".", 1)[-1] in _SUBMIT_METHODS
+                ):
+                    call = self._call_node(project, info, edge.line)
+                    if call is None:
+                        continue
+                    for target in self._thread_targets(edge.callee, call):
+                        resolved = self._resolve_bound_method(
+                            project, info, target
+                        )
+                        if resolved is not None:
+                            cls_q, method_q = resolved
+                            entries.setdefault(cls_q, set()).add(method_q)
+        return entries
+
+    @staticmethod
+    def _call_node(
+        project: Project, info: FunctionInfo, line: int
+    ) -> ast.Call | None:
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and getattr(node, "lineno", None) == line
+            ):
+                edge = project.edge_of(node)
+                if edge is not None and edge.line == line:
+                    return node
+        return None
+
+    @staticmethod
+    def _thread_targets(callee: str, call: ast.Call) -> list[ast.AST]:
+        targets: list[ast.AST] = []
+        if callee == "threading.Thread":
+            for kw in call.keywords:
+                if kw.arg == "target":
+                    targets.append(kw.value)
+        else:  # pool.submit(fn, ...) / pool.map(fn, ...)
+            if call.args:
+                targets.append(call.args[0])
+        return targets
+
+    def _resolve_bound_method(
+        self, project: Project, caller: FunctionInfo, target: ast.AST
+    ) -> tuple[str, str] | None:
+        """``self.m`` (or ``obj.m`` with an inferable class) → (class, method)."""
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+        ):
+            return None
+        root = target.value.id
+        cls_q: str | None = None
+        if root == _self_param(caller):
+            cls_q = caller.class_qualname
+        else:
+            # `worker = Worker(...); Thread(target=worker.run)`
+            for node in ast.walk(caller.node):
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == root
+                        for t in node.targets
+                    )
+                ):
+                    ctor = project.edge_of(node.value)
+                    if ctor is not None and not ctor.external:
+                        fn = project.functions.get(ctor.callee)
+                        if fn is not None and fn.name == "__init__":
+                            cls_q = fn.class_qualname
+        if cls_q is None:
+            return None
+        method_q = project.method_resolution(cls_q, target.attr)
+        if method_q is None:
+            return None
+        return cls_q, method_q
+
+    # ------------------------------------------------------ class analysis
+    def _check_class(
+        self, project: Project, cls: ClassInfo, entries: set[str]
+    ) -> list[Finding]:
+        methods = set(cls.methods.values())
+        # thread context: entries plus class methods they transitively call
+        thread_ctx = {
+            fq for fq in project.reachable(entries) if fq in methods
+        }
+        init_q = cls.methods.get("__init__")
+        caller_ctx = methods - thread_ctx - ({init_q} if init_q else set())
+
+        accesses: dict[str, list[_Access]] = {}
+        for fq in sorted(methods):
+            info = project.functions.get(fq)
+            if info is None:
+                continue
+            for access in self._collect_accesses(info):
+                accesses.setdefault(access.attr, []).append(access)
+
+        findings: list[Finding] = []
+        for attr, acc in sorted(accesses.items()):
+            if self._exempt_attr(cls, attr):
+                continue
+            in_thread = [a for a in acc if a.function in thread_ctx]
+            in_caller = [a for a in acc if a.function in caller_ctx]
+            if not in_thread or not in_caller:
+                continue  # not shared across the thread boundary
+            non_init = in_thread + in_caller
+            if not any(a.write for a in non_init):
+                continue  # read-only after construction
+            common = set.intersection(*(a.locks for a in non_init))
+            if common:
+                continue  # one lock consistently guards every access
+            witness = next(
+                (a for a in non_init if a.write and not a.locks),
+                non_init[0],
+            )
+            held = sorted({lock for a in non_init for lock in a.locks})
+            hint = (
+                f"some accesses hold {held} but not all do"
+                if held
+                else "no access holds any lock"
+            )
+            findings.append(
+                self.finding(
+                    f"attribute self.{attr} of {cls.qualname} is shared "
+                    f"between thread-target method(s) "
+                    f"{sorted(m.rsplit('.', 1)[-1] for m in thread_ctx)} and "
+                    "other methods without a consistent lock "
+                    f"({hint}); guard every access with one `with "
+                    "self.<lock>:` or make it thread-local",
+                    path=witness.path,
+                    line=witness.line,
+                    col=witness.col,
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _exempt_attr(cls: ClassInfo, attr: str) -> bool:
+        if _LOCK_NAME.search(attr) or _THREAD_LOCAL_NAME.search(attr):
+            return True
+        ctor = cls.attr_ctors.get(attr)
+        if ctor in THREAD_SAFE_CTORS or ctor == "threading.local":
+            return True
+        return False
+
+    def _collect_accesses(self, info: FunctionInfo) -> list[_Access]:
+        self_name = _self_param(info)
+        if self_name is None:
+            return []
+        out: list[_Access] = []
+        for node in ast.walk(info.node):
+            if not (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == self_name
+            ):
+                continue
+            write = isinstance(node.ctx, (ast.Store, ast.Del))
+            parent = getattr(node, "_repro_parent", None)
+            if not write:
+                # self.items.append(x) / self.items[k] = v mutate the attr
+                if (
+                    isinstance(parent, ast.Attribute)
+                    and parent.value is node
+                    and parent.attr in _MUTATOR_METHODS
+                ):
+                    write = True
+                elif (
+                    isinstance(parent, ast.Subscript)
+                    and parent.value is node
+                    and isinstance(parent.ctx, (ast.Store, ast.Del))
+                ):
+                    write = True
+            out.append(
+                _Access(
+                    attr=node.attr,
+                    write=write,
+                    locks=self._held_locks(node, info),
+                    path=info.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0),
+                    function=info.qualname,
+                )
+            )
+        return out
+
+    @staticmethod
+    def _held_locks(node: ast.AST, info: FunctionInfo) -> set[str]:
+        """Names of ``with self.<lock>:`` guards enclosing ``node``."""
+        self_name = _self_param(info)
+        held: set[str] = set()
+        for parent in iter_parents(node):
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                for item in parent.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Call):
+                        expr = expr.func
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == self_name
+                    ):
+                        held.add(expr.attr)
+            if parent is info.node:
+                break
+        return held

@@ -1,0 +1,181 @@
+"""rng-taint: unseeded randomness must never reach a hot path.
+
+Two interprocedural flows break the bit-identical-replay contract, and
+both are invisible to the per-file determinism rule once a helper
+function sits between source and use:
+
+* a value drawn from global RNG state (``random.random()``, legacy
+  ``np.random.rand()``) flowing — through any number of calls, returns
+  and attribute writes — into a campaign/docking/nn/streaming function
+  (the ``taint-sink-modules`` config);
+* a wall-clock reading (``time.time()``, ``datetime.now()``) flowing
+  into a *seeding* position (``random.seed``, ``np.random.default_rng``,
+  ``repro.util.rng.rng_stream`` / ``RngFactory``), which makes every
+  stream derived from it unreplayable no matter how disciplined the
+  downstream code is.
+
+``determinism-allow`` modules are exempt as sources (their RNG use is
+already accepted); seeded-generator construction is never a source.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.checkers.determinism import (
+    _NP_RANDOM_SAFE,
+    _STDLIB_RANDOM_GLOBALS,
+)
+from repro.analysis.config import AnalysisConfig, module_matches
+from repro.analysis.dataflow import TaintAnalysis
+from repro.analysis.findings import Finding
+from repro.analysis.interprocedural.base import ProjectChecker
+from repro.analysis.project import Project
+
+__all__ = ["RngTaintChecker"]
+
+#: wall-clock reads whose values are nondeterministic across runs
+_TIME_SOURCES = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "os.urandom",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    }
+)
+
+#: callees whose arguments seed a generator / stream family
+_SEED_SINKS = frozenset(
+    {
+        "random.seed",
+        "random.Random",
+        "numpy.random.seed",
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "repro.util.rng.rng_stream",
+        "repro.util.rng.RngFactory",
+        "repro.util.rng.RngFactory.__init__",
+    }
+)
+
+
+def _unseeded_rng_label(callee: str | None) -> str | None:
+    """Label when ``callee`` draws from hidden global RNG state."""
+    if callee is None:
+        return None
+    parts = callee.split(".")
+    if parts[:2] == ["numpy", "random"] and len(parts) == 3:
+        if parts[2] not in _NP_RANDOM_SAFE:
+            return f"{callee}()"
+    if parts[0] == "random" and len(parts) == 2:
+        if parts[1] in _STDLIB_RANDOM_GLOBALS:
+            return f"{callee}()"
+    return None
+
+
+class RngTaintChecker(ProjectChecker):
+    """Trace unseeded-RNG and time-derived values across function calls."""
+
+    rule = "rng-taint"
+    description = (
+        "values from unseeded RNG sources must not reach hot-path "
+        "modules, and time-derived values must not seed generators"
+    )
+
+    def check(self, project: Project, config: AnalysisConfig) -> list[Finding]:
+        findings = self._rng_to_hot_path(project, config)
+        findings.extend(self._time_to_seed(project, config))
+        return findings
+
+    # ----------------------------------------------- unseeded RNG → sink
+    def _rng_to_hot_path(
+        self, project: Project, config: AnalysisConfig
+    ) -> list[Finding]:
+        allowed = config.determinism_allow
+
+        def source(callee: str | None, call: ast.Call) -> str | None:
+            return _unseeded_rng_label(callee)
+
+        def is_sink(fq: str) -> bool:
+            info = project.functions[fq]
+            return module_matches(info.module, config.taint_sink_modules)
+
+        analysis = TaintAnalysis(project, source, is_sink).run()
+        findings = []
+        for use in analysis.uses:
+            # sources born inside determinism-allow modules are accepted
+            src_fn = use.taint.chain[0] if use.taint.chain else None
+            if src_fn is not None and src_fn in project.functions:
+                if module_matches(
+                    project.functions[src_fn].module, allowed
+                ):
+                    continue
+            info = project.functions[use.function]
+            findings.append(
+                self.finding(
+                    f"value derived from unseeded RNG {use.taint.describe()} "
+                    f"reaches hot-path function {use.function}; derive the "
+                    "stream from repro.util.rng so campaigns replay "
+                    "bit-identically",
+                    path=info.path,
+                    line=getattr(use.node, "lineno", 0),
+                    col=getattr(use.node, "col_offset", 0),
+                )
+            )
+        return findings
+
+    # --------------------------------------------------- time → seed arg
+    def _time_to_seed(
+        self, project: Project, config: AnalysisConfig
+    ) -> list[Finding]:
+        def source(callee: str | None, call: ast.Call) -> str | None:
+            if callee in _TIME_SOURCES:
+                return f"{callee}()"
+            return None
+
+        # sink functions: any project function — the check is on the
+        # argument position, not the containing module
+        analysis = TaintAnalysis(project, source, lambda fq: False).run()
+        findings = []
+        seen: set[tuple[str, int]] = set()
+        for fq, info in project.functions.items():
+            env = analysis.env.get(fq, {})
+            if not env:
+                continue
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = project.callee_of(node)
+                if callee not in _SEED_SINKS:
+                    continue
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    taint = analysis._expr_taint(arg, info, env)
+                    if taint is None:
+                        continue
+                    key = (info.path, getattr(node, "lineno", 0))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        self.finding(
+                            f"seeding {callee} with a value derived from "
+                            f"{taint.describe()} makes every stream below "
+                            "it unreplayable; seeds must come from the "
+                            "campaign's root seed",
+                            path=info.path,
+                            line=getattr(node, "lineno", 0),
+                            col=getattr(node, "col_offset", 0),
+                        )
+                    )
+                    break
+        return findings

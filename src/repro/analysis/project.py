@@ -1,0 +1,635 @@
+"""Project model: whole-program symbol table and call graph.
+
+The per-file engine (:mod:`repro.analysis.engine`) sees one AST at a
+time; the invariants PR 7 targets — seeded RNG flowing from
+``repro.util.rng`` through campaign → surrogate → docking, the
+tmp+``os.replace`` durability idiom scattered across ``util.shardio`` /
+``util.checkpoint``, locks guarding state shared between producer and
+consumer threads — all span module boundaries.  This module parses the
+whole tree **once** and builds what interprocedural checkers need:
+
+* a symbol table of every module, class, function and method, with
+  qualified names (``repro.nn.dataloader.PrefetchLoader._producer``);
+* import resolution that follows aliases, relative imports *and*
+  re-exports (``from .a import fn`` in a package ``__init__`` resolves
+  callers of ``pkg.fn`` to ``pkg.a.fn``), so diamond import graphs
+  collapse onto one canonical symbol;
+* lightweight receiver-type inference (annotations, ``x = Cls(...)``
+  locals, ``self.attr`` types recorded from ``__init__``) so method
+  calls resolve to definitions;
+* a call graph whose edges carry the call site, including *external*
+  edges (``os.replace``, ``numpy.savez_compressed``) — checkers match
+  on qualified callee names without re-walking ASTs.
+
+Decorated functions register under their plain name: calling a wrapped
+function still reaches the wrapped body, which is the sound
+approximation for every decorator in this codebase.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.astutil import qualified_name
+from repro.analysis.engine import (
+    Suppressions,
+    discover,
+    module_name_for,
+    _set_parents,
+)
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "Project",
+    "ProjectFile",
+    "build_project",
+]
+
+_FUNC = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: constructors whose instances are safe to share across threads
+THREAD_SAFE_CTORS = frozenset(
+    {
+        "queue.Queue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "queue.SimpleQueue",
+        "threading.Event",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "threading.local",
+        "collections.deque",
+    }
+)
+
+#: constructors that create lock-like guards
+LOCK_CTORS = frozenset(
+    {"threading.Lock", "threading.RLock", "threading.Condition"}
+)
+
+
+@dataclass
+class ProjectFile:
+    """One parsed source file plus the tables derived from it."""
+
+    path: str  # display path (relative to the project root when possible)
+    module: str
+    source: str
+    tree: ast.Module
+    is_package: bool
+    imports: dict[str, str] = field(default_factory=dict)
+    suppressions: Suppressions | None = None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_qualname: str | None = None
+    decorators: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    def param_names(self) -> list[str]:
+        a = self.node.args
+        names = [p.arg for p in (*a.posonlyargs, *a.args)]
+        if a.vararg:
+            names.append(a.vararg.arg)
+        names.extend(p.arg for p in a.kwonlyargs)
+        if a.kwarg:
+            names.append(a.kwarg.arg)
+        return names
+
+    def positional_params(self) -> list[str]:
+        """Names bindable by position (methods include ``self``)."""
+        a = self.node.args
+        return [p.arg for p in (*a.posonlyargs, *a.args)]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with resolved bases and attribute types."""
+
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, str] = field(default_factory=dict)  # name -> fn qualname
+    #: ``self.attr`` → project class qualname (inferred in ``__init__``)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: ``self.attr`` → qualified constructor called to produce it
+    #: (``threading.Lock``, ``queue.Queue`` …), project or external
+    attr_ctors: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One call site: ``caller`` invokes ``callee``."""
+
+    caller: str  # function qualname ("<module:m>" for module-level code)
+    callee: str  # canonical qualname (project symbol or external dotted)
+    external: bool  # callee is not defined in the project
+    path: str
+    line: int
+    node_id: int  # id() of the ast.Call, for node→edge lookups
+
+
+class Project:
+    """Whole-program view: files, symbols, call graph."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, ProjectFile] = {}  # module -> file
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.edges: list[CallEdge] = []
+        self._out: dict[str, list[CallEdge]] = {}
+        self._in: dict[str, list[CallEdge]] = {}
+        self._by_call_node: dict[int, CallEdge] = {}
+        self.parse_findings: list[Finding] = []
+
+    # ------------------------------------------------------------ queries
+    def calls_from(self, qualname: str) -> list[CallEdge]:
+        """Call edges leaving ``qualname``."""
+        return self._out.get(qualname, [])
+
+    def calls_to(self, qualname: str) -> list[CallEdge]:
+        """Call edges arriving at ``qualname``."""
+        return self._in.get(qualname, [])
+
+    def callee_of(self, call_node: ast.Call) -> str | None:
+        """Canonical callee of a specific ``ast.Call``, if resolved."""
+        edge = self._by_call_node.get(id(call_node))
+        return edge.callee if edge is not None else None
+
+    def edge_of(self, call_node: ast.Call) -> CallEdge | None:
+        """The edge recorded for a specific ``ast.Call`` node."""
+        return self._by_call_node.get(id(call_node))
+
+    def reachable(self, roots) -> set[str]:
+        """Project functions reachable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        frontier = [r for r in roots if r in self.functions]
+        while frontier:
+            fq = frontier.pop()
+            if fq in seen:
+                continue
+            seen.add(fq)
+            for edge in self.calls_from(fq):
+                if not edge.external and edge.callee in self.functions:
+                    frontier.append(edge.callee)
+        return seen
+
+    def functions_in(self, module_prefixes: list[str]) -> list[str]:
+        """Qualnames of functions whose module falls under any prefix."""
+        from repro.analysis.config import module_matches
+
+        return [
+            fq
+            for fq, info in self.functions.items()
+            if module_matches(info.module, module_prefixes)
+        ]
+
+    def method_resolution(self, class_qualname: str, method: str) -> str | None:
+        """Resolve ``method`` on a class, walking project base classes."""
+        seen: set[str] = set()
+        frontier = [class_qualname]
+        while frontier:
+            cq = frontier.pop(0)
+            if cq in seen:
+                continue
+            seen.add(cq)
+            cls = self.classes.get(cq)
+            if cls is None:
+                continue
+            if method in cls.methods:
+                return cls.methods[method]
+            frontier.extend(cls.bases)
+        return None
+
+    # ------------------------------------------------------- resolution
+    def canonical(self, dotted: str | None) -> str | None:
+        """Follow re-exports until ``dotted`` names a project definition.
+
+        ``pkg.fn`` where ``pkg/__init__.py`` does ``from .a import fn``
+        canonicalizes to ``pkg.a.fn``; unknown names come back unchanged
+        (they are external).
+        """
+        if dotted is None:
+            return None
+        seen: set[str] = set()
+        while (
+            dotted not in self.functions
+            and dotted not in self.classes
+            and dotted not in seen
+        ):
+            seen.add(dotted)
+            head, _, sym = dotted.rpartition(".")
+            if not head:
+                break
+            # `a.b.c.sym`: if `a.b.c` is a project module re-exporting
+            # sym, follow; otherwise try canonicalizing the head (so
+            # `pkg.Cls.method` resolves through a re-exported Cls)
+            pf = self.files.get(head)
+            if pf is not None and sym in pf.imports:
+                nxt = pf.imports[sym]
+                if nxt != dotted:
+                    dotted = nxt
+                    continue
+            new_head = None
+            if head not in self.files:
+                new_head = self.canonical(head)
+            if new_head is not None and new_head != head:
+                dotted = f"{new_head}.{sym}"
+                continue
+            break
+        return dotted
+
+    def resolve(self, module: str, name_expr: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain seen in ``module`` to a symbol."""
+        pf = self.files.get(module)
+        if pf is None:
+            return None
+        dotted = qualified_name(name_expr, pf.imports)
+        if dotted is None:
+            return None
+        # an unimported bare root may be module-level in this module
+        root = dotted.split(".", 1)[0]
+        if root not in pf.imports:
+            local = f"{module}.{dotted}"
+            resolved = self.canonical(local)
+            if resolved in self.functions or resolved in self.classes:
+                return resolved
+        return self.canonical(dotted)
+
+
+def _resolved_imports(tree: ast.Module, module: str, is_package: bool) -> dict[str, str]:
+    """Local name → dotted origin, with relative imports resolved.
+
+    Unlike :func:`repro.analysis.astutil.collect_imports`, this knows the
+    importing module's own dotted path, so ``from .shardio import x`` in
+    ``repro.util.checkpoint`` maps ``x`` → ``repro.util.shardio.x``.
+    """
+    package_parts = module.split(".") if module else []
+    if not is_package and package_parts:
+        package_parts = package_parts[:-1]
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                anchor = package_parts[: len(package_parts) - (node.level - 1)]
+                base_parts = anchor + (node.module.split(".") if node.module else [])
+                base = ".".join(base_parts)
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                origin = f"{base}.{alias.name}" if base else alias.name
+                imports[alias.asname or alias.name] = origin
+    return imports
+
+
+def _annotation_class(ann: ast.AST | None, project: Project, module: str) -> str | None:
+    """Project class named by an annotation (unwraps Optional/unions/strings)."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return _annotation_class(ann.left, project, module) or _annotation_class(
+            ann.right, project, module
+        )
+    if isinstance(ann, ast.Subscript):  # Optional[X], list[X] → try X
+        return _annotation_class(ann.slice, project, module)
+    if isinstance(ann, (ast.Name, ast.Attribute)):
+        resolved = project.resolve(module, ann)
+        if resolved in project.classes:
+            return resolved
+    return None
+
+
+def _collect_symbols(project: Project, pf: ProjectFile) -> None:
+    """Register every function/class in one file under qualified names."""
+
+    def visit(body, prefix: str, class_qualname: str | None) -> None:
+        for node in body:
+            if isinstance(node, _FUNC):
+                qual = f"{prefix}.{node.name}"
+                decorators = []
+                for dec in node.decorator_list:
+                    target = dec.func if isinstance(dec, ast.Call) else dec
+                    dotted = qualified_name(target, pf.imports)
+                    if dotted:
+                        decorators.append(dotted)
+                info = FunctionInfo(
+                    qualname=qual,
+                    module=pf.module,
+                    path=pf.path,
+                    node=node,
+                    class_qualname=class_qualname,
+                    decorators=decorators,
+                )
+                project.functions.setdefault(qual, info)
+                if class_qualname is not None:
+                    project.classes[class_qualname].methods.setdefault(
+                        node.name, qual
+                    )
+                # nested defs are their own symbols (not methods)
+                visit(node.body, qual, None)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{prefix}.{node.name}"
+                cls = ClassInfo(
+                    qualname=qual, module=pf.module, path=pf.path, node=node
+                )
+                project.classes.setdefault(qual, cls)
+                visit(node.body, qual, qual)
+
+    visit(pf.tree.body, pf.module, None)
+
+
+def _resolve_class_tables(project: Project) -> None:
+    """Second pass: resolve base classes and infer ``self.attr`` types."""
+    for cls in project.classes.values():
+        for base in cls.node.bases:
+            resolved = project.resolve(cls.module, base)
+            if resolved in project.classes:
+                cls.bases.append(resolved)
+        # class-level annotations (dataclass fields)
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                t = _annotation_class(stmt.annotation, project, cls.module)
+                if t is not None:
+                    cls.attr_types.setdefault(stmt.target.id, t)
+        init_q = cls.methods.get("__init__")
+        init = project.functions.get(init_q) if init_q else None
+        if init is None:
+            continue
+        params = {
+            p.arg: _annotation_class(p.annotation, project, cls.module)
+            for p in (*init.node.args.posonlyargs, *init.node.args.args)
+        }
+        self_name = init.positional_params()[0] if init.positional_params() else "self"
+        for stmt in ast.walk(init.node):
+            targets: list[ast.expr] = []
+            value: ast.AST | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    continue
+                attr = target.attr
+                if isinstance(stmt, ast.AnnAssign):
+                    t = _annotation_class(stmt.annotation, project, cls.module)
+                    if t is not None:
+                        cls.attr_types.setdefault(attr, t)
+                if isinstance(value, ast.Call):
+                    ctor = project.resolve(cls.module, value.func)
+                    if ctor is None:
+                        pf = project.files.get(cls.module)
+                        ctor = qualified_name(
+                            value.func, pf.imports if pf else {}
+                        )
+                    if ctor is not None:
+                        cls.attr_ctors.setdefault(attr, ctor)
+                        if ctor in project.classes:
+                            cls.attr_types.setdefault(attr, ctor)
+                elif isinstance(value, ast.Name) and value.id in params:
+                    t = params[value.id]
+                    if t is not None:
+                        cls.attr_types.setdefault(attr, t)
+
+
+class _LocalTypes:
+    """Receiver types inside one function: annotations + constructor calls."""
+
+    def __init__(self, project: Project, info: FunctionInfo) -> None:
+        self.project = project
+        self.info = info
+        self.types: dict[str, str] = {}
+        args = info.node.args
+        for p in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            t = _annotation_class(p.annotation, project, info.module)
+            if t is not None:
+                self.types[p.arg] = t
+        if info.is_method and info.positional_params():
+            self.types[info.positional_params()[0]] = info.class_qualname
+
+    def note_assign(self, stmt: ast.stmt) -> None:
+        targets: list[ast.expr] = []
+        value: ast.AST | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+            t = _annotation_class(stmt.annotation, self.project, self.info.module)
+            if t is not None and isinstance(stmt.target, ast.Name):
+                self.types[stmt.target.id] = t
+            value = stmt.value
+        if isinstance(value, ast.Call):
+            ctor = self.project.resolve(self.info.module, value.func)
+            if ctor in self.project.classes:
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.types[target.id] = ctor
+
+    def type_of(self, expr: ast.AST) -> str | None:
+        """Class qualname of an expression, when inferable."""
+        if isinstance(expr, ast.Name):
+            return self.types.get(expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            recv_type = self.types.get(expr.value.id)
+            if recv_type is not None:
+                cls = self.project.classes.get(recv_type)
+                while cls is not None:
+                    if expr.attr in cls.attr_types:
+                        return cls.attr_types[expr.attr]
+                    cls = (
+                        self.project.classes.get(cls.bases[0])
+                        if cls.bases
+                        else None
+                    )
+        return None
+
+
+def _function_body_nodes(fn: ast.AST):
+    """Walk a function body, *excluding* nested function/class bodies."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*_FUNC, ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _resolve_call(
+    project: Project,
+    info: FunctionInfo,
+    types: _LocalTypes,
+    local_defs: dict[str, str],
+    call: ast.Call,
+) -> tuple[str, bool] | None:
+    """(canonical callee, external?) for one call site, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in local_defs:
+            return local_defs[name], False
+        resolved = project.resolve(info.module, func)
+        if resolved in project.functions:
+            return resolved, False
+        if resolved in project.classes:
+            init = project.method_resolution(resolved, "__init__")
+            return (init, False) if init else (resolved, False)
+        if resolved is not None and resolved != name:
+            return resolved, True
+        return name, True
+    if isinstance(func, ast.Attribute):
+        # method call on an inferable receiver
+        recv_type = types.type_of(func.value)
+        if recv_type is not None:
+            target = project.method_resolution(recv_type, func.attr)
+            if target is not None:
+                return target, False
+            return f"{recv_type}.{func.attr}", True
+        resolved = project.resolve(info.module, func)
+        if resolved in project.functions:
+            return resolved, False
+        if resolved in project.classes:
+            init = project.method_resolution(resolved, "__init__")
+            return (init, False) if init else (resolved, False)
+        if resolved is not None:
+            return resolved, True
+    return None
+
+
+def _build_call_graph(project: Project) -> None:
+    for fq, info in project.functions.items():
+        # local nested defs shadow module/global names
+        local_defs = {
+            node.name: f"{fq}.{node.name}"
+            for node in ast.walk(info.node)
+            if isinstance(node, _FUNC) and node is not info.node
+            and f"{fq}.{node.name}" in project.functions
+        }
+        types = _LocalTypes(project, info)
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                types.note_assign(node)
+        for node in _function_body_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = _resolve_call(project, info, types, local_defs, node)
+            if resolved is None:
+                continue
+            callee, external = resolved
+            edge = CallEdge(
+                caller=fq,
+                callee=callee,
+                external=external,
+                path=info.path,
+                line=getattr(node, "lineno", 0),
+                node_id=id(node),
+            )
+            project.edges.append(edge)
+            project._out.setdefault(fq, []).append(edge)
+            project._in.setdefault(callee, []).append(edge)
+            project._by_call_node[id(node)] = edge
+
+
+def _canonical_decorator(project: Project, module: str, dotted: str) -> str:
+    """Canonical qualname of a decorator (module-local names included)."""
+    local = project.canonical(f"{module}.{dotted}")
+    if local in project.functions or local in project.classes:
+        return local
+    return project.canonical(dotted) or dotted
+
+
+def build_project(paths: list[Path], root: Path | None = None) -> Project:
+    """Parse every file under ``paths`` once and assemble the project.
+
+    Files that fail to parse contribute a ``parse-error`` finding (same
+    rule the per-file engine uses) and are skipped; everything else joins
+    the symbol table and call graph.
+    """
+    project = Project()
+    for path in discover(paths):
+        display = path
+        if root is not None:
+            try:
+                display = path.resolve().relative_to(Path(root).resolve())
+            except ValueError:
+                display = path
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError) as exc:
+            msg = getattr(exc, "msg", str(exc))
+            project.parse_findings.append(
+                Finding(
+                    rule="parse-error",
+                    message=f"cannot parse: {msg}",
+                    path=str(display),
+                    line=getattr(exc, "lineno", 0) or 0,
+                )
+            )
+            continue
+        _set_parents(tree)
+        module = module_name_for(display)
+        pf = ProjectFile(
+            path=str(display),
+            module=module,
+            source=source,
+            tree=tree,
+            is_package=path.name == "__init__.py",
+            suppressions=Suppressions.parse(source.splitlines()),
+        )
+        pf.imports = _resolved_imports(tree, module, pf.is_package)
+        project.files[module] = pf
+    for pf in project.files.values():
+        _collect_symbols(project, pf)
+    for info in project.functions.values():
+        info.decorators = [
+            _canonical_decorator(project, info.module, dec)
+            for dec in info.decorators
+        ]
+    _resolve_class_tables(project)
+    _build_call_graph(project)
+    return project

@@ -1,7 +1,10 @@
 """Reporters: render an :class:`AnalysisResult` for humans or machines.
 
 The JSON shape is stable (``{"findings": [...], "summary": {...}}``) so
-CI can diff runs and a checked-in baseline stays reviewable.
+CI can diff runs and a checked-in baseline stays reviewable.  The SARIF
+reporter emits SARIF 2.1.0, the interchange format GitHub code scanning
+ingests — uploading it as a CI artifact lets findings annotate PRs
+inline instead of living in a job log.
 """
 
 from __future__ import annotations
@@ -10,7 +13,7 @@ import json
 
 from repro.analysis.engine import AnalysisResult
 
-__all__ = ["render_text", "render_json", "REPORTERS"]
+__all__ = ["render_text", "render_json", "render_sarif", "REPORTERS"]
 
 
 def render_text(result: AnalysisResult) -> str:
@@ -45,4 +48,69 @@ def render_json(result: AnalysisResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-REPORTERS = {"text": render_text, "json": render_json}
+#: SARIF severity for each finding severity
+_SARIF_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 for GitHub code scanning (one run, one rule per id)."""
+    rules: dict[str, dict] = {}
+    results = []
+    for f in result.findings:
+        rules.setdefault(
+            f.rule,
+            {
+                "id": f.rule,
+                "shortDescription": {"text": f.rule},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVEL.get(f.severity, "error")
+                },
+            },
+        )
+        results.append(
+            {
+                "ruleId": f.rule,
+                "level": _SARIF_LEVEL.get(f.severity, "error"),
+                "message": {"text": f.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": str(f.path).replace("\\", "/"),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(f.line, 1),
+                                "startColumn": f.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": sorted(
+                            rules.values(), key=lambda r: r["id"]
+                        ),
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+REPORTERS = {"text": render_text, "json": render_json, "sarif": render_sarif}

@@ -1,0 +1,77 @@
+"""``repro-sanitize``: run a Python script under the concurrency sanitizer.
+
+The pytest plugin covers the test suite; this entry point covers
+everything else — a campaign driver, a repro script for a suspected
+deadlock::
+
+    repro-sanitize path/to/script.py [script args...]
+
+It installs the lock-order monitor, executes the script as ``__main__``
+(argv rewritten, exactly like ``python script.py`` would see it),
+then prints the acquisition summary and the cycle report.  Exit status:
+0 when no cycle was observed, 1 on any lock-order cycle, 2 on usage
+errors.  The script's own exception (if any) propagates after the
+report so a crash never masks the concurrency verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import runpy
+import sys
+from pathlib import Path
+
+from repro.analysis.sanitize.monitor import install, uninstall
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sanitize",
+        description=(
+            "run a script with instrumented locks and fail on "
+            "lock-order cycles (latent deadlocks)"
+        ),
+    )
+    parser.add_argument("script", type=Path, help="Python script to run")
+    parser.add_argument(
+        "args", nargs=argparse.REMAINDER, help="arguments passed to the script"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not args.script.is_file():
+        print(f"repro-sanitize: no such script: {args.script}", file=sys.stderr)
+        return 2
+
+    monitor = install()
+    saved_argv = sys.argv
+    sys.argv = [str(args.script), *args.args]
+    error: BaseException | None = None
+    try:
+        runpy.run_path(str(args.script), run_name="__main__")
+    except SystemExit as exc:  # script called exit(); keep the report
+        if exc.code not in (None, 0):
+            error = exc
+    except BaseException as exc:
+        error = exc
+    finally:
+        sys.argv = saved_argv
+        uninstall()
+
+    print(
+        f"repro-sanitize: {monitor.n_acquisitions} acquisition(s) across "
+        f"{len(monitor.locks)} instrumented lock(s), "
+        f"{len(monitor.edges)} order edge(s)"
+    )
+    print(monitor.render_cycles())
+    if error is not None:
+        raise error
+    return 1 if monitor.cycles() else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""Runtime lock-order monitor: the sanitizer's core state machine.
+
+TSan-lite for the concurrency idioms this codebase actually uses.
+:func:`install` replaces ``threading.Lock``/``threading.RLock`` with
+instrumented wrappers; every *new* lock created while the monitor is
+active (the dataloader's queue mutexes, raptor's ledger lock, the
+tracer's internal lock — all constructed at call time, not import time)
+records two things per acquisition:
+
+* a **lock-order edge** ``A → B`` whenever a thread acquires ``B``
+  while holding ``A``, with the acquire site as witness.  A cycle in
+  that graph is a latent deadlock: two threads taking the same pair of
+  locks in opposite orders will eventually interleave badly, even if
+  this particular run got lucky.
+* the thread's **held set**, which :class:`AccessRecorder` (see
+  :mod:`repro.analysis.sanitize.recorder`) consults to decide whether
+  a shared-attribute access was guarded.
+
+The monitor's own bookkeeping is guarded by a captured *original* lock
+so instrumentation can never recurse into itself, and wrappers forward
+``_is_owned`` / ``_release_save`` / ``_acquire_restore`` so
+``threading.Condition`` keeps working (``Condition.wait`` releases and
+reacquires through those hooks — the held-set stays accurate across a
+wait).
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+import threading
+from dataclasses import dataclass, field
+
+__all__ = [
+    "AcquireSite",
+    "LockInfo",
+    "LockOrderMonitor",
+    "SanitizedLock",
+    "SanitizedRLock",
+    "current_monitor",
+    "install",
+    "uninstall",
+]
+
+#: the real factories, captured at import so wrappers and the monitor's
+#: internal guard always use uninstrumented primitives
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: filenames whose frames are skipped when attributing an acquire site
+_INTERNAL_FILES = (__file__, threading.__file__)
+
+
+def _acquire_site() -> tuple[str, int]:
+    """(filename, lineno) of the nearest caller outside the machinery."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not any(filename == f for f in _INTERNAL_FILES):
+            return filename, frame.f_lineno
+        frame = frame.f_back
+    return "<unknown>", 0
+
+
+def _thread_name() -> str:
+    """Name of the calling thread, without ``current_thread()``.
+
+    ``threading.current_thread()`` on a thread not yet in ``_active``
+    (mid-bootstrap) constructs a ``_DummyThread``, whose ``__init__``
+    itself takes instrumented locks — infinite recursion.  A raw ident
+    lookup has no such side effects.
+    """
+    ident = threading.get_ident()
+    thread = threading._active.get(ident)
+    return thread.name if thread is not None else f"thread-{ident}"
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """Witness for one acquisition: where, on which thread."""
+
+    filename: str
+    line: int
+    thread: str
+
+    def render(self) -> str:
+        return f"{self.filename}:{self.line} [{self.thread}]"
+
+
+@dataclass
+class LockInfo:
+    """Identity and creation site of one instrumented lock."""
+
+    lock_id: int
+    kind: str  # "Lock" | "RLock"
+    filename: str
+    line: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}#{self.lock_id}({self.filename}:{self.line})"
+
+
+@dataclass
+class _Edge:
+    """First witness of ``held → acquired`` plus every thread that saw it."""
+
+    held_site: AcquireSite
+    acquired_site: AcquireSite
+    threads: set[str] = field(default_factory=set)
+
+
+class LockOrderMonitor:
+    """Record acquisition order across every instrumented lock."""
+
+    def __init__(self) -> None:
+        self._guard = _REAL_LOCK()
+        self._ids = itertools.count(1)
+        self._tls = threading.local()
+        self.locks: dict[int, LockInfo] = {}
+        self.edges: dict[tuple[int, int], _Edge] = {}
+        self.n_acquisitions = 0
+
+    # ------------------------------------------------------------ held set
+    def _held(self) -> list[tuple[int, AcquireSite]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def held_lock_ids(self) -> frozenset[int]:
+        """Lock ids the calling thread currently holds."""
+        return frozenset(lock_id for lock_id, _ in self._held())
+
+    # ---------------------------------------------------------- lifecycle
+    def register(self, kind: str) -> LockInfo:
+        filename, line = _acquire_site()
+        with self._guard:
+            info = LockInfo(next(self._ids), kind, filename, line)
+            self.locks[info.lock_id] = info
+        return info
+
+    def note_acquire(self, lock_id: int, reentrant: bool) -> None:
+        filename, line = _acquire_site()
+        site = AcquireSite(filename, line, _thread_name())
+        held = self._held()
+        if reentrant and any(h == lock_id for h, _ in held):
+            held.append((lock_id, site))  # re-entry: no new edges
+            return
+        with self._guard:
+            self.n_acquisitions += 1
+            for held_id, held_site in held:
+                if held_id == lock_id:
+                    continue
+                edge = self.edges.get((held_id, lock_id))
+                if edge is None:
+                    edge = self.edges[(held_id, lock_id)] = _Edge(
+                        held_site=held_site, acquired_site=site
+                    )
+                edge.threads.add(site.thread)
+        held.append((lock_id, site))
+
+    def note_release(self, lock_id: int) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i][0] == lock_id:
+                del held[i]
+                return
+
+    # ------------------------------------------------------------- cycles
+    def cycles(self) -> list[list[int]]:
+        """Elementary cycles in the lock-order graph (each reported once)."""
+        with self._guard:
+            graph: dict[int, list[int]] = {}
+            for a, b in self.edges:
+                graph.setdefault(a, []).append(b)
+        found: list[list[int]] = []
+        seen_keys: set[tuple[int, ...]] = set()
+
+        def dfs(start: int, node: int, path: list[int], on_path: set[int]) -> None:
+            for nxt in graph.get(node, ()):
+                if nxt == start:
+                    cycle = path[:]
+                    # canonical rotation so A→B→A and B→A→B dedupe
+                    pivot = cycle.index(min(cycle))
+                    key = tuple(cycle[pivot:] + cycle[:pivot])
+                    if key not in seen_keys:
+                        seen_keys.add(key)
+                        found.append(list(key))
+                elif nxt > start and nxt not in on_path:
+                    on_path.add(nxt)
+                    path.append(nxt)
+                    dfs(start, nxt, path, on_path)
+                    path.pop()
+                    on_path.discard(nxt)
+
+        for start in sorted(graph):
+            dfs(start, start, [start], {start})
+        return found
+
+    def render_cycles(self) -> str:
+        """Human-readable deadlock report, one block per cycle."""
+        cycles = self.cycles()
+        if not cycles:
+            return "repro-sanitize: no lock-order cycles"
+        blocks = [
+            f"repro-sanitize: {len(cycles)} lock-order cycle(s) — "
+            "threads take these locks in opposite orders, which can "
+            "deadlock under the right interleaving:"
+        ]
+        for cycle in cycles:
+            names = [self.locks[i].name for i in cycle]
+            blocks.append("  cycle: " + " -> ".join([*names, names[0]]))
+            for a, b in zip(cycle, cycle[1:] + cycle[:1]):
+                edge = self.edges[(a, b)]
+                blocks.append(
+                    f"    {self.locks[a].name} held at "
+                    f"{edge.held_site.render()} while acquiring "
+                    f"{self.locks[b].name} at {edge.acquired_site.render()}"
+                )
+        return "\n".join(blocks)
+
+
+class SanitizedLock:
+    """Drop-in ``threading.Lock`` that reports to the monitor."""
+
+    _kind = "Lock"
+    _reentrant = False
+
+    def __init__(self, monitor: LockOrderMonitor) -> None:
+        self._monitor = monitor
+        self._inner = _REAL_LOCK() if self._kind == "Lock" else _REAL_RLOCK()
+        self._info = monitor.register(self._kind)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._monitor.note_acquire(self._info.lock_id, self._reentrant)
+        return ok
+
+    def release(self) -> None:
+        self._inner.release()
+        self._monitor.note_release(self._info.lock_id)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _at_fork_reinit(self) -> None:
+        self._inner._at_fork_reinit()
+
+    def __getattr__(self, name: str):
+        # stdlib internals poke other private lock APIs; forward them
+        return getattr(self._inner, name)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self._info.name}>"
+
+
+class SanitizedRLock(SanitizedLock):
+    """Drop-in ``threading.RLock``, Condition-compatible."""
+
+    _kind = "RLock"
+    _reentrant = True
+
+    # Condition.wait releases the lock fully and reacquires it through
+    # these hooks; forwarding them keeps the held-set bookkeeping exact.
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+    def _release_save(self):
+        state = self._inner._release_save()
+        self._monitor.note_release(self._info.lock_id)
+        return state
+
+    def _acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        self._monitor.note_acquire(self._info.lock_id, reentrant=False)
+
+
+_active: LockOrderMonitor | None = None
+
+
+def current_monitor() -> LockOrderMonitor | None:
+    """The installed monitor, if any."""
+    return _active
+
+
+def install() -> LockOrderMonitor:
+    """Patch ``threading.Lock``/``RLock``; every new lock is instrumented.
+
+    Idempotent: a second install returns the already-active monitor.
+    """
+    global _active
+    if _active is not None:
+        return _active
+    monitor = LockOrderMonitor()
+    threading.Lock = lambda: SanitizedLock(monitor)  # type: ignore[misc]
+    threading.RLock = lambda: SanitizedRLock(monitor)  # type: ignore[misc]
+    _active = monitor
+    return monitor
+
+
+def uninstall() -> None:
+    """Restore the real lock factories (existing wrappers keep working)."""
+    global _active
+    threading.Lock = _REAL_LOCK  # type: ignore[misc]
+    threading.RLock = _REAL_RLOCK  # type: ignore[misc]
+    _active = None

@@ -1,0 +1,72 @@
+"""pytest plugin: run the test session under the concurrency sanitizer.
+
+``pytest --repro-sanitize`` installs the lock-order monitor before
+collection (so every lock the tests create — dataloader queues, raptor
+ledger locks, tracer internals — is instrumented), and at session end
+prints the monitor's report and **fails the session** if any
+lock-order cycle was observed, even when every test passed: a latent
+deadlock is a bug whether or not this run happened to hit it.
+
+Enabled from the repo root ``conftest.py`` via ``pytest_plugins``; the
+flag is off by default so plain test runs pay zero overhead.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sanitize.monitor import install, uninstall
+
+__all__ = [
+    "pytest_addoption",
+    "pytest_configure",
+    "pytest_sessionfinish",
+    "pytest_terminal_summary",
+    "pytest_unconfigure",
+]
+
+_MONITOR_KEY = "_repro_sanitize_monitor"
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--repro-sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "instrument threading.Lock/RLock, build the lock-order "
+            "graph, and fail the session on any lock-order cycle"
+        ),
+    )
+
+
+def pytest_configure(config) -> None:
+    if config.getoption("--repro-sanitize"):
+        setattr(config, _MONITOR_KEY, install())
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    monitor = getattr(session.config, _MONITOR_KEY, None)
+    if monitor is None:
+        return
+    if monitor.cycles() and session.exitstatus == 0:
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config) -> None:
+    monitor = getattr(config, _MONITOR_KEY, None)
+    if monitor is None:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        f"repro-sanitize: {monitor.n_acquisitions} acquisition(s) across "
+        f"{len(monitor.locks)} instrumented lock(s), "
+        f"{len(monitor.edges)} order edge(s)"
+    )
+    report = monitor.render_cycles()
+    ok = not monitor.cycles()
+    terminalreporter.write_line(report, red=not ok, green=ok)
+
+
+def pytest_unconfigure(config) -> None:
+    if getattr(config, _MONITOR_KEY, None) is not None:
+        uninstall()
+        setattr(config, _MONITOR_KEY, None)

@@ -1,0 +1,142 @@
+"""Shared-attribute access recorder: the sanitizer's race witness.
+
+:class:`AccessRecorder` instruments chosen attributes of a class for
+the duration of a ``with`` block and records every read/write with the
+accessing thread and the lock set held at the moment of access (from
+the active :class:`~repro.analysis.sanitize.monitor.LockOrderMonitor`,
+when one is installed).  Afterwards :meth:`conflicts` replays the log
+with the Eraser rule: an attribute touched by more than one thread,
+with at least one write, whose accesses share **no** common lock, is an
+unguarded shared access.
+
+Instrumentation works by installing a data descriptor on the *class*
+(descriptors shadow instance ``__dict__``), proxying storage through
+the instance dict — so object behavior is unchanged, existing
+instances included.  The original class attributes are restored on
+exit even if the body raises.
+
+Typical test usage::
+
+    with AccessRecorder(PrefetchLoader, ["_batches_served"]) as rec:
+        run_the_concurrent_workload()
+    assert rec.conflicts() == []
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.analysis.sanitize.monitor import _thread_name, current_monitor
+
+__all__ = ["AccessRecorder", "AttrAccess", "AttrConflict"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class AttrAccess:
+    """One recorded touch of an instrumented attribute."""
+
+    attr: str
+    write: bool
+    thread: str
+    locks: frozenset[int]  # ids of monitor locks held at access time
+
+
+@dataclass(frozen=True)
+class AttrConflict:
+    """An attribute that failed the Eraser lockset rule."""
+
+    attr: str
+    threads: tuple[str, ...]
+    writes: int
+
+    def render(self) -> str:
+        return (
+            f"unguarded shared access: attribute '{self.attr}' touched by "
+            f"threads {list(self.threads)} ({self.writes} write(s)) with no "
+            "common lock held across all accesses"
+        )
+
+
+class AccessRecorder:
+    """Record accesses to ``attrs`` of ``cls`` inside a ``with`` block."""
+
+    def __init__(self, cls: type, attrs: list[str]) -> None:
+        self._cls = cls
+        self._attrs = list(attrs)
+        self._saved: dict[str, object] = {}
+        self._guard = threading.Lock()
+        self.accesses: list[AttrAccess] = []
+
+    # ------------------------------------------------------------ recording
+    def _record(self, attr: str, write: bool) -> None:
+        monitor = current_monitor()
+        locks = monitor.held_lock_ids() if monitor is not None else frozenset()
+        access = AttrAccess(
+            attr=attr,
+            write=write,
+            thread=_thread_name(),
+            locks=locks,
+        )
+        with self._guard:
+            self.accesses.append(access)
+
+    def _descriptor(self, attr: str) -> property:
+        recorder = self
+
+        def fget(obj):
+            recorder._record(attr, write=False)
+            try:
+                return obj.__dict__[attr]
+            except KeyError:
+                raise AttributeError(attr) from None
+
+        def fset(obj, value):
+            recorder._record(attr, write=True)
+            obj.__dict__[attr] = value
+
+        def fdel(obj):
+            recorder._record(attr, write=True)
+            del obj.__dict__[attr]
+
+        return property(fget, fset, fdel)
+
+    # ----------------------------------------------------------- lifecycle
+    def __enter__(self) -> "AccessRecorder":
+        for attr in self._attrs:
+            self._saved[attr] = self._cls.__dict__.get(attr, _MISSING)
+            setattr(self._cls, attr, self._descriptor(attr))
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for attr, saved in self._saved.items():
+            if saved is _MISSING:
+                delattr(self._cls, attr)
+            else:
+                setattr(self._cls, attr, saved)
+        self._saved.clear()
+
+    # ------------------------------------------------------------- verdict
+    def conflicts(self) -> list[AttrConflict]:
+        """Attributes violating the Eraser rule over the recorded log."""
+        by_attr: dict[str, list[AttrAccess]] = {}
+        with self._guard:
+            for access in self.accesses:
+                by_attr.setdefault(access.attr, []).append(access)
+        out: list[AttrConflict] = []
+        for attr, log in sorted(by_attr.items()):
+            threads = {a.thread for a in log}
+            writes = sum(1 for a in log if a.write)
+            if len(threads) < 2 or writes == 0:
+                continue
+            common = frozenset.intersection(*(a.locks for a in log))
+            if common:
+                continue
+            out.append(
+                AttrConflict(
+                    attr=attr, threads=tuple(sorted(threads)), writes=writes
+                )
+            )
+        return out

@@ -273,15 +273,15 @@ def pack_ligands(beads_list: list[LigandBeads]) -> PackedLigands:
     pair_idx = np.zeros((lcount, m_max, 2), dtype=int)
     pair_sigma = np.zeros((lcount, m_max))
 
-    for li, b in enumerate(beads_list):  # repro: disable=vectorization
-        # per-ligand shapes make the pack loop genuinely sequential
+    # per-ligand shapes make the pack loop genuinely sequential
+    for li, b in enumerate(beads_list):  # repro: disable=vectorization -- ragged shapes
         n = b.n_atoms
         atom_mask[li, :n] = True
         charges[li, :n] = b.charges
         hydro[li, :n] = b.hydro
         conformers[li, : b.n_conformers, :n] = b.conformers
-        for t, tor in enumerate(b.torsions):  # repro: disable=vectorization
-            # ragged moving sets: each torsion slot scatters its own mask
+        for t, tor in enumerate(b.torsions):  # repro: disable=vectorization -- ragged moving sets
+            # each torsion slot scatters its own mask
             tor_a[t, li] = tor.a
             tor_b[t, li] = tor.b
             tor_valid[t, li] = True
@@ -436,8 +436,8 @@ class PackPlan:
         # the wide one's pair width)
         rs, ais, ajs, sigs = [], [], [], []
         flat_off = np.zeros(lcount + 1, dtype=int)
-        for li in range(lcount):  # repro: disable=vectorization
-            # ragged per-ligand pair lists; runs once per plan, not per call
+        for li in range(lcount):  # repro: disable=vectorization -- ragged pair lists
+            # runs once per plan, not per call
             m = int(pack.n_pairs[li])
             flat_off[li + 1] = flat_off[li] + m * r
             if m == 0:
@@ -564,7 +564,7 @@ def apply_torsions_batch(
     # torsions form a tree: rotation t moves the atoms downstream of
     # bond t, so applications are order-dependent — sequential over the
     # (short) torsion axis, batched over the (long) pose axis
-    for t, tor in enumerate(torsions):  # repro: disable=vectorization
+    for t, tor in enumerate(torsions):  # repro: disable=vectorization -- order-dependent tree
         origin = out[:, tor.a]  # (k, 3)
         axis = out[:, tor.b] - origin
         axis = axis / (np.linalg.norm(axis, axis=1, keepdims=True) + 1e-12)

@@ -55,7 +55,7 @@ def build_protein_fold(
     # self-avoiding random walk: residue i is placed relative to residue
     # i-1 with rejection against all earlier positions — a genuine
     # recurrence, not an elementwise traversal
-    for i in range(1, n_residues):  # repro: disable=vectorization
+    for i in range(1, n_residues):  # repro: disable=vectorization -- true recurrence
         placed = False
         sep = min_sep
         for attempt in range(max_attempts):

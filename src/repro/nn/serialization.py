@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -12,14 +13,26 @@ __all__ = ["save_model", "load_model"]
 
 
 def save_model(model: Module, path: str | Path) -> Path:
-    """Write parameters and running statistics to a compressed ``.npz``."""
+    """Atomically write parameters and running statistics to ``.npz``.
+
+    The checkpoint is written to a tmp sibling and ``os.replace``d into
+    place, so a crash mid-save can never leave a torn checkpoint at the
+    final path (the same durability idiom as :mod:`repro.util.shardio`).
+    """
     path = Path(path)
     state = model.state_dict()
     for i, m in enumerate(model.modules()):
         if isinstance(m, BatchNorm):
             state[f"bn{i}_mean"] = m.running_mean
             state[f"bn{i}_var"] = m.running_var
-    np.savez_compressed(path, **state)
+    # the tmp name must keep the .npz suffix or numpy appends its own
+    tmp = path.with_name(path.name + ".tmp.npz")
+    try:
+        np.savez_compressed(tmp, **state)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return path
 
 

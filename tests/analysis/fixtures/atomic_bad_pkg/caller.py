@@ -1,0 +1,8 @@
+"""A helper *reachable from* the durable module is inside the cone too."""
+
+
+def write_report(path, payload):
+    # not itself in durable-modules config, but store.save_everything
+    # (which is) calls it — so its bare write is still flagged
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(str(payload))

@@ -1,0 +1,28 @@
+"""Intentional torn writes in a durable module."""
+
+import json
+import numpy as np
+
+
+def save_json(path, payload):
+    # bare write to the final path: a crash mid-dump tears the file
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+
+
+def save_array(path, arr):
+    # numpy writer straight to the destination, no tmp+replace
+    np.savez_compressed(path, arr=arr)
+
+
+def append_journal(path, line):
+    # journal append without fsync: the record can vanish on power loss
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+
+
+def save_everything(path, report_path, payload):
+    from atomic_bad_pkg.caller import write_report
+
+    save_json(path, payload)
+    write_report(report_path, payload)

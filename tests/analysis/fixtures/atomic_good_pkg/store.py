@@ -1,0 +1,35 @@
+"""Compliant durable writes: tmp + os.replace, fsync'd journal appends."""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+
+def save_json(path, payload):
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+def save_array(path, arr):
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez_compressed(tmp, arr=arr)
+    os.replace(tmp, path)
+
+
+def append_journal(path, line):
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def read_back(path):
+    # read modes never flag
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()

@@ -1,0 +1,25 @@
+"""Intentional race: a thread-shared counter guarded on only one side."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0  # shared, inconsistently guarded
+        self.results = []  # shared, never guarded
+
+    def start(self):
+        t = threading.Thread(target=self._run)
+        t.start()
+        return t
+
+    def _run(self):
+        # thread context: writes with no lock held
+        self.total += 1
+        self.results.append(self.total)
+
+    def snapshot(self):
+        # caller context: reads under the lock — but _run doesn't hold it
+        with self._lock:
+            return self.total, list(self.results)

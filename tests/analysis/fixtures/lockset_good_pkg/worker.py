@@ -1,0 +1,27 @@
+"""Disciplined counterpart: every shared access holds the same lock."""
+
+import queue
+import threading
+
+
+class Counter:
+    def __init__(self, batch_size):
+        self._lock = threading.Lock()
+        self.total = 0  # guarded everywhere
+        self.outbox = queue.Queue()  # thread-safe by construction
+        self.batch_size = batch_size  # written only in __init__
+        self.tls_scratch = []  # thread-local by naming convention
+
+    def start(self):
+        t = threading.Thread(target=self._run)
+        t.start()
+        return t
+
+    def _run(self):
+        with self._lock:
+            self.total += 1
+        self.outbox.put(self.batch_size)
+
+    def snapshot(self):
+        with self._lock:
+            return self.total

@@ -1,0 +1,6 @@
+"""Call-graph fixture package: re-exports, diamond imports, methods."""
+
+from proj_pkg.helpers import tick  # re-export: proj_pkg.tick -> helpers.tick
+from .core import Engine  # relative re-export of a class
+
+__all__ = ["Engine", "tick"]

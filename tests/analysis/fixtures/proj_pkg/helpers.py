@@ -1,0 +1,18 @@
+"""Leaf module of the diamond."""
+
+
+def trace(fn):
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+def tick():
+    return 1
+
+
+@trace
+def decorated_tick():
+    # decorator-wrapped: callers of decorated_tick still reach this body
+    return tick() + 1

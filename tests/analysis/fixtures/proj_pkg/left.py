@@ -1,0 +1,7 @@
+"""Left arm of the diamond: imports through the package re-export."""
+
+import proj_pkg
+
+
+def left_tick():
+    return proj_pkg.tick()

@@ -1,0 +1,7 @@
+"""Right arm of the diamond: imports the definition directly, aliased."""
+
+from proj_pkg.helpers import tick as t
+
+
+def right_tick():
+    return t()

@@ -1,0 +1,13 @@
+"""Top of the diamond: both arms must resolve to the one helpers.tick."""
+
+from proj_pkg.left import left_tick
+from proj_pkg.right import right_tick
+from proj_pkg import Engine
+from proj_pkg.core import Gear
+from proj_pkg.helpers import decorated_tick
+
+
+def both():
+    eng = Engine(Gear())
+    eng.run()
+    return left_tick() + right_tick() + decorated_tick()

@@ -1,0 +1,15 @@
+"""Hot-path module (a taint sink): the leak arrives through two calls."""
+
+import numpy as np
+
+from rng_bad_pkg.util import jitter, wall_seed
+
+
+def score(x):
+    noisy = jitter()  # unseeded RNG value entering the hot path
+    return x + noisy
+
+
+def build_rng():
+    seed = wall_seed()
+    return np.random.default_rng(seed)  # time-derived seed

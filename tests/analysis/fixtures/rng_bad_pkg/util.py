@@ -1,0 +1,14 @@
+"""Intentional RNG leak: unseeded randomness escapes through a helper."""
+
+import random
+import time
+
+
+def jitter():
+    # unseeded global RNG: the tainted value is the *return*
+    return random.random()
+
+
+def wall_seed():
+    # time-derived seed source
+    return int(time.time())

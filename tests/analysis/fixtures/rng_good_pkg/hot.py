@@ -1,0 +1,8 @@
+"""Hot-path module: every random value comes from a seeded stream."""
+
+from rng_good_pkg.util import fixed_seed, jitter, stream
+
+
+def score(x):
+    rng = stream(fixed_seed())
+    return x + jitter(rng)

@@ -1,0 +1,15 @@
+"""Seeded counterpart: explicit generators derived from a fixed seed."""
+
+import numpy as np
+
+
+def jitter(rng):
+    return rng.random()
+
+
+def fixed_seed():
+    return 1234
+
+
+def stream(seed):
+    return np.random.default_rng(seed)

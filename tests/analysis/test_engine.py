@@ -8,6 +8,7 @@ import pytest
 from repro.analysis.config import AnalysisConfig, ConfigError, find_pyproject
 from repro.analysis.engine import (
     PARSE_ERROR_RULE,
+    SUPPRESSION_REASON_RULE,
     AnalysisResult,
     analyze_source,
     discover,
@@ -15,7 +16,7 @@ from repro.analysis.engine import (
     run_analysis,
 )
 from repro.analysis.findings import Finding
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 from repro.analysis.checkers import checkers_for, rule_names
 
 CLOCK = "import time\n\nt = time.time()\n"
@@ -33,27 +34,27 @@ def test_finding_surfaces_without_suppression():
 
 
 def test_line_suppression_counts_not_reports():
-    src = "import time\n\nt = time.time()  # repro: disable=clock-purity\n"
+    src = "import time\n\nt = time.time()  # repro: disable=clock-purity -- test\n"
     result = analyze_source(src, _clock_checkers())
     assert result.ok
     assert result.n_suppressed == 1
 
 
 def test_line_suppression_all_wildcard():
-    src = "import time\n\nt = time.time()  # repro: disable=all\n"
+    src = "import time\n\nt = time.time()  # repro: disable=all -- test\n"
     result = analyze_source(src, _clock_checkers())
     assert result.ok and result.n_suppressed == 1
 
 
 def test_line_suppression_other_rule_does_not_apply():
-    src = "import time\n\nt = time.time()  # repro: disable=vectorization\n"
+    src = "import time\n\nt = time.time()  # repro: disable=vectorization -- test\n"
     result = analyze_source(src, _clock_checkers())
     assert not result.ok
 
 
 def test_file_suppression_covers_every_line():
     src = (
-        "# repro: disable-file=clock-purity\n"
+        "# repro: disable-file=clock-purity -- test fixture\n"
         "import time\n"
         "a = time.time()\n"
         "b = time.sleep(1)\n"
@@ -61,6 +62,35 @@ def test_file_suppression_covers_every_line():
     result = analyze_source(src, _clock_checkers())
     assert result.ok
     assert result.n_suppressed == 2
+
+
+def test_reasonless_suppression_is_a_finding():
+    src = "import time\n\nt = time.time()  # repro: disable=clock-purity\n"
+    result = analyze_source(src, _clock_checkers())
+    assert result.n_suppressed == 1  # the clock finding is still suppressed
+    assert [f.rule for f in result.findings] == [SUPPRESSION_REASON_RULE]
+    assert "has no reason" in result.findings[0].message
+
+
+def test_reasonless_finding_cannot_suppress_itself():
+    # disable=all on the same line must not silence the reason requirement
+    src = "import time\n\nt = time.time()  # repro: disable=all\n"
+    result = analyze_source(src, _clock_checkers())
+    assert [f.rule for f in result.findings] == [SUPPRESSION_REASON_RULE]
+
+
+def test_reasonless_file_suppression_is_a_finding():
+    src = "# repro: disable-file=clock-purity\nimport time\nt = time.time()\n"
+    result = analyze_source(src, _clock_checkers())
+    assert [f.rule for f in result.findings] == [SUPPRESSION_REASON_RULE]
+    assert result.findings[0].line == 1
+
+
+def test_reason_rule_obeys_config_disable():
+    src = "import time\n\nt = time.time()  # repro: disable=clock-purity\n"
+    config = AnalysisConfig(disable=[SUPPRESSION_REASON_RULE])
+    result = analyze_source(src, _clock_checkers(), config)
+    assert result.ok
 
 
 def test_global_disable_counts_as_suppressed():
@@ -157,6 +187,36 @@ def test_render_json_is_stable_and_parseable():
         "n_suppressed": 2,
     }
     assert payload["findings"][0]["rule"] == "clock-purity"
+
+
+def test_render_sarif_shape_and_levels():
+    doc = json.loads(render_sarif(_result_with_findings()))
+    assert doc["version"] == "2.1.0"
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == [
+        "clock-purity",
+        "vectorization",
+    ]
+    assert [r["level"] for r in run["results"]] == ["error", "warning"]
+    loc = run["results"][0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"] == {"uri": "a.py", "uriBaseId": "SRCROOT"}
+    assert loc["region"] == {"startLine": 3, "startColumn": 5}  # col is 1-based
+
+
+def test_render_sarif_dedupes_rules_and_clamps_line():
+    result = AnalysisResult(n_files=1, n_suppressed=0)
+    result.findings = [
+        Finding("clock-purity", "one", "a.py", 0, 0),
+        Finding("clock-purity", "two", "a.py", 5, 0),
+    ]
+    doc = json.loads(render_sarif(result))
+    run = doc["runs"][0]
+    assert len(run["tool"]["driver"]["rules"]) == 1
+    assert len(run["results"]) == 2
+    region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 1  # file-level findings clamp to line 1
 
 
 def test_rule_names_cover_all_domain_rules():
