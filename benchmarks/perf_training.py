@@ -1,0 +1,236 @@
+"""Eager vs. graph-compiled surrogate *training* benchmark.
+
+Trains two identically-seeded SmilesNets on identical seeded batches —
+one through the eager interpreter loop (forward, ``backward()``,
+``Adam.step()``), one through the compiled
+:class:`~repro.nn.graph.train.TrainStep` (traced fwd+bwd+optimizer
+replayed as ``out=`` kernels over one arena) — and writes
+``BENCH_training.json`` (the shared ``_bench`` envelope) with
+steady-state steps/sec per engine, the speedup, and the compiled step's
+plan statistics (op/kernel counts, in-place rewrites, arena bytes, pass
+rewrite counts).
+
+The two engines must agree **bitwise**: every per-step loss, every final
+weight, every Adam moment, every BatchNorm running statistic.  The eager
+loop is the oracle; the benchmark verifies the whole trajectory on every
+round and fails loudly if equivalence ever drifts.
+
+Timing rounds interleave the two engines (both keep training on the same
+seeded batch stream, so their weights stay in lock-step), and the
+reported time is each engine's best round — a noisy co-tenant slows both
+paths rather than biasing the ratio.  The one-time trace/compile step is
+excluded from timing (and reported separately).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_training.py            # full (batch 64)
+    PYTHONPATH=src python benchmarks/perf_training.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench import bench_report, write_report  # noqa: E402
+
+from repro.nn.autograd import Tensor
+from repro.nn.graph.train import TrainStep
+from repro.nn.layers import BatchNorm
+from repro.nn.losses import mse_loss
+from repro.nn.optim import Adam
+from repro.surrogate.model import build_smilesnet
+
+N_CHANNELS = 7
+IMAGE_SIZE = 24
+LEARNING_RATE = 3e-3
+
+
+def _make_batches(batch: int, n_batches: int, seed: int) -> list[tuple]:
+    """Seeded (x, y) minibatches shared verbatim by both engines."""
+    rng = np.random.default_rng(seed + 2)
+    out = []
+    for _ in range(n_batches):
+        x = rng.normal(size=(batch, N_CHANNELS, IMAGE_SIZE, IMAGE_SIZE))
+        y = rng.random((batch, 1))
+        out.append((x, y))
+    return out
+
+
+class _EagerTrainer:
+    """The oracle: interpreter loop with in-place Adam."""
+
+    def __init__(self, seed: int, width: int) -> None:
+        self.model = build_smilesnet(seed=seed, width=width)
+        self.opt = Adam(self.model.parameters(), lr=LEARNING_RATE)
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> float:
+        loss = mse_loss(self.model(Tensor(x)), Tensor(y))
+        self.model.zero_grad()
+        loss.backward()
+        self.opt.step()
+        return loss.item()
+
+
+class _GraphTrainer:
+    """The compiled path: one TrainStep replaying fwd+bwd+Adam."""
+
+    def __init__(self, seed: int, width: int) -> None:
+        self.model = build_smilesnet(seed=seed, width=width)
+        self.opt = Adam(self.model.parameters(), lr=LEARNING_RATE)
+        self.step_fn = TrainStep(
+            lambda xb, yb: mse_loss(self.model(xb), yb), self.opt
+        )
+
+    def step(self, x: np.ndarray, y: np.ndarray) -> float:
+        return self.step_fn(x, y)
+
+
+def _state(trainer) -> list[np.ndarray]:
+    """Everything that must match bitwise: weights, moments, BN stats."""
+    arrs = [p.data for p in trainer.model.parameters()]
+    arrs += [m for m in trainer.opt._m] + [v for v in trainer.opt._v]
+    for mod in trainer.model.modules():
+        if isinstance(mod, BatchNorm):
+            arrs += [mod.running_mean, mod.running_var]
+    return arrs
+
+
+def _identical(a: list[np.ndarray], b: list[np.ndarray]) -> bool:
+    return len(a) == len(b) and all(
+        np.array_equal(x, y) for x, y in zip(a, b)
+    )
+
+
+def _timed_steps(trainer, batches) -> tuple[list[float], float]:
+    """Run one pass over the batches → (per-step losses, seconds)."""
+    t0 = time.perf_counter()
+    losses = [trainer.step(x, y) for x, y in batches]
+    return losses, time.perf_counter() - t0
+
+
+def run_benchmark(
+    batch: int, n_batches: int, rounds: int, seed: int, width: int
+) -> dict:
+    """Interleaved eager/graph training rounds over identical batches."""
+    eager = _EagerTrainer(seed, width)
+    graph = _GraphTrainer(seed, width)
+    batches = _make_batches(batch, n_batches, seed)
+
+    # warm-up pass: the graph engine's first call is the trace+compile
+    t0 = time.perf_counter()
+    graph.step(*batches[0])
+    trace_seconds = time.perf_counter() - t0
+    eager.step(*batches[0])
+
+    eager_times, graph_times = [], []
+    identical = _identical(_state(eager), _state(graph))
+    for _ in range(rounds):
+        eager_losses, eager_dt = _timed_steps(eager, batches)
+        graph_losses, graph_dt = _timed_steps(graph, batches)
+        eager_times.append(eager_dt)
+        graph_times.append(graph_dt)
+        identical = (
+            identical
+            and eager_losses == graph_losses
+            and _identical(_state(eager), _state(graph))
+        )
+
+    eager_best = min(eager_times)
+    graph_best = min(graph_times)
+    info = next(iter(graph.step_fn.plan_info().values()))
+    metrics = {
+        "eager": {
+            "seconds": round(eager_best, 4),
+            "steps_per_sec": round(n_batches / eager_best, 2),
+        },
+        "graph": {
+            "seconds": round(graph_best, 4),
+            "steps_per_sec": round(n_batches / graph_best, 2),
+            "trace_seconds": round(trace_seconds, 4),
+            "n_ops": info["n_ops"],
+            "n_kernels": info["n_kernels"],
+            "n_inplace": info["n_inplace"],
+            "arena_bytes": info["arena_bytes"],
+            "arena_elems": info["arena_elems"],
+            "naive_elems": info["naive_elems"],
+            "pass_stats": info["pass_stats"],
+        },
+        "speedup": round(eager_best / graph_best, 2),
+        "identical": identical,
+    }
+    return bench_report(
+        "training",
+        seed=seed,
+        config={
+            "batch": batch,
+            "n_batches": n_batches,
+            "rounds": rounds,
+            "width": width,
+            "optimizer": "adam",
+            "learning_rate": LEARNING_RATE,
+        },
+        metrics=metrics,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--batches", type=int, default=8, help="steps per round")
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=13)
+    parser.add_argument("--width", type=int, default=12, help="SmilesNet width")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_training.json",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small run, no JSON; exit non-zero if the compiled step is "
+        "slower than eager or the trajectories drift",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        report = run_benchmark(
+            batch=16, n_batches=2, rounds=1, seed=args.seed, width=6
+        )
+    else:
+        report = run_benchmark(
+            batch=args.batch,
+            n_batches=args.batches,
+            rounds=args.rounds,
+            seed=args.seed,
+            width=args.width,
+        )
+    print(json.dumps(report, indent=2))
+
+    metrics = report["metrics"]
+    if not metrics["identical"]:
+        print("FAIL: eager and compiled training trajectories drifted")
+        return 1
+    if args.smoke:
+        if metrics["speedup"] < 1.0:
+            print("FAIL: compiled TrainStep slower than eager in smoke run")
+            return 1
+        print(f"smoke OK: compiled {metrics['speedup']}x, trajectories identical")
+        return 0
+    if metrics["speedup"] < 2.0:
+        print(f"FAIL: speedup {metrics['speedup']}x below the 2x target")
+        return 1
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

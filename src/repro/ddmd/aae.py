@@ -12,6 +12,13 @@ The architecture of §5.1.4/§7.1.3, scaled to laptop width:
   penalty** (scaled by 10, the paper's value), pulling the aggregate
   posterior toward the prior;
 * optimized with **RMSprop**, the paper's optimizer.
+
+Training runs on one of two engines: ``engine="graph"`` (default)
+compiles the critic step (including double backward through the
+gradient penalty) and the autoencoder step each into a replayed
+:class:`~repro.nn.graph.train.TrainStep`; ``engine="eager"`` keeps the
+interpreter loop as the oracle.  Both produce bitwise-identical weights,
+losses and optimizer state at the same seed.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ import numpy as np
 
 from repro.nn import autograd as ag
 from repro.nn.autograd import Tensor, no_grad
+from repro.nn.graph.train import TrainStep
 from repro.nn.layers import (
     Dense,
     Module,
@@ -30,8 +38,9 @@ from repro.nn.layers import (
     Sequential,
     Tanh,
 )
-from repro.nn.losses import chamfer_distance, gradient_penalty
-from repro.nn.optim import RMSprop
+from repro.nn.losses import chamfer_distance, gradient_penalty_at
+from repro.nn.optim import RMSprop, grad_norm
+from repro.telemetry import NULL_TRACER
 from repro.util.config import FrozenConfig, validate_positive, validate_range
 from repro.util.rng import RngFactory
 
@@ -53,8 +62,13 @@ class AAEConfig(FrozenConfig):
     batch_size: int = 32  # paper: 64
     critic_steps: int = 1
     validation_fraction: float = 0.2  # paper: 80/20 split
+    engine: str = "graph"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("graph", "eager"):
+            raise ValueError(
+                f"engine must be 'graph' or 'eager', got {self.engine!r}"
+            )
         validate_positive("latent_dim", self.latent_dim)
         validate_positive("hidden", self.hidden)
         validate_positive("prior_std", self.prior_std)
@@ -158,7 +172,8 @@ class AAE:
         self.encoder.eval()
         out = []
         with no_grad():
-            for start in range(0, len(clouds), batch_size):
+            n = len(clouds)
+            for start in range(0, n, batch_size):  # repro: disable=vectorization -- chunks
                 z = self.encoder(Tensor(clouds[start : start + batch_size]))
                 out.append(z.data)
         self.encoder.train()
@@ -171,9 +186,22 @@ class AAE:
             return self.decoder(z).data
 
     # ------------------------------------------------------------- training
-    def fit(self, clouds: np.ndarray, epochs: int | None = None) -> AAEHistory:
-        """Train on (N, n_points, 3) normalized clouds."""
+    def fit(
+        self,
+        clouds: np.ndarray,
+        epochs: int | None = None,
+        tracer=None,
+    ) -> AAEHistory:
+        """Train on (N, n_points, 3) normalized clouds.
+
+        The interpolation coefficients of the gradient penalty are drawn
+        *before* the critic loss is evaluated (same rng stream, same draw
+        order as the classic formulation), so the eager and compiled
+        engines see the identical sequence of minibatches, priors and
+        interpolates.
+        """
         cfg = self.config
+        tracer = tracer if tracer is not None else NULL_TRACER
         if clouds.ndim != 3 or clouds.shape[1] != self.n_points:
             raise ValueError(
                 f"expected (N, {self.n_points}, 3) clouds, got {clouds.shape}"
@@ -191,61 +219,112 @@ class AAE:
         opt_ae = RMSprop(ae_params, lr=cfg.learning_rate)
         opt_critic = RMSprop(self.critic.parameters(), lr=cfg.learning_rate)
 
-        for _ in range(epochs):
+        def critic_fn(z_real: Tensor, z_fake: Tensor, interp: Tensor) -> Tensor:
+            d_real = ag.tensor_mean(self.critic(z_real))
+            d_fake = ag.tensor_mean(self.critic(z_fake))
+            gp = gradient_penalty_at(self.critic, interp)
+            return d_fake - d_real + cfg.gradient_penalty_scale * gp
+
+        def ae_fn(x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+            z = self.encoder(x)
+            recon = self.decoder(z)
+            rec = chamfer_distance(recon, x)
+            adv = -ag.tensor_mean(self.critic(z))
+            loss = cfg.reconstruction_scale * rec + cfg.adversarial_scale * adv
+            return loss, rec, adv
+
+        critic_step = ae_step = None
+        if cfg.engine == "graph":
+            critic_step = TrainStep(
+                critic_fn, opt_critic, input_requires_grad=(False, False, True)
+            )
+            ae_step = TrainStep(ae_fn, opt_ae)
+
+        for epoch in range(epochs):
             order = self._rng.permutation(train_idx)
             rec_losses, adv_losses = [], []
-            for start in range(0, len(order), cfg.batch_size):
-                idx = order[start : start + cfg.batch_size]
-                if len(idx) < 2:
-                    continue
-                x = Tensor(clouds[idx])
+            with tracer.span("train.epoch", "train", epoch=epoch) as epoch_span:
+                starts = range(0, len(order), cfg.batch_size)
+                for start in starts:  # repro: disable=vectorization -- sequential SGD steps
+                    idx = order[start : start + cfg.batch_size]
+                    if len(idx) < 2:
+                        continue
+                    x_arr = clouds[idx]
+                    critic_loss_val = 0.0
+                    with tracer.span("train.step", "train"):
+                        # --- critic update(s): prior real, encoded fake
+                        for _ in range(cfg.critic_steps):
+                            with no_grad():
+                                z_fake = self.encoder(Tensor(x_arr))
+                            z_real_arr = self._rng.normal(
+                                scale=cfg.prior_std,
+                                size=(len(idx), cfg.latent_dim),
+                            )
+                            alpha = self._rng.random((len(idx), 1))
+                            interp_arr = (
+                                alpha * z_real_arr + (1 - alpha) * z_fake.data
+                            )
+                            if critic_step is not None:
+                                critic_loss_val = critic_step(
+                                    z_real_arr, z_fake.data, interp_arr
+                                )
+                            else:
+                                critic_loss = critic_fn(
+                                    Tensor(z_real_arr),
+                                    Tensor(z_fake.data),
+                                    Tensor(interp_arr, requires_grad=True),
+                                )
+                                self.critic.zero_grad()
+                                critic_loss.backward()
+                                opt_critic.step()
+                                critic_loss_val = critic_loss.item()
 
-                # --- critic update(s): prior real, encoded fake (WGAN-GP)
-                for _ in range(cfg.critic_steps):
-                    with no_grad():
-                        z_fake = self.encoder(x)
-                    z_real = Tensor(
-                        self._rng.normal(
-                            scale=cfg.prior_std,
-                            size=(len(idx), cfg.latent_dim),
+                        # --- autoencoder update: reconstruct + fool critic
+                        if ae_step is not None:
+                            loss_val, rec_val, adv_val = ae_step(x_arr)
+                        else:
+                            loss, rec, adv = ae_fn(Tensor(x_arr))
+                            self.encoder.zero_grad()
+                            self.decoder.zero_grad()
+                            loss.backward()
+                            opt_ae.step()
+                            loss_val = loss.item()
+                            rec_val, adv_val = rec.item(), adv.item()
+                    if tracer.enabled:
+                        tracer.metrics.counter("train.steps").inc()
+                        tracer.metrics.gauge("train.loss").set(loss_val)
+                        tracer.metrics.gauge("train.critic_loss").set(critic_loss_val)
+                        gnorm = (
+                            ae_step.grad_norm()
+                            if ae_step is not None
+                            else grad_norm(opt_ae.params)
                         )
-                    )
-                    d_real = ag.tensor_mean(self.critic(z_real))
-                    d_fake = ag.tensor_mean(self.critic(Tensor(z_fake.data)))
-                    gp = gradient_penalty(self.critic, z_real, Tensor(z_fake.data), self._rng)
-                    critic_loss = d_fake - d_real + cfg.gradient_penalty_scale * gp
-                    self.critic.zero_grad()
-                    critic_loss.backward()
-                    opt_critic.step()
+                        tracer.metrics.gauge("train.grad_norm").set(gnorm)
+                    rec_losses.append(rec_val)
+                    adv_losses.append(adv_val)
 
-                # --- autoencoder update: reconstruction + fool the critic
-                z = self.encoder(x)
-                recon = self.decoder(z)
-                rec = chamfer_distance(recon, x)
-                adv = -ag.tensor_mean(self.critic(z))
-                loss = cfg.reconstruction_scale * rec + cfg.adversarial_scale * adv
-                self.encoder.zero_grad()
-                self.decoder.zero_grad()
-                loss.backward()
-                opt_ae.step()
-                rec_losses.append(rec.item())
-                adv_losses.append(adv.item())
+                self.history.train_reconstruction.append(float(np.mean(rec_losses)))
+                self.history.train_adversarial.append(float(np.mean(adv_losses)))
+                epoch_span.set_attr(
+                    "train_reconstruction", self.history.train_reconstruction[-1]
+                )
 
-            self.history.train_reconstruction.append(float(np.mean(rec_losses)))
-            self.history.train_adversarial.append(float(np.mean(adv_losses)))
-
-            with no_grad():
-                xv = Tensor(clouds[val_idx])
-                vrec = chamfer_distance(self.decoder(self.encoder(xv)), xv)
-            self.history.val_reconstruction.append(vrec.item())
+                with no_grad():
+                    xv = Tensor(clouds[val_idx])
+                    vrec = chamfer_distance(self.decoder(self.encoder(xv)), xv)
+                self.history.val_reconstruction.append(vrec.item())
+                epoch_span.set_attr("val_reconstruction", self.history.val_reconstruction[-1])
         return self.history
 
 
 def train_aae(
-    clouds: np.ndarray, config: AAEConfig | None = None, seed: int = 0
+    clouds: np.ndarray,
+    config: AAEConfig | None = None,
+    seed: int = 0,
+    tracer=None,
 ) -> AAE:
     """Convenience constructor + fit."""
     config = config or AAEConfig()
     model = AAE(config, n_points=clouds.shape[1], seed=seed)
-    model.fit(clouds)
+    model.fit(clouds, tracer=tracer)
     return model

@@ -125,7 +125,8 @@ class ContactMapVAE:
         for _ in range(cfg.epochs):
             order = self._rng.permutation(train_idx)
             epoch = []
-            for start in range(0, len(order), cfg.batch_size):
+            starts = range(0, len(order), cfg.batch_size)
+            for start in starts:  # repro: disable=vectorization -- sequential SGD steps
                 idx = order[start : start + cfg.batch_size]
                 x = Tensor(maps[idx])
                 hidden = self.encoder_trunk(x)

@@ -118,7 +118,8 @@ class AdaptiveSampler:
 
         for rnd in range(cfg.rounds):
             round_rmsds = []
-            for sim in range(cfg.simulations_per_round):
+            n_sims = cfg.simulations_per_round
+            for sim in range(n_sims):  # repro: disable=vectorization -- independent MD runs
                 traj = self._run_simulation(
                     starting_points[sim % len(starting_points)],
                     f"round-{rnd}/sim-{sim}",

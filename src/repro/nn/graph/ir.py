@@ -66,7 +66,9 @@ def resolve_precision(precision: str) -> tuple[np.dtype, np.dtype]:
         return np.float16, np.float32
     if precision == "fp32":
         return np.float32, np.float32
-    raise ValueError(f"precision must be 'fp16' or 'fp32', got {precision!r}")
+    if precision == "fp64":
+        return np.float64, np.float64
+    raise ValueError(f"precision must be 'fp16', 'fp32' or 'fp64', got {precision!r}")
 
 
 def quantize(arr: np.ndarray, store, compute) -> np.ndarray:

@@ -34,18 +34,25 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
+from repro.nn.graph.backward import INPLACE_KINDS, LAST_FOREVER, TrainGraph
 from repro.nn.graph.ir import EpStep, Graph, Node
 
 __all__ = [
     "PassStats",
+    "coalesce_inplace",
     "default_passes",
     "eliminate_dead",
+    "eliminate_dead_train",
     "fold_batchnorm",
     "fold_constants",
     "fuse_activations",
     "fuse_bias",
     "fuse_residual",
     "optimize",
+    "optimize_train",
+    "simplify_identities",
 ]
 
 #: per-pass rewrite counts, in pipeline order
@@ -285,3 +292,141 @@ def optimize(
     for name, fn in passes if passes is not None else default_passes():
         stats[name] = fn(g)
     return g, stats
+
+
+# ------------------------------------------------------------------ training
+# Passes over the TrainGraph IR (the traced fwd+bwd+side-effect step of
+# repro.nn.graph.backward).  Same contract as the inference passes: pure
+# scheduling rewrites, no reassociation — a rewrite is admitted only if
+# the replacement is bitwise-identical by IEEE-754 identity (x*1 == x,
+# pow(x, 1) == x) or executes the very same ufunc sequence in place.
+
+
+def eliminate_dead_train(tg: "TrainGraph") -> int:
+    """Drop ops whose results feed neither outputs, gradients nor side
+    effects — e.g. the critic weight-gradient branch inside the
+    autoencoder step, whose optimizer does not own the critic."""
+    live: set[int] = set(tg.output_vids) | set(tg.grad_vids.values())
+    keep: list[bool] = [False] * len(tg.ops)
+    for i in range(len(tg.ops) - 1, -1, -1):  # repro: disable=vectorization -- liveness
+        op = tg.ops[i]
+        if op.out is None or op.out in live:
+            keep[i] = True
+            live.update(op.inputs)
+    removed = keep.count(False)
+    tg.ops = [op for i, op in enumerate(tg.ops) if keep[i]]
+    return removed
+
+
+def _is_all_ones(tg: "TrainGraph", vid: int, cache: dict[int, bool]) -> bool:
+    got = cache.get(vid)
+    if got is None:
+        v = tg.values[vid]
+        got = v.kind == "const" and bool(np.all(v.data == 1.0))
+        cache[vid] = got
+    return got
+
+
+def simplify_identities(tg: "TrainGraph") -> int:
+    """Rewrite multiplications that are IEEE-754 identities.
+
+    ``x * 1.0 == x`` holds bitwise for every operand (sign of zero
+    included), so the broadcast-by-ones multiplies that ``tensor_sum``'s
+    VJP emits degrade to broadcast *copies* — and to pure aliases when no
+    broadcast happens.  Likewise ``pow(x, 1.0) == x`` exactly, so the
+    ``power(a, exponent-1)`` chain of a squared term's VJP aliases its
+    input.  Values are untouched; only the schedule changes.
+    """
+    ones_cache: dict[int, bool] = {}
+    changed = 0
+    for op in tg.ops:
+        if op.kind == "mul":
+            a, b = op.inputs
+            if _is_all_ones(tg, b, ones_cache):
+                other = a
+            elif _is_all_ones(tg, a, ones_cache):
+                other = b
+            else:
+                continue
+        elif op.kind == "power" and op.attrs.get("exponent") == 1.0:
+            other = op.inputs[0]
+        else:
+            continue
+        out_v = tg.values[op.out]
+        if tg.values[other].shape == out_v.shape:
+            op.kind = "alias"
+            op.inputs = (other,)
+            op.attrs = {}
+            out_v.alias_of = other
+            out_v.view = ("same",)
+            out_v.contiguous = tg.values[other].contiguous
+        else:
+            op.kind = "copy"
+            op.inputs = (other,)
+            op.attrs = {}
+        changed += 1
+    return changed
+
+
+def coalesce_inplace(tg: "TrainGraph") -> int:
+    """Fuse elementwise kernels onto a dying input's buffer.
+
+    The training-graph analogue of the inference epilogues: when an
+    elementwise op is the *last* reader of one of its inputs and shapes
+    match, its kernel writes straight into that input's storage (same
+    ufunc, same operands — only the destination changes), so activation
+    gradients fold onto the upstream gradient buffer and the ``add`` that
+    accumulates dL/dW lands in place.  Safety conditions: the reused
+    storage root must be arena-owned (never a parameter or captured
+    const), must not be read by any later op, and must not back another
+    operand of the same op.
+    """
+    vid_last: dict[int, int] = {}
+    for i, op in enumerate(tg.ops):
+        for vid in op.inputs:
+            vid_last[vid] = i
+    for vid in list(tg.output_vids) + list(tg.grad_vids.values()):
+        vid_last[vid] = LAST_FOREVER
+
+    root_last: dict[int, int] = {}
+    for vid, last in vid_last.items():
+        root = tg.storage_root(vid)
+        root_last[root] = max(root_last.get(root, -1), last)
+
+    fused = 0
+    for i, op in enumerate(tg.ops):
+        if op.kind not in INPLACE_KINDS or op.out is None or op.is_alias:
+            continue
+        out_v = tg.values[op.out]
+        for pos, vin in enumerate(op.inputs):
+            root = tg.storage_root(vin)
+            if tg.values[root].kind not in ("temp", "input"):
+                continue
+            if root_last.get(root, -1) != i:
+                continue
+            if tg.values[vin].shape != out_v.shape:
+                continue
+            if any(
+                other != vin and tg.storage_root(other) == root
+                for other in op.inputs
+            ):
+                continue
+            op.inplace_on = pos
+            out_v.alias_of = vin
+            out_v.view = ("same",)
+            out_v.contiguous = tg.values[vin].contiguous
+            root_last[root] = max(
+                root_last.get(root, -1), root_last.get(op.out, vid_last.get(op.out, i))
+            )
+            fused += 1
+            break
+    return fused
+
+
+def optimize_train(tg: "TrainGraph") -> PassStats:
+    """Run the training pass pipeline over ``tg`` in place."""
+    return {
+        "eliminate_dead_train": eliminate_dead_train(tg),
+        "simplify_identities": simplify_identities(tg),
+        "coalesce_inplace": coalesce_inplace(tg),
+    }

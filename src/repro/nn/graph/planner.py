@@ -27,12 +27,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
+from typing import Sequence
 
 import numpy as np
 
+from repro.nn.graph.backward import TrainGraph
 from repro.nn.graph.ir import Graph
 
-__all__ = ["MemoryPlan", "plan_memory", "validate_plan"]
+__all__ = [
+    "MemoryPlan",
+    "StateArena",
+    "plan_memory",
+    "plan_state_arena",
+    "plan_train_memory",
+    "validate_plan",
+    "validate_train_plan",
+]
 
 #: offsets are kept to multiples of 16 elements (64B at fp32) so every
 #: buffer starts cache-line/SIMD aligned regardless of packing order
@@ -112,7 +122,7 @@ def plan_memory(
     defined, last = _storage_intervals(g)
 
     # (def_step, kind_rank, id...) → deterministic packing order
-    entries: list[tuple[tuple, tuple, int]] = []
+    entries: list[tuple[tuple, tuple, int, tuple[int, int]]] = []
     for root in sorted(defined):
         rowlen = g.values[root].ps_elems + (1 if root in slot_roots else 0)
         entries.append(
@@ -120,6 +130,7 @@ def plan_memory(
                 (defined[root], 0, root),
                 ("value", root),
                 _align(batch * rowlen),
+                (defined[root], last.get(root, defined[root])),
             )
         )
     for node_idx in sorted(scratch):
@@ -129,13 +140,28 @@ def plan_memory(
                     (node_idx, 1, node_idx, i),
                     ("scratch", node_idx, i),
                     _align(int(elems)),
+                    (node_idx, node_idx),
                 )
             )
-    entries.sort(key=lambda e: e[0])
 
     plan = MemoryPlan(
         batch=batch, total_elems=0, dtype=np.dtype(g.compute), slot_roots=slot_roots
     )
+    _pack_entries(plan, entries)
+    return plan
+
+
+def _pack_entries(
+    plan: MemoryPlan,
+    entries: list[tuple[tuple, tuple, int, tuple[int, int]]],
+) -> None:
+    """Greedy best-fit packing of ``(sort_key, key, size, interval)``
+    entries into ``plan`` (shared by the inference and training planners).
+
+    Entries are packed in ``sort_key`` order; a buffer's hole is released
+    once its interval's last step lies before the entry being placed.
+    """
+    entries = sorted(entries, key=lambda e: e[0])
     free: list[tuple[int, int]] = []  # (offset, size), sorted by offset
     active: list[tuple[int, tuple, int, int]] = []  # (last, key, offset, size)
 
@@ -157,7 +183,7 @@ def plan_memory(
                 merged.append((off, size))
         free = merged
 
-    for (def_step, _, *_ids), key, size in entries:
+    for (def_step, *_rest), key, size, interval in entries:
         release(def_step)
         best = None
         for j, (off, hole) in enumerate(free):
@@ -171,19 +197,12 @@ def plan_memory(
         else:
             off = plan.total_elems
             plan.total_elems += size
-        if key[0] == "value":
-            interval = (defined[key[1]], last.get(key[1], defined[key[1]]))
-        else:
-            interval = (key[1], key[1])
         plan.slots[key] = (off, size)
         plan.intervals[key] = interval
         active.append((interval[1], key, off, size))
 
-    return plan
 
-
-def validate_plan(g: Graph, plan: MemoryPlan) -> bool:
-    """Assert no two live-range-overlapping slots share arena elements."""
+def _assert_no_overlap(plan: MemoryPlan) -> None:
     items = list(plan.slots.items())
     for key, (off, size) in items:
         if off + size > plan.total_elems:
@@ -197,4 +216,99 @@ def validate_plan(g: Graph, plan: MemoryPlan) -> bool:
             raise AssertionError(
                 f"slots {key_a} and {key_b} overlap in time and memory"
             )
+
+
+def validate_plan(g: Graph, plan: MemoryPlan) -> bool:
+    """Assert no two live-range-overlapping slots share arena elements."""
+    _assert_no_overlap(plan)
     return True
+
+
+# --------------------------------------------------------------- training
+def plan_train_memory(
+    tg: TrainGraph, scratch: dict[int, tuple[int, ...]] | None = None
+) -> MemoryPlan:
+    """Pack a training step's activations and gradients into one arena.
+
+    Unlike the inference planner, training-graph shapes are absolute (the
+    batch dimension is baked in at trace time), so slot sizes come
+    straight from the root value's element count.  Only roots of kind
+    ``temp``/``input`` get arena storage — params/externs/consts live in
+    their own arrays.  Outputs and parameter gradients carry a
+    last-read of ``LAST_FOREVER`` (see
+    :meth:`~repro.nn.graph.backward.TrainGraph.root_intervals`) so the
+    optimizer and the caller read stable buffers every step.
+
+    ``scratch`` maps op index → absolute element counts of per-op
+    scratch buffers in the arena dtype (live only at that op's step).
+    """
+    scratch = scratch or {}
+    defined, last = tg.root_intervals()
+
+    entries: list[tuple[tuple, tuple, int, tuple[int, int]]] = []
+    for root in sorted(defined):
+        entries.append(
+            (
+                (defined[root], 0, root),
+                ("value", root),
+                _align(tg.values[root].size),
+                (defined[root], last.get(root, defined[root])),
+            )
+        )
+    for op_idx in sorted(scratch):
+        for i, elems in enumerate(scratch[op_idx]):
+            entries.append(
+                (
+                    (op_idx, 1, op_idx, i),
+                    ("scratch", op_idx, i),
+                    _align(int(elems)),
+                    (op_idx, op_idx),
+                )
+            )
+
+    plan = MemoryPlan(batch=0, total_elems=0, dtype=np.dtype(tg.dtype))
+    _pack_entries(plan, entries)
+    return plan
+
+
+def validate_train_plan(plan: MemoryPlan) -> bool:
+    """Assert a training arena plan has no time×memory slot overlap."""
+    _assert_no_overlap(plan)
+    return True
+
+
+@dataclass
+class StateArena:
+    """Persistent flat arena for optimizer state (moment buffers).
+
+    Moments must outlive any single batch-size-specific activation plan,
+    so they get their own arena owned by the optimizer.  ``views`` holds
+    one zero-initialised view per requested shape, in request order.
+    """
+
+    buf: np.ndarray
+    views: list[np.ndarray]
+    slots: list[tuple[int, int]]  # (offset, elems) per view
+
+    @property
+    def total_bytes(self) -> int:
+        """Arena footprint in bytes."""
+        return self.buf.nbytes
+
+
+def plan_state_arena(
+    shapes: Sequence[tuple[int, ...]], dtype: np.dtype
+) -> StateArena:
+    """Lay ``shapes`` out back-to-back (aligned) in one zeroed buffer."""
+    slots: list[tuple[int, int]] = []
+    offset = 0
+    for shape in shapes:
+        elems = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        slots.append((offset, elems))
+        offset += _align(elems)
+    buf = np.zeros(offset, dtype=dtype)
+    views = [
+        buf[off : off + elems].reshape(shape)
+        for (off, elems), shape in zip(slots, shapes)
+    ]
+    return StateArena(buf=buf, views=views, slots=slots)

@@ -12,7 +12,14 @@ import numpy as np
 from repro.nn import autograd as ag
 from repro.nn.autograd import Tensor
 
-__all__ = ["mse_loss", "mae_loss", "bce_loss", "chamfer_distance", "gradient_penalty"]
+__all__ = [
+    "mse_loss",
+    "mae_loss",
+    "bce_loss",
+    "chamfer_distance",
+    "gradient_penalty",
+    "gradient_penalty_at",
+]
 
 
 def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
@@ -60,15 +67,26 @@ def chamfer_distance(a: Tensor, b: Tensor) -> Tensor:
 def gradient_penalty(critic, real: Tensor, fake: Tensor, rng: np.random.Generator) -> Tensor:
     """WGAN-GP penalty: ``E[(‖∇_x̂ D(x̂)‖₂ − 1)²]`` at interpolates x̂.
 
-    Uses double backpropagation: the inner gradient is computed with
-    ``create_graph=True`` so the penalty differentiates w.r.t. the critic
-    parameters.
+    Draws the interpolation coefficients from ``rng`` and delegates to
+    :func:`gradient_penalty_at`.
     """
     shape = (real.shape[0],) + (1,) * (real.ndim - 1)
     alpha = Tensor(rng.random(shape))
     interp = Tensor(
         alpha.data * real.data + (1 - alpha.data) * fake.data, requires_grad=True
     )
+    return gradient_penalty_at(critic, interp)
+
+
+def gradient_penalty_at(critic, interp: Tensor) -> Tensor:
+    """WGAN-GP penalty evaluated at precomputed interpolates.
+
+    Uses double backpropagation: the inner gradient is computed with
+    ``create_graph=True`` so the penalty differentiates w.r.t. the critic
+    parameters.  Taking ``interp`` as an argument (rather than drawing it
+    here) lets trainers precompute the interpolates outside the loss —
+    the compiled training path feeds them in as a graph input.
+    """
     score = ag.tensor_sum(critic(interp))
     (g,) = ag.grad(score, [interp], create_graph=True)
     flat = ag.reshape(g, (g.shape[0], -1))

@@ -4,6 +4,12 @@ Trains SmilesNet on (SMILES, docking score) pairs produced offline by S1
 — the paper pre-trains on 500k OZD samples per receptor; we scale the
 sample count down and keep the procedure: normalize targets to [0, 1],
 mini-batch Adam, fixed train/validation split, per-epoch loss tracking.
+
+Two interchangeable engines drive the step loop: ``engine="graph"``
+(default) compiles forward+backward+Adam into one replayed
+:class:`~repro.nn.graph.train.TrainStep`; ``engine="eager"`` keeps the
+original interpreter loop as the oracle.  Both produce **bitwise
+identical** weights, losses and optimizer state at the same seed.
 """
 
 from __future__ import annotations
@@ -12,15 +18,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn.autograd import Tensor
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn.graph.train import TrainStep
 from repro.nn.losses import mse_loss
-from repro.nn.optim import Adam
+from repro.nn.optim import Adam, grad_norm
 from repro.surrogate.featurize import IMAGE_SIZE, ScoreNormalizer, featurize_batch
 from repro.surrogate.model import SmilesNet, build_smilesnet
+from repro.telemetry import NULL_TRACER
 from repro.util.config import FrozenConfig, validate_positive, validate_range
 from repro.util.rng import RngFactory
 
-__all__ = ["TrainConfig", "TrainedSurrogate", "train_surrogate"]
+__all__ = ["TrainConfig", "TrainedSurrogate", "train_surrogate", "validation_loss"]
 
 
 @dataclass(frozen=True)
@@ -33,12 +41,17 @@ class TrainConfig(FrozenConfig):
     validation_fraction: float = 0.2
     width: int = 12
     image_size: int = IMAGE_SIZE
+    engine: str = "graph"
 
     def __post_init__(self) -> None:
         validate_positive("epochs", self.epochs)
         validate_positive("batch_size", self.batch_size)
         validate_positive("learning_rate", self.learning_rate)
         validate_range("validation_fraction", self.validation_fraction, 0.0, 0.9)
+        if self.engine not in ("graph", "eager"):
+            raise ValueError(
+                f"engine must be 'graph' or 'eager', got {self.engine!r}"
+            )
 
 
 @dataclass
@@ -114,11 +127,44 @@ class TrainedSurrogate:
         )
 
 
+def validation_loss(model, X_val: np.ndarray, y_val: np.ndarray, batch_size: int) -> float:
+    """Full-dataset MSE evaluated in ``batch_size`` chunks.
+
+    Replaces the single-pass ``mse_loss(model(X_val), y_val)`` with one
+    that bounds peak activation memory by a chunk instead of the whole
+    validation split.  The loss arithmetic is reproduced exactly: squared
+    errors land in one preallocated ``(n, 1)`` buffer and the final
+    reduction is the very same whole-array pairwise ``sum`` (times
+    ``1/n``) the eager loss ran.  Eval-mode forwards are per-sample
+    independent, so chunking agrees with the single pass bitwise whenever
+    BLAS row-blocking is chunk-invariant (it is at the shipped batch
+    sizes; a degenerate tail chunk of a few rows can select a different
+    GEMM kernel and differ in the last ulp).  Both training engines call
+    this same function, so reported validation losses are always
+    bit-identical across engines.
+    """
+    n = len(X_val)
+    sq: np.ndarray | None = None
+    with no_grad():
+        for start in range(0, n, batch_size):  # repro: disable=vectorization -- chunked eval
+            stop = min(start + batch_size, n)
+            pred = model(Tensor(X_val[start:stop]))
+            # mirrors mse_loss: diff = pred + (target * -1.0); diff * diff
+            d = pred.data + (np.asarray(y_val[start:stop], dtype=pred.data.dtype) * -1.0)
+            if sq is None:
+                sq = np.empty((n, 1), dtype=d.dtype)
+            np.multiply(d, d, out=sq[start:stop])
+    if sq is None:
+        return 0.0
+    return float(sq.sum() * (1.0 / n))
+
+
 def train_surrogate(
     smiles: list[str],
     docking_scores: np.ndarray,
     config: TrainConfig | None = None,
     seed: int = 0,
+    tracer=None,
 ) -> TrainedSurrogate:
     """Train a SmilesNet to predict docking scores from depictions.
 
@@ -128,8 +174,13 @@ def train_surrogate(
         Training compounds.
     docking_scores:
         Matching docking scores (kcal/mol, lower = better binding).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; emits ``train.epoch`` /
+        ``train.step`` spans plus loss / gradient-norm gauges.  Defaults
+        to the zero-cost null tracer.
     """
     cfg = config or TrainConfig()
+    tracer = tracer if tracer is not None else NULL_TRACER
     scores = np.asarray(docking_scores, dtype=np.float64)
     if len(smiles) != len(scores):
         raise ValueError("smiles and docking_scores must be the same length")
@@ -150,9 +201,13 @@ def train_surrogate(
     opt = Adam(model.parameters(), lr=cfg.learning_rate)
     shuffle_rng = factory.stream("shuffle")
 
+    step = None
+    if cfg.engine == "graph":
+        step = TrainStep(lambda xb, yb: mse_loss(model(xb), yb), opt)
+
     train_losses: list[float] = []
     val_losses: list[float] = []
-    for _ in range(cfg.epochs):
+    for epoch in range(cfg.epochs):
         model.train()
         order = shuffle_rng.permutation(train_idx)
         epoch_loss = 0.0
@@ -163,22 +218,35 @@ def train_surrogate(
             order[start : start + cfg.batch_size]
             for start in range(0, len(order), cfg.batch_size)
         ]
-        for idx in index_batches:
-            loss = mse_loss(model(Tensor(X[idx])), Tensor(y[idx]))
-            model.zero_grad()
-            loss.backward()
-            opt.step()
-            epoch_loss += loss.item()
-            n_batches += 1
-        train_losses.append(epoch_loss / max(1, n_batches))
+        with tracer.span("train.epoch", "train", epoch=epoch) as epoch_span:
+            for idx in index_batches:
+                with tracer.span("train.step", "train"):
+                    if step is not None:
+                        loss_val = step(X[idx], y[idx])
+                    else:
+                        loss = mse_loss(model(Tensor(X[idx])), Tensor(y[idx]))
+                        model.zero_grad()
+                        loss.backward()
+                        opt.step()
+                        loss_val = loss.item()
+                if tracer.enabled:
+                    tracer.metrics.counter("train.steps").inc()
+                    tracer.metrics.gauge("train.loss").set(loss_val)
+                    gnorm = (
+                        step.grad_norm() if step is not None else grad_norm(opt.params)
+                    )
+                    tracer.metrics.gauge("train.grad_norm").set(gnorm)
+                epoch_loss += loss_val
+                n_batches += 1
+            train_losses.append(epoch_loss / max(1, n_batches))
+            epoch_span.set_attr("train_loss", train_losses[-1])
 
-        if len(val_idx):
-            from repro.nn.autograd import no_grad
-
-            model.eval()
-            with no_grad():
-                vloss = mse_loss(model(Tensor(X[val_idx])), Tensor(y[val_idx]))
-            val_losses.append(vloss.item())
+            if len(val_idx):
+                model.eval()
+                val_losses.append(
+                    validation_loss(model, X[val_idx], y[val_idx], cfg.batch_size)
+                )
+                epoch_span.set_attr("val_loss", val_losses[-1])
 
     model.eval()
     return TrainedSurrogate(

@@ -85,3 +85,110 @@ def test_clip_grad_norm_noop_below_threshold():
     before = p.grad.data.copy()
     clip_grad_norm([p], max_norm=10.0)
     np.testing.assert_array_equal(p.grad.data, before)
+
+
+# ------------------------------------------------- in-place update contract
+def _reference_update(opt, p_data, g, state):
+    """The textbook expression forms the in-place sequences replaced."""
+    if isinstance(opt, Adam):
+        t = state["t"] = state.get("t", 0) + 1
+        m = state["m"] = opt.b1 * state.get("m", np.zeros_like(p_data)) + (1 - opt.b1) * g
+        v = state["v"] = opt.b2 * state.get("v", np.zeros_like(p_data)) + (1 - opt.b2) * g * g
+        return p_data - (opt.lr * (m / (1 - opt.b1**t))) / (
+            np.sqrt(v / (1 - opt.b2**t)) + opt.eps
+        )
+    if isinstance(opt, RMSprop):
+        sq = state["sq"] = opt.alpha * state.get("sq", np.zeros_like(p_data)) + (
+            1 - opt.alpha
+        ) * g * g
+        return p_data - (opt.lr * g) / (np.sqrt(sq) + opt.eps)
+    if opt.momentum:
+        prev = state.get("vel", np.zeros_like(p_data))
+        vel = state["vel"] = opt.momentum * prev - opt.lr * g
+        return p_data + vel
+    return p_data - opt.lr * g
+
+
+@pytest.mark.parametrize(
+    "opt_cls,kwargs",
+    [
+        (SGD, {"lr": 0.05}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.01}),
+        (RMSprop, {"lr": 0.01}),
+    ],
+    ids=["sgd", "sgd_momentum", "adam", "rmsprop"],
+)
+def test_inplace_updates_bitwise_match_expression_forms(opt_cls, kwargs):
+    rng = np.random.default_rng(3)
+    p = Parameter(rng.normal(size=(4, 3)))
+    opt = opt_cls([p], **kwargs)
+    ref, state = p.data.copy(), {}
+    for _ in range(25):
+        g = rng.normal(size=p.data.shape)
+        p.grad = Tensor(g)
+        opt.step()
+        ref = _reference_update(opt, ref, g, state)
+        np.testing.assert_array_equal(p.data, ref)
+
+
+def test_inplace_step_keeps_param_identity_and_allocates_no_temps():
+    """``step()`` mutates the same arrays (the compiled path's guard
+    relies on it) and stages through the two shared scratch buffers."""
+    rng = np.random.default_rng(4)
+    params = [Parameter(rng.normal(size=(8, 8))), Parameter(rng.normal(size=(5,)))]
+    opt = Adam(params, lr=0.01)
+    before = [p.data for p in params]
+    for p in params:
+        p.grad = Tensor(rng.normal(size=p.data.shape))
+    opt.step()
+    for p, b in zip(params, before):
+        assert p.data is b
+    assert len(opt._scratch_bufs) == 1  # one dtype → one scratch pool
+    (bufs,) = opt._scratch_bufs.values()
+    assert len(bufs) == 2 and all(b.size == 64 for b in bufs)
+
+
+def test_bind_compiled_matches_step_bitwise():
+    rng = np.random.default_rng(5)
+    mk = lambda: [Parameter(rng.normal(size=(3, 3))), Parameter(rng.normal(size=(4,)))]
+    rng = np.random.default_rng(5)
+    params_a = mk()
+    rng = np.random.default_rng(5)
+    params_b = mk()
+    opt_a = Adam(params_a, lr=0.02)
+    opt_b = Adam(params_b, lr=0.02)
+    grad_bufs = {i: np.zeros_like(p.data) for i, p in enumerate(params_b)}
+    run = opt_b.bind_compiled(grad_bufs)
+    grng = np.random.default_rng(6)
+    for _ in range(10):
+        gs = [grng.normal(size=p.data.shape) for p in params_a]
+        for p, g in zip(params_a, gs):
+            p.grad = Tensor(g)
+        opt_a.step()
+        for i, g in enumerate(gs):
+            np.copyto(grad_bufs[i], g)
+        run()
+        for pa, pb in zip(params_a, params_b):
+            np.testing.assert_array_equal(pa.data, pb.data)
+    assert opt_a._t == opt_b._t
+
+
+def test_moments_live_in_state_arenas():
+    rng = np.random.default_rng(7)
+    params = [Parameter(rng.normal(size=(4, 2))), Parameter(rng.normal(size=(6,)))]
+    opt = Adam(params, lr=0.01)
+    assert len(opt._state_arenas) == 2  # m and v
+    for arena, views in zip(opt._state_arenas, (opt._m, opt._v)):
+        for view in views:
+            assert np.shares_memory(view, arena.buf)
+
+
+def test_grad_norm_helper():
+    from repro.nn.optim import grad_norm
+
+    p1, p2 = Parameter(np.zeros(3)), Parameter(np.zeros(2))
+    p1.grad = Tensor(np.array([3.0, 0.0, 0.0]))
+    p2.grad = Tensor(np.array([0.0, 4.0]))
+    assert grad_norm([p1, p2]) == pytest.approx(5.0)
+    assert grad_norm([Parameter(np.zeros(2))]) == 0.0
