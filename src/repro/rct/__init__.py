@@ -6,9 +6,17 @@ master/worker overlay, utilization tracking (Fig 7) and FLOP accounting
 (Table 3).
 """
 
+from repro.rct.backends import (
+    ExecutorBackend,
+    ProcessExecutor,
+    SimExecutor,
+    ThreadExecutor,
+    available_backends,
+    create_executor,
+    register_backend,
+)
 from repro.rct.cluster import SUMMIT_NODE, Allocation, BatchSystem, Cluster, NodeSpec
 from repro.rct.entk import AppManager, Pipeline, Stage
-from repro.rct.executor import SimExecutor, ThreadExecutor
 from repro.rct.fault import (
     FailureSummary,
     FaultModel,
@@ -25,7 +33,9 @@ from repro.rct.flops import (
 )
 from repro.rct.pilot import Pilot, Placement
 from repro.rct.raptor import RaptorConfig, RaptorResult, run_raptor, simulate_raptor
+from repro.rct.sched import PLACEMENT_POLICIES, make_placer
 from repro.rct.task import TaskRecord, TaskSpec, TaskState
+from repro.rct.tasklog import TaskLog
 from repro.rct.utilization import UtilizationSeries, UtilizationTracker
 
 __all__ = [
@@ -33,11 +43,14 @@ __all__ = [
     "AppManager",
     "BatchSystem",
     "Cluster",
+    "ExecutorBackend",
     "FailureSummary",
     "FaultModel",
     "FaultOutcome",
     "NodeSpec",
+    "PLACEMENT_POLICIES",
     "Pilot",
+    "ProcessExecutor",
     "RetryPolicy",
     "TaskFailedError",
     "Pipeline",
@@ -47,12 +60,17 @@ __all__ = [
     "SUMMIT_NODE",
     "SimExecutor",
     "Stage",
+    "TaskLog",
     "TaskRecord",
     "TaskSpec",
     "TaskState",
     "ThreadExecutor",
     "UtilizationSeries",
     "UtilizationTracker",
+    "available_backends",
+    "create_executor",
+    "make_placer",
+    "register_backend",
     "aae_training_step_flops",
     "chamfer_flops",
     "docking_eval_flops",

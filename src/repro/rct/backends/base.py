@@ -1,0 +1,109 @@
+"""Executor backend protocol and registry.
+
+Every execution backend — simulated clock, thread pool, process pool,
+or anything a user registers — drives the same protocol the pilot's
+scheduling loop (and the backend conformance suite) exercises:
+
+* ``start(record, timeout=None)`` — begin executing a placed task,
+* ``next_completion()`` — block (real backends) or advance virtual time
+  (simulated) until some running task finishes, and return its record,
+* ``wait_until(t)`` — idle the clock forward (retry backoff),
+* ``now`` / ``n_running`` — the backend's clock and in-flight count,
+* ``shutdown()`` + context-manager entry/exit — release pool resources.
+
+Keeping the protocol identical means the scheduler, utilization tracker
+and every workflow layer above run unchanged on any backend — the
+design move that lets one codebase both *really run* the science tasks
+(threads for I/O-ish payloads, processes for CPU-bound docking shards
+that must scale past the GIL) and *simulate* Summit-scale campaigns.
+
+The registry makes backends pluggable: a new backend is one
+:func:`register_backend` call, after which ``create_executor(name)``
+builds it and the conformance suite in
+``tests/rct/test_backend_contract.py`` picks it up automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.rct.task import TaskRecord
+
+__all__ = [
+    "ExecutorBackend",
+    "register_backend",
+    "get_backend",
+    "create_executor",
+    "available_backends",
+]
+
+
+@runtime_checkable
+class ExecutorBackend(Protocol):
+    """Structural protocol every execution backend satisfies."""
+
+    @property
+    def now(self) -> float:
+        """Current time in clock seconds (virtual or wall)."""
+        ...
+
+    @property
+    def n_running(self) -> int:
+        """Number of tasks currently executing."""
+        ...
+
+    def start(self, record: TaskRecord, timeout: float | None = None) -> None:
+        """Begin executing a placed task."""
+        ...
+
+    def next_completion(self) -> TaskRecord:
+        """Block/advance until a running task finishes; return it."""
+        ...
+
+    def wait_until(self, t: float) -> None:
+        """Idle the clock forward to ``t`` (retry backoff)."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release pool resources (if any)."""
+        ...
+
+
+_REGISTRY: dict[str, type] = {}
+
+
+def register_backend(name: str):
+    """Class decorator registering an executor backend under ``name``.
+
+    The class gains a ``backend_name`` attribute; re-registering a taken
+    name is an error (replace deliberately via ``_REGISTRY`` in tests).
+    """
+
+    def deco(cls: type) -> type:
+        if name in _REGISTRY:
+            raise ValueError(f"backend {name!r} is already registered")
+        cls.backend_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return deco
+
+
+def get_backend(name: str) -> type:
+    """The registered backend class for ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def create_executor(name: str, **kwargs) -> ExecutorBackend:
+    """Instantiate the backend registered under ``name``."""
+    return get_backend(name)(**kwargs)
+
+
+def available_backends() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,163 @@
+"""Shared machinery for real (pool-based) execution backends.
+
+Thread and process backends differ only in *where* the payload runs;
+the bookkeeping around it is identical and subtle enough to keep in one
+place:
+
+* **claim-once delivery** — every attempt gets a :class:`_Delivery`
+  token; exactly one of {worker completion, timeout} wins the claim and
+  publishes the record.  The loser calls :meth:`_Delivery.finished_late`
+  to settle the abandon ledger.  Crucially, the task's *result* is only
+  attached inside a winning claim: a worker that loses the race to a
+  timeout can never mutate a record the caller already owns (the
+  pre-refactor thread backend read its ``delivered`` flag and then
+  assigned ``record.result`` outside the claim — a timeout landing in
+  that window left a FAILED record carrying a live result).
+* **abandon accounting** — ``_abandoned`` counts attempts whose worker
+  is still burning after a timeout delivery; it drains as those workers
+  finish and gates how aggressively :meth:`shutdown` may wait.
+* **injected clock** — time comes from any object with ``now()`` and
+  ``sleep(seconds)``; deterministic tests substitute logical clocks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.rct.task import TaskRecord, TaskState
+from repro.util.timer import WallClock
+
+__all__ = ["PoolBackend"]
+
+
+class _Delivery:
+    """Claim-once publication token for one execution attempt."""
+
+    __slots__ = ("_backend", "_record", "_claimed", "timer")
+
+    def __init__(self, backend: "PoolBackend", record: TaskRecord) -> None:
+        self._backend = backend
+        self._record = record
+        self._claimed = False
+        self.timer: threading.Timer | None = None
+
+    def deliver(
+        self,
+        state: TaskState,
+        error: str | None,
+        timed_out: bool,
+        result=None,
+    ) -> bool:
+        """Publish the attempt's outcome; ``False`` if already claimed."""
+        backend = self._backend
+        with backend._lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            backend._running -= 1
+            if timed_out:
+                backend._abandoned += 1
+        if self.timer is not None:
+            self.timer.cancel()
+        record = self._record
+        # only the claim winner reaches this point, so the record is
+        # mutated exactly once and is immutable the moment it is queued
+        record.result = result
+        record.end_time = backend.now
+        record.state = state
+        record.error = error
+        record.timed_out = timed_out
+        backend._done.put(record)
+        return True
+
+    def finished_late(self) -> None:
+        """An abandoned worker drained; settle the abandon ledger."""
+        with self._backend._lock:
+            self._backend._abandoned -= 1
+
+    def abort(self) -> None:
+        """Unwind a begun attempt that never reached its pool.
+
+        Claims the token and rolls back the running count without
+        publishing a record — the caller is about to re-raise the
+        submit-time error, so a queued completion would be a phantom.
+        """
+        with self._backend._lock:
+            if self._claimed:
+                return
+            self._claimed = True
+            self._backend._running -= 1
+        if self.timer is not None:
+            self.timer.cancel()
+
+
+class PoolBackend:
+    """Base class: delivery queue, abandon ledger, clock plumbing."""
+
+    def __init__(self, clock: WallClock | None = None) -> None:
+        self._done: queue.Queue[TaskRecord] = queue.Queue()
+        self._running = 0
+        self._abandoned = 0
+        self._lock = threading.Lock()
+        self._clock = clock if clock is not None else WallClock()
+
+    # ------------------------------------------------------------ the clock
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+        return self._clock.now()
+
+    def wait_until(self, t: float) -> None:
+        """Sleep the clock forward to ``t`` (retry backoff).
+
+        Past targets are a no-op: a real clock cannot rewind, and by the
+        time the caller computed ``t`` it may already have elapsed.
+        """
+        delta = t - self.now
+        if delta > 0:
+            self._clock.sleep(delta)
+
+    # ---------------------------------------------------------- bookkeeping
+    @property
+    def n_running(self) -> int:
+        """Number of tasks currently executing."""
+        with self._lock:
+            return self._running
+
+    @property
+    def n_abandoned(self) -> int:
+        """Timed-out attempts whose worker has not drained yet."""
+        with self._lock:
+            return self._abandoned
+
+    def _begin(self, record: TaskRecord) -> _Delivery:
+        """Mark an attempt running and hand out its delivery token."""
+        record.state = TaskState.RUNNING
+        record.start_time = self.now
+        with self._lock:
+            self._running += 1
+        return _Delivery(self, record)
+
+    def _arm_timeout(
+        self, delivery: _Delivery, timeout: float, on_timeout
+    ) -> None:
+        """Start the abandon timer; ``on_timeout()`` runs at the deadline."""
+        timer = threading.Timer(timeout, on_timeout)
+        timer.daemon = True
+        delivery.timer = timer
+        timer.start()
+
+    def next_completion(self) -> TaskRecord:
+        """Block until a running task finishes; return it."""
+        return self._done.get()
+
+    # ------------------------------------------------------------- lifetime
+    def shutdown(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

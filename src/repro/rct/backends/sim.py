@@ -1,0 +1,166 @@
+"""Discrete-event simulated execution backend.
+
+Tasks take ``spec.duration`` virtual seconds plus a fixed per-task
+launch overhead (the paper's Fig 7 shows overheads "invariant to
+scale" — a constant per task models exactly that).  With a
+``fault_model``, each attempt may instead crash partway, straggle, or
+hang — deterministically per (task uid, attempt).
+
+This backend is itself a measured hot path (``benchmarks/
+perf_scheduler.py`` tracks simulated events/sec): a Summit-scale
+campaign pushes ~10⁶ starts and completions through the event heap, so
+``start_batch`` amortizes heap maintenance over whole scheduling passes
+and the virtual clock enforces monotonicity — a backwards ``now`` would
+silently violate the heap's ordering invariant and corrupt every
+downstream timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Iterable
+
+from repro.rct.backends.base import register_backend
+from repro.rct.fault import FaultModel
+from repro.rct.task import TaskRecord, TaskState
+
+__all__ = ["SimExecutor"]
+
+
+@register_backend("sim")
+class SimExecutor:
+    """Discrete-event simulated execution over a virtual clock."""
+
+    def __init__(
+        self,
+        launch_overhead: float = 0.5,
+        fault_model: FaultModel | None = None,
+    ) -> None:
+        if launch_overhead < 0:
+            raise ValueError("launch_overhead must be non-negative")
+        self.launch_overhead = launch_overhead
+        self.fault_model = fault_model
+        self._now = 0.0
+        # heap entries: (end, seq, record, final_state, error, timed_out)
+        self._heap: list[tuple[float, int, TaskRecord, TaskState, str | None, bool]] = []
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------ the clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds (monotone non-decreasing)."""
+        return self._now
+
+    @now.setter
+    def now(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(
+                f"virtual time cannot move backwards: now={self._now}, "
+                f"requested {t}; the event heap is ordered by absolute end "
+                "times and a rewind would corrupt it"
+            )
+        self._now = t
+
+    def wait_until(self, t: float) -> None:
+        """Idle the virtual clock forward to ``t`` (retry backoff).
+
+        Rejects backwards targets: a caller asking to wait until the
+        past indicates a scheduling bug (stale retry-eligibility time),
+        and silently clamping used to hide it.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"wait_until({t}) is in the past (now={self._now}); "
+                "virtual time only moves forward"
+            )
+        self._now = t
+
+    # ------------------------------------------------------------- execution
+    def _entry(
+        self, record: TaskRecord, timeout: float | None
+    ) -> tuple[float, int, TaskRecord, TaskState, str | None, bool]:
+        """Resolve one attempt's fate into a heap entry (fault draw included)."""
+        if record.spec.duration is None:
+            raise ValueError(
+                f"task {record.spec.name} has no duration; SimExecutor "
+                "needs one (use a real backend for fn-only tasks)"
+            )
+        record.state = TaskState.RUNNING
+        record.start_time = self._now
+        busy = record.spec.duration
+        final_state = TaskState.DONE
+        error: str | None = None
+        timed_out = False
+        if self.fault_model is not None:
+            outcome = self.fault_model.draw(record.spec.uid, record.attempt, busy)
+            busy = outcome.busy
+            if outcome.failed:
+                final_state = TaskState.FAILED
+                error = f"injected {outcome.kind} (attempt {record.attempt})"
+        if timeout is not None and busy > timeout:
+            busy = timeout
+            final_state = TaskState.FAILED
+            error = f"timeout after {timeout}s (attempt {record.attempt})"
+            timed_out = True
+        end = self._now + self.launch_overhead + busy
+        return (end, next(self._seq), record, final_state, error, timed_out)
+
+    def start(self, record: TaskRecord, timeout: float | None = None) -> None:
+        """Begin executing a placed task (fault draw decides its fate)."""
+        heapq.heappush(self._heap, self._entry(record, timeout))
+
+    def start_batch(
+        self, records: Iterable[TaskRecord], timeout: float | None = None
+    ) -> None:
+        """Begin a whole scheduling pass of tasks in one heap operation.
+
+        Completion order is identical to sequential :meth:`start` calls —
+        the heap pops by ``(end, seq)`` and sequence numbers are assigned
+        in iteration order — but a large batch pays one O(n) ``heapify``
+        instead of n O(log n) sift-ups.  Small batches fall back to
+        pushes so a steady-state trickle never pays heapify's O(heap).
+        """
+        entries = [self._entry(r, timeout) for r in records]
+        if len(entries) > max(8, len(self._heap) // 4):
+            self._heap.extend(entries)
+            heapq.heapify(self._heap)
+        else:
+            for entry in entries:
+                heapq.heappush(self._heap, entry)
+
+    @property
+    def n_running(self) -> int:
+        """Number of tasks currently executing."""
+        return len(self._heap)
+
+    def next_completion(self) -> TaskRecord:
+        """Advance virtual time until a running task finishes; return it."""
+        if not self._heap:
+            raise RuntimeError("no running tasks")
+        end, _, record, state, error, timed_out = heapq.heappop(self._heap)
+        if math.isinf(end):
+            raise RuntimeError(
+                f"task {record.spec.name} hung and no timeout is set; "
+                "give the retry policy a per-task timeout"
+            )
+        self._now = end
+        record.end_time = end
+        record.state = state
+        record.error = error
+        record.timed_out = timed_out
+        if state is TaskState.DONE and record.spec.fn is not None:
+            # simulated runs may still carry a payload result stub
+            record.result = None
+        return record
+
+    # ------------------------------------------------------------- lifetime
+    def shutdown(self) -> None:
+        """No pool to release; symmetric with the real backends."""
+
+    def __enter__(self) -> "SimExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -1,255 +1,50 @@
-"""Execution backends: simulated clock and real thread pool.
+"""Execution backends — compatibility façade over :mod:`repro.rct.backends`.
 
-Both backends implement the same protocol the pilot's scheduling loop
-drives:
+Historically this module *was* the two hard-coded backends; they now
+live in the pluggable backend registry (``repro.rct.backends``), where
+Sim and Thread are two of N and a process-pool backend scales CPU-bound
+work past the GIL.  Everything importable from here before the
+refactor still is — the pilot, tests, and downstream code keep working
+unchanged — and the registry entry points are re-exported for
+convenience.
+
+The protocol all backends implement (see
+:class:`~repro.rct.backends.base.ExecutorBackend`):
 
 * ``start(record, timeout=None)`` — begin executing a placed task,
-* ``next_completion()`` — block (thread) or advance virtual time (sim)
+* ``next_completion()`` — block (real) or advance virtual time (sim)
   until some running task finishes, and return its record,
 * ``wait_until(t)`` — idle the clock forward (retry backoff),
 * ``shutdown()`` / context-manager entry+exit — release pool resources.
 
-Keeping the protocol identical means the scheduler, utilization tracker
-and every workflow layer above run unchanged on either backend — the
-design move that lets one codebase both *really run* the science tasks
-and *simulate* thousand-node campaigns (Fig 7, scaling benches).
-
-Failure is part of the protocol on both backends: the simulated backend
-injects crashes/stragglers/hangs from a seeded :class:`~repro.rct.fault.FaultModel`;
-the thread backend captures real exceptions.  Either way a per-attempt
-``timeout`` cancels (sim) or abandons (thread) attempts that run past it,
-so hung tasks cannot wedge the pilot.
+Failure is part of the protocol on every backend: the simulated backend
+injects crashes/stragglers/hangs from a seeded
+:class:`~repro.rct.fault.FaultModel`; the real backends capture
+exceptions.  Either way a per-attempt ``timeout`` cancels (sim) or
+abandons (thread/process) attempts that run past it, so hung tasks
+cannot wedge the pilot.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
-import queue
-import threading
-from concurrent.futures import ThreadPoolExecutor
+from repro.rct.backends import (
+    ExecutorBackend,
+    ProcessExecutor,
+    SimExecutor,
+    ThreadExecutor,
+    available_backends,
+    create_executor,
+    get_backend,
+    register_backend,
+)
 
-from repro.rct.fault import FaultModel
-from repro.rct.task import TaskRecord, TaskState
-from repro.util.timer import WallClock
-
-__all__ = ["SimExecutor", "ThreadExecutor"]
-
-
-class SimExecutor:
-    """Discrete-event simulated execution.
-
-    Tasks take ``spec.duration`` virtual seconds plus a fixed per-task
-    launch overhead (the paper's Fig 7 shows overheads "invariant to
-    scale" — a constant per task models exactly that).  With a
-    ``fault_model``, each attempt may instead crash partway, straggle, or
-    hang — deterministically per (task uid, attempt).
-    """
-
-    def __init__(
-        self,
-        launch_overhead: float = 0.5,
-        fault_model: FaultModel | None = None,
-    ) -> None:
-        if launch_overhead < 0:
-            raise ValueError("launch_overhead must be non-negative")
-        self.launch_overhead = launch_overhead
-        self.fault_model = fault_model
-        self.now = 0.0
-        # heap entries: (end, seq, record, final_state, error, timed_out)
-        self._heap: list[tuple[float, int, TaskRecord, TaskState, str | None, bool]] = []
-        self._seq = itertools.count()
-
-    def start(self, record: TaskRecord, timeout: float | None = None) -> None:
-        """Begin executing a placed task (fault draw decides its fate)."""
-        if record.spec.duration is None:
-            raise ValueError(
-                f"task {record.spec.name} has no duration; SimExecutor "
-                "needs one (use ThreadExecutor for fn-only tasks)"
-            )
-        record.state = TaskState.RUNNING
-        record.start_time = self.now
-        busy = record.spec.duration
-        final_state = TaskState.DONE
-        error: str | None = None
-        timed_out = False
-        if self.fault_model is not None:
-            outcome = self.fault_model.draw(record.spec.uid, record.attempt, busy)
-            busy = outcome.busy
-            if outcome.failed:
-                final_state = TaskState.FAILED
-                error = f"injected {outcome.kind} (attempt {record.attempt})"
-        if timeout is not None and busy > timeout:
-            busy = timeout
-            final_state = TaskState.FAILED
-            error = f"timeout after {timeout}s (attempt {record.attempt})"
-            timed_out = True
-        end = self.now + self.launch_overhead + busy
-        heapq.heappush(
-            self._heap, (end, next(self._seq), record, final_state, error, timed_out)
-        )
-
-    @property
-    def n_running(self) -> int:
-        """Number of tasks currently executing."""
-        return len(self._heap)
-
-    def next_completion(self) -> TaskRecord:
-        """Block/advance until a running task finishes; return it."""
-        if not self._heap:
-            raise RuntimeError("no running tasks")
-        end, _, record, state, error, timed_out = heapq.heappop(self._heap)
-        if math.isinf(end):
-            raise RuntimeError(
-                f"task {record.spec.name} hung and no timeout is set; "
-                "give the retry policy a per-task timeout"
-            )
-        self.now = end
-        record.end_time = end
-        record.state = state
-        record.error = error
-        record.timed_out = timed_out
-        if state is TaskState.DONE and record.spec.fn is not None:
-            # simulated runs may still carry a payload result stub
-            record.result = None
-        return record
-
-    def wait_until(self, t: float) -> None:
-        """Idle the virtual clock forward to ``t`` (retry backoff)."""
-        self.now = max(self.now, t)
-
-    def shutdown(self) -> None:
-        """No pool to release; symmetric with :class:`ThreadExecutor`."""
-
-    def __enter__(self) -> "SimExecutor":
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self.shutdown()
-
-
-class ThreadExecutor:
-    """Real execution on a thread pool; time comes from the injected clock.
-
-    The default clock is :class:`~repro.util.timer.WallClock`; tests and
-    deterministic traces may substitute any object with ``now()`` and
-    ``sleep(seconds)`` methods.
-    """
-
-    def __init__(self, max_workers: int = 8, clock: WallClock | None = None) -> None:
-        if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-        self._pool = ThreadPoolExecutor(max_workers=max_workers)
-        self._done: queue.Queue[TaskRecord] = queue.Queue()
-        self._running = 0
-        self._abandoned = 0
-        self._lock = threading.Lock()
-        self._clock = clock if clock is not None else WallClock()
-
-    @property
-    def now(self) -> float:
-        """Current time in seconds."""
-        return self._clock.now()
-
-    @property
-    def n_running(self) -> int:
-        """Number of tasks currently executing."""
-        with self._lock:
-            return self._running
-
-    def start(self, record: TaskRecord, timeout: float | None = None) -> None:
-        """Begin executing a placed task.
-
-        With a ``timeout``, an attempt still running at the deadline is
-        *abandoned*: marked failed and reported immediately, while the
-        worker thread is left to finish and its late result discarded
-        (Python threads cannot be killed; RP likewise reaps by deadline).
-        """
-        if record.spec.fn is None:
-            raise ValueError(
-                f"task {record.spec.name} has no fn; ThreadExecutor needs one"
-            )
-        record.state = TaskState.RUNNING
-        record.start_time = self.now
-        with self._lock:
-            self._running += 1
-        delivered = False
-        timer: threading.Timer | None = None
-
-        def deliver(state: TaskState, error: str | None, timed_out: bool) -> bool:
-            nonlocal delivered
-            with self._lock:
-                if delivered:
-                    return False
-                delivered = True
-                self._running -= 1
-                if timed_out:
-                    self._abandoned += 1
-            if timer is not None:
-                timer.cancel()
-            record.end_time = self.now
-            record.state = state
-            record.error = error
-            record.timed_out = timed_out
-            self._done.put(record)
-            return True
-
-        def finished_late() -> None:
-            # an abandoned thread just drained; shutdown need not dodge it
-            with self._lock:
-                self._abandoned -= 1
-
-        def runner() -> None:
-            try:
-                result = record.spec.fn(*record.spec.args, **record.spec.kwargs)
-            except Exception as exc:  # noqa: BLE001 - task isolation
-                if not deliver(TaskState.FAILED, f"{type(exc).__name__}: {exc}", False):
-                    finished_late()
-            else:
-                with self._lock:
-                    abandoned = delivered
-                if not abandoned:
-                    record.result = result
-                if not deliver(TaskState.DONE, None, False):
-                    finished_late()
-
-        if timeout is not None:
-            timer = threading.Timer(
-                timeout,
-                lambda: deliver(
-                    TaskState.FAILED,
-                    f"timeout after {timeout}s (attempt {record.attempt})",
-                    True,
-                ),
-            )
-            timer.daemon = True
-            timer.start()
-        self._pool.submit(runner)
-
-    def next_completion(self) -> TaskRecord:
-        """Block/advance until a running task finishes; return it."""
-        return self._done.get()
-
-    def wait_until(self, t: float) -> None:
-        """Sleep the wall clock forward to ``t`` (retry backoff)."""
-        delta = t - self.now
-        if delta > 0:
-            self._clock.sleep(delta)
-
-    def shutdown(self) -> None:
-        """Stop the worker pool.
-
-        Waits for in-flight tasks — unless some were abandoned at a
-        timeout, in which case waiting would block on threads already
-        declared dead; those are left to drain on their own.
-        """
-        with self._lock:
-            abandoned = self._abandoned
-        self._pool.shutdown(wait=abandoned == 0)
-
-    def __enter__(self) -> "ThreadExecutor":
-        return self
-
-    def __exit__(self, *exc: object) -> None:
-        self.shutdown()
+__all__ = [
+    "ExecutorBackend",
+    "ProcessExecutor",
+    "SimExecutor",
+    "ThreadExecutor",
+    "available_backends",
+    "create_executor",
+    "get_backend",
+    "register_backend",
+]

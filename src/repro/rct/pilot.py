@@ -6,7 +6,19 @@ directly — "given 10,000 single-node tasks and 1000 nodes, a pilot
 system will execute 1000 tasks concurrently and … the remaining 9000
 sequentially, whenever a node becomes available."  :class:`Pilot` owns
 the allocation and slot bookkeeping; :meth:`Pilot.run` is exactly that
-greedy backfilling loop, over either executor backend.
+greedy backfilling loop, over any registered executor backend.
+
+Placement is a pluggable policy (see :mod:`repro.rct.sched`).  The
+default ``first_fit`` produces decisions bit-identical to the reference
+``first_fit_scan`` O(nodes) scan while costing O(log nodes) amortized,
+and :meth:`Pilot.run` drives it through an indexed pending queue whose
+submission pass is O(placed + shapes) instead of O(backlog) — together
+these are what let a Summit-scale (4,608-node, 10⁶-task) campaign
+simulate in minutes (``benchmarks/perf_scheduler.py`` measures it and
+checks the bit-identity contract).  Every completed attempt is also
+appended to a columnar :class:`~repro.rct.tasklog.TaskLog`, so campaigns
+too large to keep per-task objects (``keep_records=False``) still get
+exact accounting and a sha256 determinism witness.
 
 Failure handling is first-class: a :class:`~repro.rct.fault.RetryPolicy`
 re-queues failed attempts after (jittered, exponential) backoff on the
@@ -19,27 +31,16 @@ silently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
+from repro.rct.backends import ExecutorBackend
 from repro.rct.cluster import Allocation, NodeSpec
-from repro.rct.executor import SimExecutor, ThreadExecutor
 from repro.rct.fault import FAILURE_POLICIES, FailureSummary, RetryPolicy, TaskFailedError
+from repro.rct.sched import PendingQueue, Placement, make_placer
 from repro.rct.task import TaskRecord, TaskSpec, TaskState
+from repro.rct.tasklog import TaskLog
 from repro.rct.utilization import UtilizationTracker
 from repro.telemetry import ExecutorClock, Span, Tracer
 
 __all__ = ["Pilot", "Placement"]
-
-
-@dataclass
-class Placement:
-    """Slots assigned to one task."""
-
-    node_ids: list[int]
-    cpus: int
-    gpus: int
 
 
 class Pilot:
@@ -48,11 +49,13 @@ class Pilot:
     def __init__(
         self,
         allocation: Allocation,
-        executor: SimExecutor | ThreadExecutor,
+        executor: ExecutorBackend,
         retry: RetryPolicy | None = None,
         failure_policy: str = "drop_and_continue",
         failure_budget: int | None = None,
         tracer: Tracer | None = None,
+        policy: str = "first_fit",
+        keep_records: bool = True,
     ) -> None:
         if failure_policy not in FAILURE_POLICIES:
             raise ValueError(
@@ -67,21 +70,28 @@ class Pilot:
         self.failure_policy = failure_policy
         self.failure_budget = failure_budget
         self.failures = FailureSummary()
+        self.policy = policy
+        self.keep_records = keep_records
         spec = allocation.spec
         n = allocation.n_nodes
-        self._free_cpus = np.full(n, spec.cpus)
-        self._free_gpus = np.full(n, spec.gpus)
+        self._placer = make_placer(policy, n, spec)
         self._placements: dict[int, Placement] = {}
         # retry backlog: (eligible_time, task, attempt), unordered
         self._retry_queue: list[tuple[float, TaskSpec, int]] = []
         self._n_running = 0
+        #: per-attempt TaskRecord objects (empty when ``keep_records=False``)
         self.records: list[TaskRecord] = []
+        #: columnar log of every completed attempt — always maintained,
+        #: O(bytes) per attempt, carries the determinism digest
+        self.log = TaskLog()
         self._total_gpus = n * spec.gpus
         self._total_cpus = n * spec.cpus
-        # The pilot is always traced: every placement becomes a
+        # The pilot is traced by default: every placement becomes a
         # "pilot.task" span (explicit executor times, so the same code
         # path is deterministic under simulation) and the utilization
-        # tracker below is a pure view over those spans.
+        # tracker below is a pure view over those spans.  Passing
+        # NULL_TRACER skips span bookkeeping entirely — at 10⁶ tasks
+        # the spans, not the scheduling, would dominate.
         self.tracer = (
             tracer if tracer is not None else Tracer(clock=ExecutorClock(executor))
         )
@@ -94,47 +104,11 @@ class Pilot:
         return self.allocation.spec
 
     def try_place(self, task: TaskSpec) -> Placement | None:
-        """First-fit placement; ``None`` when resources are busy.
-
-        Multi-node tasks take whole (fully free) nodes; sub-node tasks
-        pack into partially used nodes.
-        """
-        spec = self.spec
-        if task.nodes > 1:
-            if task.cpus > spec.cpus or task.gpus > spec.gpus:
-                return None
-            fully_free = np.where(
-                (self._free_cpus == spec.cpus) & (self._free_gpus == spec.gpus)
-            )[0]
-            if len(fully_free) < task.nodes:
-                return None
-            chosen = fully_free[: task.nodes]
-            self._free_cpus[chosen] = 0
-            self._free_gpus[chosen] = 0
-            return Placement(
-                node_ids=chosen.tolist(),
-                cpus=spec.cpus * task.nodes,
-                gpus=spec.gpus * task.nodes,
-            )
-        fits = np.where(
-            (self._free_cpus >= task.cpus) & (self._free_gpus >= task.gpus)
-        )[0]
-        if not len(fits):
-            return None
-        node = int(fits[0])
-        self._free_cpus[node] -= task.cpus
-        self._free_gpus[node] -= task.gpus
-        return Placement(node_ids=[node], cpus=task.cpus, gpus=task.gpus)
+        """Placement under this pilot's policy; ``None`` when busy."""
+        return self._placer.try_place(task)
 
     def _release(self, task_uid: int) -> None:
-        placement = self._placements.pop(task_uid)
-        spec = self.spec
-        n_nodes = len(placement.node_ids)
-        for node in placement.node_ids:
-            self._free_cpus[node] += placement.cpus // n_nodes
-            self._free_gpus[node] += placement.gpus // n_nodes
-        np.minimum(self._free_cpus, spec.cpus, out=self._free_cpus)
-        np.minimum(self._free_gpus, spec.gpus, out=self._free_gpus)
+        self._placer.release(self._placements.pop(task_uid))
 
     # ------------------------------------------------- incremental protocol
     def validate_fits(self, task: TaskSpec) -> None:
@@ -162,7 +136,7 @@ class Pilot:
 
     def _start(self, task: TaskSpec, attempt: int = 0) -> bool:
         """Place and launch one attempt; ``False`` when nothing fits."""
-        placement = self.try_place(task)
+        placement = self._placer.try_place(task)
         if placement is None:
             return False
         record = TaskRecord(spec=task, state=TaskState.SCHEDULED, attempt=attempt)
@@ -171,35 +145,47 @@ class Pilot:
         self.executor.start(
             record, timeout=self.retry.timeout if self.retry else None
         )
-        self.records.append(record)
-        self._task_spans[(task.uid, attempt)] = self.tracer.start_span(
-            task.name,
-            category="pilot.task",
-            attrs={
-                "stage": task.stage,
-                "uid": task.uid,
-                "attempt": attempt,
-                "gpus": placement.gpus,
-                "cpus": placement.cpus,
-                "nodes": len(placement.node_ids),
-            },
-            start=self.executor.now,
-        )
+        if self.keep_records:
+            self.records.append(record)
+        if self.tracer.enabled:
+            self._task_spans[(task.uid, attempt)] = self.tracer.start_span(
+                task.name,
+                category="pilot.task",
+                attrs={
+                    "stage": task.stage,
+                    "uid": task.uid,
+                    "attempt": attempt,
+                    "gpus": placement.gpus,
+                    "cpus": placement.cpus,
+                    "nodes": len(placement.node_ids),
+                },
+                start=self.executor.now,
+            )
         self._n_running += 1
         return True
 
-    def submit_ready(self, pending: list[TaskSpec]) -> list[TaskSpec]:
-        """Greedy pass: start everything that fits; return what's left.
-
-        Backoff-expired retries are re-driven first — they have waited
-        longest and hold the workload's completion tail.
-        """
+    def _submit_retries(self) -> None:
+        """Re-drive backoff-expired retries, oldest first."""
         now = self.executor.now
         still_waiting: list[tuple[float, TaskSpec, int]] = []
         for eligible, task, attempt in self._retry_queue:
             if eligible > now or not self._start(task, attempt):
                 still_waiting.append((eligible, task, attempt))
         self._retry_queue = still_waiting
+
+    def submit_ready(self, pending: list[TaskSpec]) -> list[TaskSpec]:
+        """Greedy pass: start everything that fits; return what's left.
+
+        Backoff-expired retries are re-driven first — they have waited
+        longest and hold the workload's completion tail.
+
+        This is the reference O(backlog) pass (every call re-tries every
+        pending task); :meth:`run` under any policy but
+        ``first_fit_scan`` drives an indexed
+        :class:`~repro.rct.sched.PendingQueue` instead, which makes the
+        same placement decisions while visiting only placeable tasks.
+        """
+        self._submit_retries()
         still_pending: list[TaskSpec] = []
         for task in pending:
             if not self._start(task):
@@ -215,44 +201,48 @@ class Pilot:
         :class:`TaskFailedError`.
         """
         record = self.executor.next_completion()
-        placement = self._placements[record.spec.uid]
-        span = self._task_spans.pop((record.spec.uid, record.attempt))
+        span = self._task_spans.pop((record.spec.uid, record.attempt), None)
         self._release(record.spec.uid)
         self._n_running -= 1
         if record.state is TaskState.FAILED:
-            span.set_error(record.error or "failed")
-            if record.timed_out:
-                span.set_attr("timed_out", True)
+            if span is not None:
+                span.set_error(record.error or "failed")
+                if record.timed_out:
+                    span.set_attr("timed_out", True)
             self.failures.record_failure(record.wall_time, record.timed_out)
             if self.retry is not None and self.retry.should_retry(record.attempt):
                 backoff = self.retry.backoff(record.spec.uid, record.attempt)
-                span.set_attr("retried", True)
-                span.finish(end=self.executor.now)
+                if span is not None:
+                    span.set_attr("retried", True)
+                    span.finish(end=self.executor.now)
                 self.failures.record_retry(backoff)
-                # the backoff interval is itself a span, carrying the
-                # exact policy-drawn seconds (end-start would reintroduce
-                # float round-off into the reconciliation)
-                self.tracer.record_span(
-                    f"backoff:{record.spec.name}",
-                    start=self.executor.now,
-                    end=self.executor.now + backoff,
-                    category="pilot.backoff",
-                    attrs={
-                        "stage": record.spec.stage,
-                        "uid": record.spec.uid,
-                        "attempt": record.attempt,
-                        "seconds": backoff,
-                    },
-                )
+                if self.tracer.enabled:
+                    # the backoff interval is itself a span, carrying the
+                    # exact policy-drawn seconds (end-start would
+                    # reintroduce float round-off into reconciliation)
+                    self.tracer.record_span(
+                        f"backoff:{record.spec.name}",
+                        start=self.executor.now,
+                        end=self.executor.now + backoff,
+                        category="pilot.backoff",
+                        attrs={
+                            "stage": record.spec.stage,
+                            "uid": record.spec.uid,
+                            "attempt": record.attempt,
+                            "seconds": backoff,
+                        },
+                    )
                 self._retry_queue.append(
                     (self.executor.now + backoff, record.spec, record.attempt + 1)
                 )
                 record.state = TaskState.RETRYING
             else:
-                span.set_attr("dropped", True)
-                span.finish(end=self.executor.now)
+                if span is not None:
+                    span.set_attr("dropped", True)
+                    span.finish(end=self.executor.now)
                 self.failures.record_drop(record.spec.stage)
                 if self.failure_policy == "fail_fast":
+                    self.log.append(record)
                     raise TaskFailedError(
                         f"task {record.spec.name} failed on attempt "
                         f"{record.attempt} ({record.error}); fail_fast policy",
@@ -262,16 +252,20 @@ class Pilot:
                     self.failure_budget is not None
                     and self.failures.n_dropped > self.failure_budget
                 ):
+                    self.log.append(record)
                     raise TaskFailedError(
                         f"failure budget exceeded: {self.failures.n_dropped} "
                         f"tasks dropped, budget {self.failure_budget}",
                         record,
                     )
         elif record.state is TaskState.DONE:
-            span.finish(end=self.executor.now)
+            if span is not None:
+                span.finish(end=self.executor.now)
             self.failures.record_success(record.attempt)
         else:
-            span.finish(end=self.executor.now)
+            if span is not None:
+                span.finish(end=self.executor.now)
+        self.log.append(record)
         return record
 
     @property
@@ -297,10 +291,18 @@ class Pilot:
         The returned list holds one *final* record per task (done, or
         failed-after-retries under ``drop_and_continue``); intermediate
         failed attempts live in :attr:`records` and are tallied in
-        :attr:`failures`.
+        :attr:`failures`.  With ``keep_records=False`` the returned list
+        is empty — :attr:`log` and :attr:`failures` carry the outcome in
+        O(bytes) per task.
         """
         for t in tasks:
             self.validate_fits(t)
+        if self.policy == "first_fit_scan":
+            return self._run_scan(tasks)
+        return self._run_indexed(tasks)
+
+    def _run_scan(self, tasks: list[TaskSpec]) -> list[TaskRecord]:
+        """Reference loop: re-scan the whole backlog after every event."""
         pending: list[TaskSpec] = list(tasks)
         finished: list[TaskRecord] = []
         while pending or self.n_running or self._retry_queue:
@@ -314,7 +316,35 @@ class Pilot:
                     "deadlock: tasks pending but nothing can be placed"
                 )
             record = self.wait_one()
-            if record.state is not TaskState.RETRYING:
+            if record.state is not TaskState.RETRYING and self.keep_records:
+                finished.append(record)
+        return finished
+
+    def _run_indexed(self, tasks: list[TaskSpec]) -> list[TaskRecord]:
+        """Indexed loop: shape-keyed backlog, O(placed + shapes) passes.
+
+        Makes placement decisions identical to :meth:`_run_scan` (same
+        tasks started in the same order at every event — see
+        :class:`~repro.rct.sched.PendingQueue` for the argument), so for
+        a fixed seed/backend/policy the task log digest, failure
+        summary and exported trace are bit-identical to the reference.
+        """
+        queue = PendingQueue()
+        for t in tasks:
+            queue.push(t)
+        finished: list[TaskRecord] = []
+        while len(queue) or self.n_running or self._retry_queue:
+            self._submit_retries()
+            queue.submit_pass(self._start)
+            if self.n_running == 0:
+                if self._retry_queue:
+                    self.advance_to_next_retry()
+                    continue
+                raise RuntimeError(
+                    "deadlock: tasks pending but nothing can be placed"
+                )
+            record = self.wait_one()
+            if record.state is not TaskState.RETRYING and self.keep_records:
                 finished.append(record)
         return finished
 
@@ -327,11 +357,9 @@ class Pilot:
         )
 
     def node_hours(self) -> float:
-        """Total node-hours consumed by completed tasks."""
+        """Total node-hours consumed by completed task attempts."""
         spec = self.spec
-        return sum(
-            r.node_seconds(spec.gpus, spec.cpus) / 3600.0 for r in self.records
-        )
+        return self.log.node_seconds_total(spec.gpus, spec.cpus) / 3600.0
 
     # ------------------------------------------------------------- lifetime
     def shutdown(self) -> None:

@@ -1,0 +1,340 @@
+"""Slot placement policies and the indexed pending queue.
+
+At Summit scale the *simulator* is the hot path: a 4,608-node ×
+10⁶-task campaign makes one placement decision and one release per task
+attempt, and the seed implementation paid an O(nodes) NumPy scan for
+every one of them — plus an O(pending) sweep of the whole backlog after
+every completion.  This module replaces both with indexed structures
+while keeping the *placement decisions bit-identical* to the reference
+scan (the hard contract ``benchmarks/perf_scheduler.py`` enforces):
+
+* :class:`ScanPlacer` — the pre-optimization first-fit scan, kept as
+  the oracle and as the ``first_fit_scan`` policy;
+* :class:`IndexedPlacer` — the same first-fit decisions from lazy
+  per-shape min-heaps of candidate nodes: O(log nodes) amortized per
+  placement/release instead of O(nodes);
+* :class:`HeteroPlacer` — heterogeneous CPU/GPU-aware packing for the
+  policy shootout: CPU-only tasks steer to GPU-poor nodes so GPU slots
+  stay placeable;
+* :class:`PendingQueue` — shape-keyed FIFOs whose submission pass
+  visits O(placed + shapes) tasks instead of the whole backlog, while
+  reproducing the reference "try every pending task in submission
+  order" semantics exactly (resources only shrink within a pass, so
+  once a shape fails every later task of that shape fails too).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.rct.cluster import NodeSpec
+from repro.rct.task import TaskSpec
+
+__all__ = [
+    "Placement",
+    "ScanPlacer",
+    "IndexedPlacer",
+    "HeteroPlacer",
+    "PendingQueue",
+    "PLACEMENT_POLICIES",
+    "make_placer",
+]
+
+
+@dataclass
+class Placement:
+    """Slots assigned to one task."""
+
+    node_ids: list[int]
+    cpus: int
+    gpus: int
+
+
+class ScanPlacer:
+    """Reference first-fit placement: O(nodes) NumPy scan per decision.
+
+    This is the seed ``Pilot.try_place`` verbatim — kept both as the
+    ``first_fit_scan`` policy (the benchmark's pre-optimization
+    baseline) and as the oracle the indexed placer is fuzzed against.
+    """
+
+    def __init__(self, n_nodes: int, spec: NodeSpec) -> None:
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self._free_cpus = np.full(n_nodes, spec.cpus)
+        self._free_gpus = np.full(n_nodes, spec.gpus)
+
+    def try_place(self, task: TaskSpec) -> Placement | None:
+        """First-fit placement; ``None`` when resources are busy.
+
+        Multi-node tasks take whole (fully free) nodes; sub-node tasks
+        pack into partially used nodes.
+        """
+        spec = self.spec
+        if task.nodes > 1:
+            if task.cpus > spec.cpus or task.gpus > spec.gpus:
+                return None
+            fully_free = np.where(
+                (self._free_cpus == spec.cpus) & (self._free_gpus == spec.gpus)
+            )[0]
+            if len(fully_free) < task.nodes:
+                return None
+            chosen = fully_free[: task.nodes]
+            self._free_cpus[chosen] = 0
+            self._free_gpus[chosen] = 0
+            return Placement(
+                node_ids=chosen.tolist(),
+                cpus=spec.cpus * task.nodes,
+                gpus=spec.gpus * task.nodes,
+            )
+        fits = np.where(
+            (self._free_cpus >= task.cpus) & (self._free_gpus >= task.gpus)
+        )[0]
+        if not len(fits):
+            return None
+        node = int(fits[0])
+        self._free_cpus[node] -= task.cpus
+        self._free_gpus[node] -= task.gpus
+        return Placement(node_ids=[node], cpus=task.cpus, gpus=task.gpus)
+
+    def release(self, placement: Placement) -> None:
+        """Return a placement's slots to the free pool."""
+        spec = self.spec
+        n_nodes = len(placement.node_ids)
+        for node in placement.node_ids:
+            self._free_cpus[node] += placement.cpus // n_nodes
+            self._free_gpus[node] += placement.gpus // n_nodes
+        np.minimum(self._free_cpus, spec.cpus, out=self._free_cpus)
+        np.minimum(self._free_gpus, spec.gpus, out=self._free_gpus)
+
+    def free_cpus(self) -> np.ndarray:
+        """Per-node free CPU slots (a copy; for inspection/tests)."""
+        return np.asarray(self._free_cpus).copy()
+
+    def free_gpus(self) -> np.ndarray:
+        """Per-node free GPU slots (a copy; for inspection/tests)."""
+        return np.asarray(self._free_gpus).copy()
+
+
+class IndexedPlacer:
+    """First-fit placement from lazy per-shape candidate heaps.
+
+    For every request shape ``(cpus, gpus)`` seen so far, a min-heap of
+    node ids maintains the invariant *every node that currently fits the
+    shape is in the heap* (possibly alongside stale entries, which are
+    discarded on contact).  First-fit-lowest-index is then a peek at the
+    heap top; a release pushes the node back into each shape heap it now
+    fits.  A membership bitmap per shape bounds every heap at one entry
+    per node, so a full-cluster miss costs one amortized drain rather
+    than unbounded growth.
+
+    Placement decisions are bit-identical to :class:`ScanPlacer` —
+    same node, same order, for any interleaving of placements and
+    releases (fuzzed in ``tests/rct/test_sched.py``).
+    """
+
+    def __init__(self, n_nodes: int, spec: NodeSpec) -> None:
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self._free_cpus = [spec.cpus] * n_nodes
+        self._free_gpus = [spec.gpus] * n_nodes
+        # shape (cpus, gpus) → (candidate min-heap, membership bitmap)
+        self._shapes: dict[tuple[int, int], tuple[list[int], bytearray]] = {}
+        # whole-node allocation pool for multi-node (MPI) tasks
+        self._fully_free: list[int] = list(range(n_nodes))  # already a heap
+        self._fully_free_in = bytearray(b"\x01" * n_nodes)
+
+    # ------------------------------------------------------------ internals
+    def _shape(self, cpus: int, gpus: int) -> tuple[list[int], bytearray]:
+        entry = self._shapes.get((cpus, gpus))
+        if entry is None:
+            # list(range(n)) is already heap-ordered; every node is a
+            # candidate until proven stale
+            entry = (list(range(self.n_nodes)), bytearray(b"\x01" * self.n_nodes))
+            self._shapes[(cpus, gpus)] = entry
+        return entry
+
+    def _place_multi(self, task: TaskSpec) -> Placement | None:
+        spec = self.spec
+        if task.cpus > spec.cpus or task.gpus > spec.gpus:
+            return None
+        heap, member = self._fully_free, self._fully_free_in
+        chosen: list[int] = []
+        while heap and len(chosen) < task.nodes:
+            node = heapq.heappop(heap)
+            member[node] = 0
+            if (
+                self._free_cpus[node] == spec.cpus
+                and self._free_gpus[node] == spec.gpus
+            ):
+                chosen.append(node)
+            # stale entries (partially busy nodes) are simply dropped;
+            # they re-enter when a release makes them fully free again
+        if len(chosen) < task.nodes:
+            for node in chosen:
+                heapq.heappush(heap, node)
+                member[node] = 1
+            return None
+        for node in chosen:
+            self._free_cpus[node] = 0
+            self._free_gpus[node] = 0
+        return Placement(
+            node_ids=chosen,
+            cpus=spec.cpus * task.nodes,
+            gpus=spec.gpus * task.nodes,
+        )
+
+    # ------------------------------------------------------------ placement
+    def try_place(self, task: TaskSpec) -> Placement | None:
+        """First-fit placement; ``None`` when resources are busy."""
+        if task.nodes > 1:
+            return self._place_multi(task)
+        heap, member = self._shape(task.cpus, task.gpus)
+        free_cpus, free_gpus = self._free_cpus, self._free_gpus
+        while heap:
+            node = heap[0]
+            if free_cpus[node] >= task.cpus and free_gpus[node] >= task.gpus:
+                free_cpus[node] -= task.cpus
+                free_gpus[node] -= task.gpus
+                if free_cpus[node] < task.cpus or free_gpus[node] < task.gpus:
+                    heapq.heappop(heap)
+                    member[node] = 0
+                return Placement(node_ids=[node], cpus=task.cpus, gpus=task.gpus)
+            heapq.heappop(heap)
+            member[node] = 0
+        return None
+
+    def release(self, placement: Placement) -> None:
+        """Return a placement's slots and re-index the freed nodes."""
+        spec = self.spec
+        n_nodes = len(placement.node_ids)
+        d_cpus = placement.cpus // n_nodes
+        d_gpus = placement.gpus // n_nodes
+        for node in placement.node_ids:
+            cpus = min(spec.cpus, self._free_cpus[node] + d_cpus)
+            gpus = min(spec.gpus, self._free_gpus[node] + d_gpus)
+            self._free_cpus[node] = cpus
+            self._free_gpus[node] = gpus
+            for (s_cpus, s_gpus), (heap, member) in self._shapes.items():
+                if not member[node] and cpus >= s_cpus and gpus >= s_gpus:
+                    heapq.heappush(heap, node)
+                    member[node] = 1
+            if (
+                not self._fully_free_in[node]
+                and cpus == spec.cpus
+                and gpus == spec.gpus
+            ):
+                heapq.heappush(self._fully_free, node)
+                self._fully_free_in[node] = 1
+
+    def free_cpus(self) -> np.ndarray:
+        """Per-node free CPU slots (a copy; for inspection/tests)."""
+        return np.array(self._free_cpus)
+
+    def free_gpus(self) -> np.ndarray:
+        """Per-node free GPU slots (a copy; for inspection/tests)."""
+        return np.array(self._free_gpus)
+
+
+class HeteroPlacer(ScanPlacer):
+    """Heterogeneous CPU/GPU-aware packing (policy-shootout entrant).
+
+    GPU-requesting and multi-node tasks place first-fit exactly like the
+    reference.  CPU-only tasks instead steer to the fitting node with
+    the *fewest* free GPUs (lowest id on ties): CPU work soaks up the
+    CPU slack of nodes whose GPUs are already committed, keeping
+    GPU-rich nodes placeable for the docking/MD streams — the mixed
+    CPU+GPU workload shape of the paper's integrated Fig 7 run.
+    """
+
+    def try_place(self, task: TaskSpec) -> Placement | None:
+        """GPU-aware placement; ``None`` when resources are busy."""
+        if task.nodes > 1 or task.gpus > 0:
+            return super().try_place(task)
+        fits = np.where(self._free_cpus >= task.cpus)[0]
+        if not len(fits):
+            return None
+        node = int(fits[np.argmin(self._free_gpus[fits])])
+        self._free_cpus[node] -= task.cpus
+        return Placement(node_ids=[node], cpus=task.cpus, gpus=0)
+
+
+#: placement policies the pilot accepts (the shootout sweeps them)
+PLACEMENT_POLICIES = {
+    "first_fit": IndexedPlacer,
+    "first_fit_scan": ScanPlacer,
+    "hetero": HeteroPlacer,
+}
+
+
+def make_placer(policy: str, n_nodes: int, spec: NodeSpec):
+    """Build the placer registered for ``policy``."""
+    try:
+        cls = PLACEMENT_POLICIES[policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {policy!r}; "
+            f"available: {sorted(PLACEMENT_POLICIES)}"
+        ) from None
+    return cls(n_nodes, spec)
+
+
+class PendingQueue:
+    """Shape-indexed task backlog with an O(placed + shapes) submit pass.
+
+    The reference scheduling loop re-scans the *entire* pending list
+    after every completion — O(backlog) per event, quadratic over a
+    campaign.  This queue keys the backlog by placement shape
+    ``(cpus, gpus, nodes)`` and merges the per-shape FIFO heads by
+    global submission order.  One pass pops tasks in exactly the order
+    the reference scan would have placed them: within a pass resources
+    only shrink, so the first placement failure of a shape proves every
+    later task of that shape would fail too, and the shape drops out of
+    the pass instead of being re-tried task by task.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[tuple[int, int, int], deque] = {}
+        self._order = itertools.count()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, task: TaskSpec) -> None:
+        """Append a task in global submission order."""
+        key = (task.cpus, task.gpus, task.nodes)
+        queue = self._queues.get(key)
+        if queue is None:
+            queue = self._queues[key] = deque()
+        queue.append((next(self._order), task))
+        self._count += 1
+
+    def submit_pass(self, try_start: Callable[[TaskSpec], bool]) -> int:
+        """Run one greedy submission pass; returns tasks started.
+
+        ``try_start`` must attempt placement+launch and return whether
+        it succeeded (without consuming the task on failure).
+        """
+        heads = [
+            (queue[0][0], key) for key, queue in self._queues.items() if queue
+        ]
+        heapq.heapify(heads)
+        started = 0
+        while heads:
+            _, key = heapq.heappop(heads)
+            queue = self._queues[key]
+            if not try_start(queue[0][1]):
+                continue  # this shape no longer fits anywhere this pass
+            queue.popleft()
+            self._count -= 1
+            started += 1
+            if queue:
+                heapq.heappush(heads, (queue[0][0], key))
+        return started

@@ -1,0 +1,292 @@
+"""Backend conformance suite: every registered executor, one contract.
+
+Parametrized over the backend registry, so a newly registered backend is
+automatically held to the full protocol: start/next_completion/wait_until
+semantics, failure capture, per-attempt timeout (cancel on the virtual
+clock, abandon-and-reap on real pools), and context-manager cleanup.
+"""
+
+import time
+
+import pytest
+
+from repro.rct.backends import (
+    ExecutorBackend,
+    ProcessExecutor,
+    SimExecutor,
+    ThreadExecutor,
+    available_backends,
+    create_executor,
+    get_backend,
+    register_backend,
+)
+from repro.rct.fault import FaultModel
+from repro.rct.task import TaskRecord, TaskSpec, TaskState
+
+BACKENDS = sorted(available_backends())
+
+
+def _make_executor(name: str):
+    if name == "sim":
+        return create_executor("sim", launch_overhead=0.0)
+    if name == "thread":
+        return create_executor("thread", max_workers=2)
+    if name == "process":
+        return create_executor("process", max_workers=2)
+    raise AssertionError(
+        f"backend {name!r} registered but not covered by the conformance "
+        "suite; add a constructor and payload mapping here"
+    )
+
+
+# module-level payloads: the process backend pickles them across the
+# fork boundary, so lambdas/closures are not an option
+def _double(x):
+    return 2 * x
+
+
+def _boom():
+    raise RuntimeError("kaput")
+
+
+def _sleep_return(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _task(name: str, **kwargs) -> TaskRecord:
+    """A one-cpu task the named backend can execute."""
+    if name == "sim":
+        spec = TaskSpec(cpus=1, duration=kwargs.get("duration", 1.0))
+    else:
+        spec = TaskSpec(
+            cpus=1,
+            fn=kwargs.get("fn", _double),
+            args=kwargs.get("args", (21,)),
+        )
+    return TaskRecord(spec=spec, state=TaskState.SCHEDULED)
+
+
+# ------------------------------------------------------------------ registry
+
+
+def test_registry_exposes_builtin_backends():
+    assert {"sim", "thread", "process"} <= set(BACKENDS)
+    assert get_backend("sim") is SimExecutor
+    assert get_backend("thread") is ThreadExecutor
+    assert get_backend("process") is ProcessExecutor
+
+
+def test_registry_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("mainframe")
+    with pytest.raises(ValueError, match="registered"):
+        create_executor("mainframe")
+
+
+def test_registry_rejects_duplicate_name():
+    with pytest.raises(ValueError, match="already registered"):
+
+        @register_backend("sim")
+        class Impostor:  # noqa: F811 - never registered
+            pass
+
+
+def test_backend_name_attribute_set_by_registration():
+    assert SimExecutor.backend_name == "sim"
+    assert ThreadExecutor.backend_name == "thread"
+    assert ProcessExecutor.backend_name == "process"
+
+
+# ------------------------------------------------------------------ protocol
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_protocol_conformance(name):
+    with _make_executor(name) as ex:
+        assert isinstance(ex, ExecutorBackend)
+        assert ex.n_running == 0
+        t0 = ex.now
+        # real payloads sleep briefly so the task is observably in flight
+        record = (
+            _task(name)
+            if name == "sim"
+            else _task(name, fn=_sleep_return, args=(0.3, 42))
+        )
+        ex.start(record)
+        assert ex.n_running == 1
+        done = ex.next_completion()
+        assert done is record
+        assert done.state is TaskState.DONE
+        assert ex.n_running == 0
+        assert done.start_time is not None and done.end_time is not None
+        assert done.end_time >= done.start_time
+        assert ex.now >= t0
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_real_backends_return_results(name):
+    if name == "sim":
+        pytest.skip("simulated tasks carry durations, not return values")
+    with _make_executor(name) as ex:
+        ex.start(_task(name, fn=_double, args=(21,)))
+        assert ex.next_completion().result == 42
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_failure_is_captured_not_raised(name):
+    """A failing attempt lands as a FAILED record, never an exception."""
+    if name == "sim":
+        ex = create_executor(
+            "sim", launch_overhead=0.0, fault_model=FaultModel(failure_rate=1.0)
+        )
+    else:
+        ex = _make_executor(name)
+    with ex:
+        ex.start(_task(name, fn=_boom, args=()))
+        done = ex.next_completion()
+        assert done.state is TaskState.FAILED
+        assert done.error
+        assert done.result is None
+        assert ex.n_running == 0
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_timeout_cancels_or_abandons(name):
+    """An attempt running past its timeout is reported failed at the
+    deadline — cancelled on the virtual clock, abandoned on real pools —
+    and the pilot-facing ledger (n_running) is settled immediately."""
+    if name == "sim":
+        ex = create_executor(
+            "sim", launch_overhead=0.0, fault_model=FaultModel(hang_rate=1.0)
+        )
+        record = _task("sim", duration=1.0)
+        timeout = 5.0
+    else:
+        ex = _make_executor(name)
+        record = _task(name, fn=_sleep_return, args=(1.5, "late"))
+        timeout = 0.2
+    with ex:
+        t0 = time.perf_counter()
+        ex.start(record, timeout=timeout)
+        done = ex.next_completion()
+        assert done.state is TaskState.FAILED
+        assert done.timed_out
+        assert "timeout" in done.error
+        assert done.result is None
+        assert ex.n_running == 0
+        if name != "sim":
+            # delivered at the deadline, not after the payload drained
+            assert time.perf_counter() - t0 < 1.0
+
+
+@pytest.mark.parametrize("name", ["thread", "process"])
+def test_abandoned_worker_accounting_settles(name):
+    """Regression: a timed-out attempt whose payload later completes must
+    drain the abandon ledger exactly once and never attach its late
+    result to the already-published FAILED record."""
+    with _make_executor(name) as ex:
+        record = _task(name, fn=_sleep_return, args=(0.5, "late"))
+        ex.start(record, timeout=0.1)
+        done = ex.next_completion()
+        assert done.timed_out and done.state is TaskState.FAILED
+        assert ex.n_abandoned == 1
+        deadline = time.perf_counter() + 5.0
+        while ex.n_abandoned and time.perf_counter() < deadline:
+            time.sleep(0.05)
+        assert ex.n_abandoned == 0  # late completion settled the ledger
+        assert done.result is None  # late result was discarded
+        assert done.state is TaskState.FAILED
+        assert ex.n_running == 0
+
+
+@pytest.mark.parametrize("name", ["thread", "process"])
+def test_shutdown_does_not_wait_for_abandoned_work(name):
+    """Shutdown with abandoned attempts must not block on dead work."""
+    ex = _make_executor(name)
+    ex.start(_task(name, fn=_sleep_return, args=(10.0, "hung")), timeout=0.1)
+    done = ex.next_completion()
+    assert done.timed_out
+    t0 = time.perf_counter()
+    ex.shutdown()
+    assert time.perf_counter() - t0 < 5.0
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_context_manager_cleanup(name):
+    ex = _make_executor(name)
+    with ex:
+        ex.start(_task(name))
+        ex.next_completion()
+    if name != "sim":
+        # the pool is gone: new submissions must fail loudly
+        with pytest.raises(RuntimeError):
+            ex.start(_task(name))
+
+
+@pytest.mark.parametrize("name", BACKENDS)
+def test_wait_until_advances_the_clock(name):
+    with _make_executor(name) as ex:
+        target = ex.now + (5.0 if name == "sim" else 0.05)
+        ex.wait_until(target)
+        assert ex.now >= target
+
+
+# --------------------------------------------------- backend-specific guards
+
+
+def test_sim_wait_until_rejects_backwards_time():
+    """Regression: virtual time is monotone; a stale (past) target must
+    fail loudly instead of silently rewinding the clock."""
+    ex = SimExecutor(launch_overhead=0.0)
+    ex.start(TaskRecord(spec=TaskSpec(duration=5.0), state=TaskState.SCHEDULED))
+    ex.next_completion()
+    assert ex.now == 5.0
+    with pytest.raises(ValueError, match="in the past"):
+        ex.wait_until(2.0)
+    assert ex.now == 5.0  # clock untouched by the rejected call
+
+
+def test_sim_now_setter_rejects_backwards_time():
+    ex = SimExecutor(launch_overhead=0.0)
+    ex.now = 10.0
+    with pytest.raises(ValueError, match="backwards"):
+        ex.now = 9.0
+    assert ex.now == 10.0
+
+
+def test_pool_wait_until_past_target_is_noop():
+    """Real clocks cannot rewind; a past target returns immediately."""
+    with ThreadExecutor(max_workers=1) as ex:
+        t0 = time.perf_counter()
+        ex.wait_until(ex.now - 100.0)
+        assert time.perf_counter() - t0 < 1.0
+
+
+def test_process_backend_reports_unpicklable_payload():
+    """A lambda payload cannot cross the process boundary; the failure
+    must surface as a FAILED record, not a hang or an unhandled crash."""
+    with ProcessExecutor(max_workers=1) as ex:
+        record = TaskRecord(
+            spec=TaskSpec(cpus=1, fn=lambda: 1), state=TaskState.SCHEDULED
+        )
+        ex.start(record)
+        done = ex.next_completion()
+        assert done.state is TaskState.FAILED
+        assert done.error
+
+
+def test_sim_start_batch_matches_sequential_starts():
+    """Batched heap insertion must preserve completion order exactly."""
+    durations = [5.0, 1.0, 3.0, 1.0, 4.0, 2.0] * 4
+    seq = SimExecutor(launch_overhead=0.0)
+    for d in durations:
+        seq.start(TaskRecord(spec=TaskSpec(duration=d), state=TaskState.SCHEDULED))
+    batch = SimExecutor(launch_overhead=0.0)
+    batch.start_batch(
+        [TaskRecord(spec=TaskSpec(duration=d), state=TaskState.SCHEDULED)
+         for d in durations]
+    )
+    seq_order = [seq.next_completion().spec.duration for _ in durations]
+    batch_order = [batch.next_completion().spec.duration for _ in durations]
+    assert seq_order == batch_order
