@@ -1,0 +1,200 @@
+"""Multi-tenant service benchmark (``BENCH_service.json``).
+
+Three claims about the campaign service on a contended shared pilot:
+
+1. **Fairness** — three tenants with weights 4:2:1 submit identical
+   saturating workloads to a 2-node cluster; the node-second share each
+   tenant achieves while everyone still has backlog must match its
+   weight fraction to within 5 % (absolute).  The stride scheduler is
+   deterministic, so this is a property check, not a statistics game.
+
+2. **Isolation** — every tenant's result digest from the contended run
+   must equal a solo run of the same workload on an idle substrate
+   (``identical`` true per tenant).  Contention may reshuffle *when*
+   work runs, never *what* it computes.
+
+3. **Throughput** — aggregate scheduler events/sec (2 × attempts /
+   wall) of the 3-tenant contended run vs a single tenant running the
+   same aggregate task count.  The multi-tenant bookkeeping (stride
+   ledger, per-tenant attribution, quota checks) should cost little.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_service.py            # full
+    PYTHONPATH=src python benchmarks/perf_service.py --smoke    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _bench import bench_report, write_report  # noqa: E402
+
+from repro.rct.backends import create_executor
+from repro.rct.cluster import Cluster, SUMMIT_NODE
+from repro.rct.pilot import Pilot
+from repro.service.manager import CampaignManager
+from repro.service.tenant import Tenant
+from repro.service.work import SyntheticWork
+
+WEIGHTS = {"gold": 4, "silver": 2, "bronze": 1}
+#: fairness tolerance on achieved-vs-target share (absolute)
+SHARE_TOLERANCE = 0.05
+
+
+def make_manager(n_nodes: int = 2) -> CampaignManager:
+    executor = create_executor("sim", launch_overhead=0.5)
+    allocation = Cluster(n_nodes, spec=SUMMIT_NODE).allocate(n_nodes, now=0.0)
+    pilot = Pilot(allocation, executor, failure_policy="drop_and_continue")
+    return CampaignManager(pilot)
+
+
+def workload(n_tasks: int, duration: float, seed: int) -> SyntheticWork:
+    """One saturating unit: every task pending at once, no science gaps."""
+    return SyntheticWork(
+        n_units=1, tasks_per_unit=n_tasks, duration=duration, gpus=1, seed=seed
+    )
+
+
+def contended_run(n_tasks: int, duration: float, seed: int) -> dict:
+    """Three tenants, weights 4:2:1, on 12 GPU slots."""
+    manager = make_manager()
+    sids = {}
+    for i, (name, weight) in enumerate(WEIGHTS.items()):
+        sids[name] = manager.submit(
+            Tenant(name=name, weight=weight), "job",
+            workload(n_tasks, duration, seed + i),
+        )
+
+    def saturated() -> bool:
+        return all(len(manager._subs[s]._pending) > 0 for s in sids.values())
+
+    # sample served node-seconds the moment any tenant's backlog drains:
+    # shares are only meaningful while everyone is still contending
+    served_at_cut = None
+    t0 = time.perf_counter()
+    while manager._step():
+        if served_at_cut is None and not saturated():
+            served_at_cut = {
+                name: manager.sched.entry(name).served_cost for name in WEIGHTS
+            }
+    wall = time.perf_counter() - t0
+    assert served_at_cut is not None
+
+    total = sum(served_at_cut.values())
+    target_total = sum(WEIGHTS.values())
+    fairness = {}
+    for name, weight in WEIGHTS.items():
+        target = weight / target_total
+        achieved = served_at_cut[name] / total
+        fairness[name] = {
+            "weight": weight,
+            "target_share": target,
+            "achieved_share": achieved,
+            "abs_error": abs(achieved - target),
+        }
+    attempts = len(manager.pilot.records)
+    return {
+        "digests": {
+            name: manager.result_digest(sid) for name, sid in sids.items()
+        },
+        "fairness": fairness,
+        "max_share_error": max(f["abs_error"] for f in fairness.values()),
+        "attempts": attempts,
+        "events_per_sec": 2 * attempts / wall,
+        "makespan": manager.pilot.executor.now,
+    }
+
+
+def solo_digest(n_tasks: int, duration: float, seed: int) -> str:
+    manager = make_manager()
+    sid = manager.submit(
+        Tenant(name="solo"), "job", workload(n_tasks, duration, seed)
+    )
+    manager.run_until_idle()
+    return manager.result_digest(sid)
+
+
+def baseline_events_per_sec(n_tasks: int, duration: float, seed: int) -> float:
+    """Single tenant pushing the same aggregate task count."""
+    manager = make_manager()
+    manager.submit(Tenant(name="solo"), "job", workload(n_tasks, duration, seed))
+    t0 = time.perf_counter()
+    manager.run_until_idle()
+    wall = time.perf_counter() - t0
+    return 2 * len(manager.pilot.records) / wall
+
+
+def run(n_tasks: int, duration: float, seed: int) -> dict:
+    shared = contended_run(n_tasks, duration, seed)
+
+    isolation = {}
+    for i, name in enumerate(WEIGHTS):
+        solo = solo_digest(n_tasks, duration, seed + i)
+        isolation[name] = {
+            "solo_digest": solo,
+            "shared_digest": shared["digests"][name],
+            "identical": solo == shared["digests"][name],
+        }
+
+    baseline = baseline_events_per_sec(3 * n_tasks, duration, seed)
+    metrics = {
+        "identical": all(t["identical"] for t in isolation.values()),
+        "isolation": isolation,
+        "fairness": shared["fairness"],
+        "max_share_error": shared["max_share_error"],
+        "share_tolerance": SHARE_TOLERANCE,
+        "fair_within_tolerance": shared["max_share_error"] <= SHARE_TOLERANCE,
+        "events_per_sec_shared": shared["events_per_sec"],
+        "events_per_sec_single_tenant": baseline,
+        "relative_throughput": shared["events_per_sec"] / baseline,
+        "attempts": shared["attempts"],
+        "makespan": shared["makespan"],
+    }
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small workload; still asserts all gates")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_service.json"))
+    args = parser.parse_args(argv)
+
+    n_tasks = 150 if args.smoke else 600
+    duration = 60.0
+    config = {
+        "smoke": args.smoke,
+        "n_tenants": len(WEIGHTS),
+        "weights": WEIGHTS,
+        "n_tasks_per_tenant": n_tasks,
+        "task_seconds": duration,
+        "n_nodes": 2,
+        "gpus_per_node": SUMMIT_NODE.gpus,
+    }
+    metrics = run(n_tasks, duration, args.seed)
+
+    report = bench_report("service", args.seed, config, metrics)
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    for name, f in metrics["fairness"].items():
+        print(f"  {name:<8s} target={f['target_share']:.3f} "
+              f"achieved={f['achieved_share']:.3f} err={f['abs_error']:.3f}")
+    print(f"  identical={metrics['identical']} "
+          f"max_share_error={metrics['max_share_error']:.3f} "
+          f"relative_throughput={metrics['relative_throughput']:.2f}")
+
+    ok = metrics["identical"] and metrics["fair_within_tolerance"]
+    if not ok:
+        print("service benchmark gates FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Subcommands map to the library's main entry points:
 * ``repro simulate``  — run the integrated workflow on the simulated cluster
 * ``repro stream``    — streamed, checkpointed library screen (resumable)
 * ``repro trace``     — traced demo run exporting a Chrome trace + summary
+* ``repro serve``     — scripted multi-tenant campaign service scenario
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -104,6 +105,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a flat JSONL span dump here")
     p_trace.add_argument("--check", action="store_true",
                          help="validate the exported trace; non-zero exit on errors")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run a scripted multi-tenant service scenario on a shared pilot",
+    )
+    p_serve.add_argument("--scenario", default="demo", choices=["demo"],
+                         help="which scripted scenario to run")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--trace", default=None, metavar="PATH",
+                         help="write the tenant-tagged span trace as JSONL here")
+    p_serve.add_argument("--check", action="store_true",
+                         help="run the scenario twice; non-zero exit unless the "
+                         "traces are byte-identical and digests match")
     return parser
 
 
@@ -308,6 +322,36 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.service import demo_scenario, run_scenario
+
+    scenario = demo_scenario(seed=args.seed)
+    report = run_scenario(scenario)
+    for tenant, subs in sorted(report.tenant_states().items()):
+        tinfo = report.status["tenants"][tenant]
+        print(f"{tenant:<10s} weight={tinfo['weight']} share={tinfo['share']:.3f} "
+              f"node-s={tinfo['node_seconds']:.0f} tasks={tinfo['n_tasks_done']}")
+        for name, state in sorted(subs.items()):
+            print(f"  {name:<12s} {state}")
+    print(f"makespan {report.makespan:.0f}s, "
+          f"{len(report.trace_jsonl.splitlines())} spans", file=sys.stderr)
+    if args.trace:
+        Path(args.trace).write_text(report.trace_jsonl)
+        print(f"wrote {args.trace}", file=sys.stderr)
+    if args.check:
+        again = run_scenario(demo_scenario(seed=args.seed))
+        if again.trace_jsonl != report.trace_jsonl:
+            print("replay check: traces differ", file=sys.stderr)
+            return 1
+        if again.digests != report.digests:
+            print("replay check: result digests differ", file=sys.stderr)
+            return 1
+        print("replay check: byte-identical", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -319,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "stream": _cmd_stream,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

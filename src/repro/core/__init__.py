@@ -6,6 +6,7 @@ from repro.core.campaign import (
     CampaignResult,
     ImpeccableCampaign,
     IterationResult,
+    StageUnit,
 )
 from repro.core.costs import PAPER_TABLE2, CostModel
 from repro.core.metrics import (
@@ -34,6 +35,7 @@ __all__ = [
     "ReferenceOracle",
     "SimulatedCampaignConfig",
     "StageAccounting",
+    "StageUnit",
     "StreamedScreenResult",
     "build_integrated_pipelines",
     "enrichment_factor",

@@ -21,6 +21,7 @@ structures (docked poses seed CG; S2-selected frames seed FG).
 
 from __future__ import annotations
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 import numpy as np
 
@@ -52,7 +53,13 @@ _log = get_logger("core.campaign")
 #: under the clock-purity lint rule
 _clock = WallClock()
 
-__all__ = ["CampaignConfig", "IterationResult", "CampaignResult", "ImpeccableCampaign"]
+__all__ = [
+    "CampaignConfig",
+    "IterationResult",
+    "CampaignResult",
+    "ImpeccableCampaign",
+    "StageUnit",
+]
 
 #: laptop-scale defaults for the heavy stages
 _FAST_LGA = LGAConfig(population=14, generations=6)
@@ -179,6 +186,42 @@ class CampaignResult:
         return [r for it in self.iterations for r in it.fg_results]
 
 
+@dataclass
+class StageUnit:
+    """One resumable slice of a campaign: a stage of one iteration.
+
+    The campaign decomposes into a strict sequence of units (seed
+    bootstrap, then ML1 → S1 → S3-CG → S2 → S3-FG → retrain per
+    iteration).  A unit's *size* (``n_items``) is fixed when the unit is
+    built — which is only possible once the previous unit has run,
+    because stage sizes depend on upstream science (how many compounds
+    ML1 selected, how many structures hold CG results).  The science
+    itself executes when :meth:`complete` is called, so an external
+    driver can schedule the unit's simulated cost on a shared pilot
+    first and run the science once the tasks finish.
+    """
+
+    stage: str
+    iteration: int  # -1 for the pre-loop seed bootstrap
+    n_items: int
+    _science: Callable[[], None]
+    done: bool = False
+
+    @property
+    def unit_id(self) -> str:
+        """Stable id used for checkpoint manifests (``it0/S1``, ``seed``)."""
+        if self.iteration < 0:
+            return self.stage
+        return f"it{self.iteration}/{self.stage}"
+
+    def complete(self) -> None:
+        """Run this unit's science.  Idempotence is the caller's job."""
+        if self.done:
+            raise RuntimeError(f"stage unit {self.unit_id!r} already completed")
+        self._science()
+        self.done = True
+
+
 class ImpeccableCampaign:
     """Drive the integrated loop against one receptor."""
 
@@ -238,6 +281,8 @@ class ImpeccableCampaign:
         self._entry_by_id = {e.compound_id: e for e in self.library}
         self.failures = FailureSummary()
         self._iter_drops: dict[str, int] = {}  # per-iteration, per-stage
+        #: populated by :meth:`iter_units` (and thus :meth:`run`)
+        self.result: CampaignResult | None = None
 
     # ---------------------------------------------------- failure handling
     def _guard(self, stage: str, unit: str, fn):
@@ -374,66 +419,107 @@ class ImpeccableCampaign:
         return {r.compound_id: r.score for r in self._all_dock_results}
 
     # ------------------------------------------------------------- the loop
-    def run(self) -> CampaignResult:
-        """Execute to completion and return the results."""
+    def iter_units(self) -> Iterator[StageUnit]:
+        """Decompose the campaign into its sequence of resumable stage units.
+
+        Yields :class:`StageUnit` objects in execution order: a ``seed``
+        bootstrap unit, then ML1 → S1 → S3-CG → S2 → S3-FG → ``retrain``
+        per iteration (S3-FG is skipped when S2 selected nothing, exactly
+        as the monolithic loop skipped its span).  The next unit is built
+        only after the previous one's :meth:`StageUnit.complete` ran —
+        stage sizes depend on upstream science.  Driving every unit
+        back-to-back is :meth:`run`; an external driver (the multi-tenant
+        campaign service) instead schedules each unit's simulated cost on
+        a shared pilot, checkpoints between units, and fast-forwards
+        completed units on resume.
+        """
         cfg = self.config
         result = CampaignResult(config=cfg, library=self.library)
+        self.result = result
         self._all_dock_results: list[DockingResult] = []
+        state: dict = {}
 
-        # bootstrap: random seed set docked, first surrogate trained
-        seed_rng = self.factory.stream("seed-set")
-        seed_idx = seed_rng.choice(
-            len(self.library), size=cfg.seed_train_size, replace=False
-        )
-        seed_docked = self._dock_batch([int(i) for i in seed_idx])
-        self._all_dock_results.extend(seed_docked)
-        surrogate = self._train_surrogate()
+        def checked(unit: StageUnit) -> Iterator[StageUnit]:
+            yield unit
+            if not unit.done:
+                raise RuntimeError(
+                    f"stage unit {unit.unit_id!r} must be completed before "
+                    "the next unit is requested"
+                )
+
+        def seed_science() -> None:
+            # bootstrap: random seed set docked, first surrogate trained
+            seed_rng = self.factory.stream("seed-set")
+            seed_idx = seed_rng.choice(
+                len(self.library), size=cfg.seed_train_size, replace=False
+            )
+            seed_docked = self._dock_batch([int(i) for i in seed_idx])
+            self._all_dock_results.extend(seed_docked)
+            state["surrogate"] = self._train_surrogate()
+
+        yield from checked(StageUnit("seed", -1, cfg.seed_train_size, seed_science))
 
         for it in range(cfg.iterations):
             _log.info("iteration %d starting", it)
             self._iter_drops = {}  # the failure budget is per iteration
             metrics = CampaignMetrics(iteration=it)
+            ictx: dict = {}  # hand-offs between this iteration's units
+
             # ---------------------------------------------------------- ML1
-            # stage boundaries are manual spans on the tracer's own clock
-            # (TickClock in deterministic runs), closed after accounting
-            stage_span = self.tracer.start_span(
-                "stage:ML1", category="campaign.stage", iteration=it
-            )
-            t0 = _clock.now()
-            selected = self._ml1_select(surrogate)
-            ml1_wall = _clock.now() - t0
-            n_ranked = len(self.library) - len(self._docked_ids) + len(selected)
-            stage_span.set_attr("n_ligands", n_ranked)
-            stage_span.finish()
-            metrics.stages["ML1"] = StageAccounting(
-                stage="ML1",
-                n_ligands=n_ranked,
-                wall_seconds=ml1_wall,
-                node_hours=self.cost_model.ml1_wall_seconds(n_ranked)
-                / 3600.0
-                / self.cost_model.node.gpus,
-            )
+            def ml1_science(it=it, metrics=metrics, ictx=ictx) -> None:
+                # stage boundaries are manual spans on the tracer's own clock
+                # (TickClock in deterministic runs), closed after accounting
+                stage_span = self.tracer.start_span(
+                    "stage:ML1", category="campaign.stage", iteration=it
+                )
+                t0 = _clock.now()
+                selected = self._ml1_select(state["surrogate"])
+                ml1_wall = _clock.now() - t0
+                n_ranked = len(self.library) - len(self._docked_ids) + len(selected)
+                stage_span.set_attr("n_ligands", n_ranked)
+                stage_span.finish()
+                metrics.stages["ML1"] = StageAccounting(
+                    stage="ML1",
+                    n_ligands=n_ranked,
+                    wall_seconds=ml1_wall,
+                    node_hours=self.cost_model.ml1_wall_seconds(n_ranked)
+                    / 3600.0
+                    / self.cost_model.node.gpus,
+                )
+                ictx["selected"] = selected
+
+            n_undocked = len(self.library) - len(self._docked_ids)
+            yield from checked(StageUnit("ML1", it, n_undocked, ml1_science))
 
             # ----------------------------------------------------------- S1
-            _log.info("S1: docking %d ML1-selected compounds", len(selected))
-            stage_span = self.tracer.start_span(
-                "stage:S1", category="campaign.stage", iteration=it
-            )
-            t0 = _clock.now()
-            docked = self._dock_batch(selected)
-            self._all_dock_results.extend(docked)
-            s1_wall = _clock.now() - t0
-            stage_span.set_attr("n_ligands", len(docked))
-            stage_span.finish()
-            metrics.stages["S1"] = StageAccounting(
-                stage="S1",
-                n_ligands=len(docked),
-                wall_seconds=s1_wall,
-                node_hours=len(docked)
-                * self.cost_model.node_hours_per_ligand("S1"),
+            def s1_science(it=it, metrics=metrics, ictx=ictx) -> None:
+                selected = ictx["selected"]
+                _log.info("S1: docking %d ML1-selected compounds", len(selected))
+                stage_span = self.tracer.start_span(
+                    "stage:S1", category="campaign.stage", iteration=it
+                )
+                t0 = _clock.now()
+                docked = self._dock_batch(selected)
+                self._all_dock_results.extend(docked)
+                s1_wall = _clock.now() - t0
+                stage_span.set_attr("n_ligands", len(docked))
+                stage_span.finish()
+                metrics.stages["S1"] = StageAccounting(
+                    stage="S1",
+                    n_ligands=len(docked),
+                    wall_seconds=s1_wall,
+                    node_hours=len(docked)
+                    * self.cost_model.node_hours_per_ligand("S1"),
+                )
+                ictx["docked"] = docked
+
+            yield from checked(
+                StageUnit("S1", it, len(ictx["selected"]), s1_science)
             )
 
             # -------------------------------------------------------- S3-CG
+            # the diversity pick is a cheap read-only selection, so it runs
+            # at unit-build time and fixes the unit's size exactly
             cg_inputs = self._select_for_cg()
             _log.info("S3-CG: %d diversity-picked compounds", len(cg_inputs))
             # group compounds by the crystal structure that docked them
@@ -442,104 +528,133 @@ class ImpeccableCampaign:
             for dock in cg_inputs:
                 pdb = self._best_structure.get(dock.compound_id, cfg.pdb_id)
                 groups.setdefault(pdb, []).append(dock)
-            stage_span = self.tracer.start_span(
-                "stage:S3-CG", category="campaign.stage", iteration=it
-            )
-            t0 = _clock.now()
-            cg_results: list[EsmacsResult] = []
-            cg_by_pdb: dict[str, list[EsmacsResult]] = {}
-            ligand_atoms: dict[str, np.ndarray] = {}
-            reference_by_pdb: dict[str, np.ndarray] = {}
-            for pdb, docks in groups.items():
-                receptor = self.receptors[pdb]
-                runner_cg = EsmacsRunner(
-                    receptor, cfg.cg, seed=self.factory.spawn_seed(f"cg/{it}/{pdb}")
+
+            def cg_science(it=it, metrics=metrics, ictx=ictx, groups=groups) -> None:
+                stage_span = self.tracer.start_span(
+                    "stage:S3-CG", category="campaign.stage", iteration=it
                 )
-                for dock in docks:
+                t0 = _clock.now()
+                cg_results: list[EsmacsResult] = []
+                cg_by_pdb: dict[str, list[EsmacsResult]] = {}
+                ligand_atoms: dict[str, np.ndarray] = {}
+                reference_by_pdb: dict[str, np.ndarray] = {}
+                for pdb, docks in groups.items():
+                    receptor = self.receptors[pdb]
+                    runner_cg = EsmacsRunner(
+                        receptor, cfg.cg, seed=self.factory.spawn_seed(f"cg/{it}/{pdb}")
+                    )
+                    for dock in docks:
 
-                    def cg_one(dock=dock, receptor=receptor, runner_cg=runner_cg, pdb=pdb):
-                        mol = parse_smiles(dock.smiles)
-                        coords = self.engines[pdb].pose_coordinates(dock)
-                        res = runner_cg.run(mol, coords, dock.compound_id)
-                        system = build_lpc(
-                            receptor, mol, coords, seed=cfg.seed,
-                            n_residues=cfg.cg.n_residues,
-                        )
-                        return res, system
+                        def cg_one(dock=dock, receptor=receptor, runner_cg=runner_cg, pdb=pdb):
+                            mol = parse_smiles(dock.smiles)
+                            coords = self.engines[pdb].pose_coordinates(dock)
+                            res = runner_cg.run(mol, coords, dock.compound_id)
+                            system = build_lpc(
+                                receptor, mol, coords, seed=cfg.seed,
+                                n_residues=cfg.cg.n_residues,
+                            )
+                            return res, system
 
-                    unit = self._guard("S3-CG", dock.compound_id, cg_one)
-                    if unit is None:
-                        continue
-                    res, system = unit
-                    cg_results.append(res)
-                    cg_by_pdb.setdefault(pdb, []).append(res)
-                    self._cg_done_ids.add(dock.compound_id)
-                    ligand_atoms[dock.compound_id] = system.topology.ligand_atoms
-                    reference_by_pdb[pdb] = system.positions[
-                        system.topology.protein_atoms
-                    ]
-            cg_wall = _clock.now() - t0
-            stage_span.set_attr("n_ligands", len(cg_results))
-            stage_span.finish()
-            metrics.stages["S3-CG"] = StageAccounting(
-                stage="S3-CG",
-                n_ligands=len(cg_results),
-                wall_seconds=cg_wall,
-                node_hours=len(cg_results)
-                * self.cost_model.node_hours_per_ligand("S3-CG"),
-            )
+                        unit = self._guard("S3-CG", dock.compound_id, cg_one)
+                        if unit is None:
+                            continue
+                        res, system = unit
+                        cg_results.append(res)
+                        cg_by_pdb.setdefault(pdb, []).append(res)
+                        self._cg_done_ids.add(dock.compound_id)
+                        ligand_atoms[dock.compound_id] = system.topology.ligand_atoms
+                        reference_by_pdb[pdb] = system.positions[
+                            system.topology.protein_atoms
+                        ]
+                cg_wall = _clock.now() - t0
+                stage_span.set_attr("n_ligands", len(cg_results))
+                stage_span.finish()
+                metrics.stages["S3-CG"] = StageAccounting(
+                    stage="S3-CG",
+                    n_ligands=len(cg_results),
+                    wall_seconds=cg_wall,
+                    node_hours=len(cg_results)
+                    * self.cost_model.node_hours_per_ligand("S3-CG"),
+                )
+                ictx["cg_results"] = cg_results
+                ictx["cg_by_pdb"] = cg_by_pdb
+                ictx["ligand_atoms"] = ligand_atoms
+                ictx["reference_by_pdb"] = reference_by_pdb
+
+            yield from checked(StageUnit("S3-CG", it, len(cg_inputs), cg_science))
 
             # ------------------------------------------------------------ S2
-            # one AAE per receptor structure, as §7.1.3 trains per PDB id
-            s2_by_structure: dict[str, S2Result] = {}
-            fg_results: list[EsmacsResult] = []
-            fg_parents: list[str] = []
-            stage_span = self.tracer.start_span(
-                "stage:S2", category="campaign.stage", iteration=it
-            )
-            t0 = _clock.now()
-            for pdb, pdb_cg in cg_by_pdb.items():
-                if not pdb_cg:
-                    continue
+            def s2_science(it=it, metrics=metrics, ictx=ictx) -> None:
+                cg_by_pdb = ictx["cg_by_pdb"]
+                ligand_atoms = ictx["ligand_atoms"]
+                reference_by_pdb = ictx["reference_by_pdb"]
+                # one AAE per receptor structure, as §7.1.3 trains per PDB id
+                s2_by_structure: dict[str, S2Result] = {}
+                ictx["fg_results"] = []
+                ictx["fg_parents"] = []
+                stage_span = self.tracer.start_span(
+                    "stage:S2", category="campaign.stage", iteration=it
+                )
+                t0 = _clock.now()
+                for pdb, pdb_cg in cg_by_pdb.items():
+                    if not pdb_cg:
+                        continue
 
-                def s2_one(pdb=pdb, pdb_cg=pdb_cg, it=it):
-                    return run_s2(
-                        pdb_cg,
-                        reference_by_pdb[pdb],
-                        ligand_atoms,
-                        AdaptiveConfig(
-                            top_compounds=min(cfg.s2_top_compounds, len(pdb_cg)),
-                            outliers_per_compound=cfg.s2_outliers_per_compound,
-                            lof_neighbors=8,
-                        ),
-                        seed=self.factory.spawn_seed(f"s2/{it}/{pdb}"),
+                    def s2_one(
+                        pdb=pdb,
+                        pdb_cg=pdb_cg,
+                        it=it,
+                        reference_by_pdb=reference_by_pdb,
+                        ligand_atoms=ligand_atoms,
+                    ):
+                        return run_s2(
+                            pdb_cg,
+                            reference_by_pdb[pdb],
+                            ligand_atoms,
+                            AdaptiveConfig(
+                                top_compounds=min(cfg.s2_top_compounds, len(pdb_cg)),
+                                outliers_per_compound=cfg.s2_outliers_per_compound,
+                                lof_neighbors=8,
+                            ),
+                            seed=self.factory.spawn_seed(f"s2/{it}/{pdb}"),
+                        )
+
+                    s2_unit = self._guard("S2", pdb, s2_one)
+                    if s2_unit is not None:
+                        s2_by_structure[pdb] = s2_unit
+                s2_wall = _clock.now() - t0
+                stage_span.set_attr(
+                    "n_ligands",
+                    sum(len(r.top_compound_ids) for r in s2_by_structure.values()),
+                )
+                stage_span.finish()
+                s2_result = None
+                if s2_by_structure:
+                    s2_result = max(
+                        s2_by_structure.values(), key=lambda r: len(r.dataset)
                     )
+                    n_s2 = sum(
+                        len(r.top_compound_ids) for r in s2_by_structure.values()
+                    )
+                    metrics.stages["S2"] = StageAccounting(
+                        stage="S2",
+                        n_ligands=n_s2,
+                        wall_seconds=s2_wall,
+                        node_hours=n_s2 * self.cost_model.node_hours_per_ligand("S2"),
+                    )
+                ictx["s2_by_structure"] = s2_by_structure
+                ictx["s2_result"] = s2_result
 
-                s2_unit = self._guard("S2", pdb, s2_one)
-                if s2_unit is not None:
-                    s2_by_structure[pdb] = s2_unit
-            s2_wall = _clock.now() - t0
-            stage_span.set_attr(
-                "n_ligands",
-                sum(len(r.top_compound_ids) for r in s2_by_structure.values()),
+            yield from checked(
+                StageUnit("S2", it, len(ictx["cg_by_pdb"]), s2_science)
             )
-            stage_span.finish()
-            s2_result = None
-            if s2_by_structure:
-                s2_result = max(
-                    s2_by_structure.values(), key=lambda r: len(r.dataset)
-                )
-                n_s2 = sum(
-                    len(r.top_compound_ids) for r in s2_by_structure.values()
-                )
-                metrics.stages["S2"] = StageAccounting(
-                    stage="S2",
-                    n_ligands=n_s2,
-                    wall_seconds=s2_wall,
-                    node_hours=n_s2 * self.cost_model.node_hours_per_ligand("S2"),
-                )
 
-                # ---------------------------------------------------- S3-FG
+            # -------------------------------------------------------- S3-FG
+            def fg_science(it=it, metrics=metrics, ictx=ictx) -> None:
+                s2_by_structure = ictx["s2_by_structure"]
+                ligand_atoms = ictx["ligand_atoms"]
+                fg_results = ictx["fg_results"]
+                fg_parents = ictx["fg_parents"]
                 stage_span = self.tracer.start_span(
                     "stage:S3-FG", category="campaign.stage", iteration=it
                 )
@@ -552,7 +667,7 @@ class ImpeccableCampaign:
                     )
                     for sel in s2.selections:
 
-                        def fg_one(sel=sel, runner_fg=runner_fg):
+                        def fg_one(sel=sel, runner_fg=runner_fg, ligand_atoms=ligand_atoms):
                             mol = parse_smiles(
                                 self._entry_by_id[sel.compound_id].smiles
                             )
@@ -586,43 +701,64 @@ class ImpeccableCampaign:
                     * self.cost_model.node_hours_per_ligand("S3-FG"),
                 )
 
-            # ------------------------------------------------------ metrics
-            if self.oracle is not None:
-                # cumulative enrichment: how well has the campaign as a
-                # whole concentrated the true top compounds so far
-                true_top = self.oracle.true_top_ids(self.library, 0.10)
-                if self._docked_ids:
-                    metrics.enrichment_s1 = enrichment_factor(
-                        set(self._docked_ids), true_top, len(self.library)
-                    )
-                if self._cg_done_ids:
-                    metrics.enrichment_cg = enrichment_factor(
-                        set(self._cg_done_ids), true_top, len(self.library)
-                    )
-                metrics.effective_ligands = len(self._cg_done_ids & true_top)
-
-            # ----------------------------------------------------- feedback
-            surrogate = self._train_surrogate()
-            if surrogate.val_losses:
-                metrics.surrogate_val_loss = surrogate.val_losses[-1]
-            metrics.publish(self.tracer.metrics)
-
-            result.iterations.append(
-                IterationResult(
-                    iteration=it,
-                    docked=docked,
-                    cg_results=cg_results,
-                    s2_result=s2_result,
-                    fg_results=fg_results,
-                    fg_parents=fg_parents,
-                    metrics=metrics,
-                    s2_by_structure=s2_by_structure,
+            if ictx["s2_by_structure"]:
+                n_fg = sum(
+                    len(s2.selections) for s2 in ictx["s2_by_structure"].values()
                 )
-            )
+                yield from checked(StageUnit("S3-FG", it, n_fg, fg_science))
 
-        result.surrogate = surrogate
+            # --------------------------------------------------- retrain
+            def retrain_science(it=it, metrics=metrics, ictx=ictx) -> None:
+                if self.oracle is not None:
+                    # cumulative enrichment: how well has the campaign as a
+                    # whole concentrated the true top compounds so far
+                    true_top = self.oracle.true_top_ids(self.library, 0.10)
+                    if self._docked_ids:
+                        metrics.enrichment_s1 = enrichment_factor(
+                            set(self._docked_ids), true_top, len(self.library)
+                        )
+                    if self._cg_done_ids:
+                        metrics.enrichment_cg = enrichment_factor(
+                            set(self._cg_done_ids), true_top, len(self.library)
+                        )
+                    metrics.effective_ligands = len(self._cg_done_ids & true_top)
+
+                # the upstream feedback: retrain on everything docked so far
+                surrogate = self._train_surrogate()
+                state["surrogate"] = surrogate
+                if surrogate.val_losses:
+                    metrics.surrogate_val_loss = surrogate.val_losses[-1]
+                metrics.publish(self.tracer.metrics)
+
+                result.iterations.append(
+                    IterationResult(
+                        iteration=it,
+                        docked=ictx["docked"],
+                        cg_results=ictx["cg_results"],
+                        s2_result=ictx["s2_result"],
+                        fg_results=ictx["fg_results"],
+                        fg_parents=ictx["fg_parents"],
+                        metrics=metrics,
+                        s2_by_structure=ictx["s2_by_structure"],
+                    )
+                )
+
+            yield from checked(StageUnit("retrain", it, 1, retrain_science))
+
+        result.surrogate = state["surrogate"]
         result.docked_scores = self._score_by_id()
         result.failure_summary = self.failures
         if self.failures.n_dropped:
             _log.warning("campaign finished with drops: %s", self.failures.summary())
-        return result
+
+    def run(self) -> CampaignResult:
+        """Execute to completion and return the results.
+
+        Equivalent to driving :meth:`iter_units` back-to-back: same
+        statement order, same RNG stream keys, same tracer spans — the
+        monolithic loop of earlier versions, now expressed over units.
+        """
+        for unit in self.iter_units():
+            unit.complete()
+        assert self.result is not None
+        return self.result

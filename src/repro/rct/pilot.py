@@ -136,6 +136,18 @@ class Pilot:
 
     def _start(self, task: TaskSpec, attempt: int = 0) -> bool:
         """Place and launch one attempt; ``False`` when nothing fits."""
+        if task.uid in self._placements:
+            # Slot bookkeeping is keyed by uid: silently overwriting the
+            # placement of an in-flight task would leak its slots on
+            # release and mis-free the other's.  This fires when two
+            # logical campaigns share one pilot without namespacing their
+            # uids (the global TaskSpec counter is per-process, and
+            # reset_uid_counter() makes collisions trivial).
+            raise ValueError(
+                f"task uid {task.uid} ({task.name!r}) is already in flight "
+                "on this pilot; shared-pilot submitters must namespace "
+                "their uids"
+            )
         placement = self._placer.try_place(task)
         if placement is None:
             return False
@@ -148,21 +160,55 @@ class Pilot:
         if self.keep_records:
             self.records.append(record)
         if self.tracer.enabled:
+            attrs = {
+                "stage": task.stage,
+                "uid": task.uid,
+                "attempt": attempt,
+                "gpus": placement.gpus,
+                "cpus": placement.cpus,
+                "nodes": len(placement.node_ids),
+            }
+            if task.tenant:
+                attrs["tenant"] = task.tenant
             self._task_spans[(task.uid, attempt)] = self.tracer.start_span(
                 task.name,
                 category="pilot.task",
-                attrs={
-                    "stage": task.stage,
-                    "uid": task.uid,
-                    "attempt": attempt,
-                    "gpus": placement.gpus,
-                    "cpus": placement.cpus,
-                    "nodes": len(placement.node_ids),
-                },
+                attrs=attrs,
                 start=self.executor.now,
             )
         self._n_running += 1
         return True
+
+    def start_task(self, task: TaskSpec, attempt: int = 0) -> bool:
+        """Public single-task launch for external schedulers.
+
+        The multi-tenant service picks which tenant's task goes next and
+        grants placements one at a time; this is the sanctioned entry
+        point for that (``_start`` semantics: place + launch, ``False``
+        when nothing fits, :class:`ValueError` on an in-flight uid
+        collision).
+        """
+        return self._start(task, attempt)
+
+    def cancel_pending(self, pred) -> list[TaskSpec]:
+        """Drop queued-not-running retry attempts matching ``pred``.
+
+        Running attempts are *not* interrupted — bounded preemption only
+        touches work that has not started.  Returns the cancelled specs.
+        Each dropped retry is recorded as a drop in :attr:`failures` so
+        the summary still reconciles (its retry was already counted when
+        the backoff was scheduled).
+        """
+        kept: list[tuple[float, TaskSpec, int]] = []
+        cancelled: list[TaskSpec] = []
+        for eligible, task, attempt in self._retry_queue:
+            if pred(task):
+                cancelled.append(task)
+                self.failures.record_drop(task.stage)
+            else:
+                kept.append((eligible, task, attempt))
+        self._retry_queue = kept
+        return cancelled
 
     def _submit_retries(self) -> None:
         """Re-drive backoff-expired retries, oldest first."""
@@ -220,17 +266,20 @@ class Pilot:
                     # the backoff interval is itself a span, carrying the
                     # exact policy-drawn seconds (end-start would
                     # reintroduce float round-off into reconciliation)
+                    attrs = {
+                        "stage": record.spec.stage,
+                        "uid": record.spec.uid,
+                        "attempt": record.attempt,
+                        "seconds": backoff,
+                    }
+                    if record.spec.tenant:
+                        attrs["tenant"] = record.spec.tenant
                     self.tracer.record_span(
                         f"backoff:{record.spec.name}",
                         start=self.executor.now,
                         end=self.executor.now + backoff,
                         category="pilot.backoff",
-                        attrs={
-                            "stage": record.spec.stage,
-                            "uid": record.spec.uid,
-                            "attempt": record.attempt,
-                            "seconds": backoff,
-                        },
+                        attrs=attrs,
                     )
                 self._retry_queue.append(
                     (self.executor.now + backoff, record.spec, record.attempt + 1)

@@ -316,6 +316,50 @@ class PendingQueue:
         queue.append((next(self._order), task))
         self._count += 1
 
+    def try_start_one(self, try_start: Callable[[TaskSpec], bool]) -> TaskSpec | None:
+        """Start at most one task; returns it, or ``None`` if nothing fits.
+
+        Shape heads are visited in global submission order, exactly like
+        one step of :meth:`submit_pass`: the oldest pending task is tried
+        first, and a shape whose head fails placement proves nothing of
+        that shape fits, so the pass moves to the next-oldest shape head.
+        The fair-share scheduler of the multi-tenant service uses this to
+        grant one placement at a time to the tenant the share policy
+        picked, instead of letting one tenant's greedy pass drain the
+        cluster.
+        """
+        heads = [
+            (queue[0][0], key) for key, queue in self._queues.items() if queue
+        ]
+        heapq.heapify(heads)
+        while heads:
+            _, key = heapq.heappop(heads)
+            queue = self._queues[key]
+            if try_start(queue[0][1]):
+                task = queue.popleft()[1]
+                self._count -= 1
+                return task
+        return None
+
+    def drop_where(self, pred: Callable[[TaskSpec], bool]) -> list[TaskSpec]:
+        """Remove every queued task matching ``pred``; returns them.
+
+        Cancellation of queued-not-running work: relative submission
+        order of the surviving tasks is preserved (their global order
+        stamps are untouched).
+        """
+        dropped: list[TaskSpec] = []
+        for key, queue in self._queues.items():
+            kept: deque = deque()
+            for order, task in queue:
+                if pred(task):
+                    dropped.append(task)
+                else:
+                    kept.append((order, task))
+            self._queues[key] = kept
+        self._count -= len(dropped)
+        return dropped
+
     def submit_pass(self, try_start: Callable[[TaskSpec], bool]) -> int:
         """Run one greedy submission pass; returns tasks started.
 

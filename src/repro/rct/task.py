@@ -64,6 +64,11 @@ class TaskSpec:
         Callable payload for real execution.
     stage:
         Label used for utilization plots and accounting (e.g. "S3-CG").
+    tenant:
+        Owner label when many logical campaigns share one pilot (the
+        multi-tenant service); empty for single-campaign runs.  Carried
+        onto the task's telemetry span so per-tenant utilization and
+        accounting stay pure views over the trace.
     """
 
     name: str = ""
@@ -75,6 +80,7 @@ class TaskSpec:
     args: tuple = ()
     kwargs: dict = field(default_factory=dict)
     stage: str = ""
+    tenant: str = ""
     uid: int = field(default_factory=lambda: next(_task_counter))
 
     def __post_init__(self) -> None:

@@ -67,7 +67,7 @@ class UtilizationTracker:
 
     @classmethod
     def from_trace(
-        cls, tracer, total_gpus: int, total_cpus: int
+        cls, tracer, total_gpus: int, total_cpus: int, tenant: str | None = None
     ) -> "UtilizationTracker":
         """Rebuild the tracker from a telemetry trace (Fig 7 as a view).
 
@@ -78,12 +78,19 @@ class UtilizationTracker:
         without float round-off.  Events are replayed in tracer sequence
         order — program order — reproducing exactly the event list the
         pilot used to record inline.
+
+        With ``tenant`` set, only spans carrying that tenant attribute
+        contribute — the per-tenant utilization view of a shared pilot
+        (``total_gpus``/``total_cpus`` stay the whole pilot's capacity,
+        so the average reads as *share of the machine*).
         """
         tracker = cls(total_gpus=total_gpus, total_cpus=total_cpus)
         events: list[tuple[int, float, int, int, str]] = []
         backoffs: list[tuple[int, float, float, str]] = []
         spans = list(tracer.finished) + tracer.active_spans()
         for span in spans:
+            if tenant is not None and span.attrs.get("tenant") != tenant:
+                continue
             if span.category == "pilot.task":
                 gpus = int(span.attrs.get("gpus", 0))
                 cpus = int(span.attrs.get("cpus", 0))

@@ -1,0 +1,51 @@
+"""Multi-tenant campaign service: many campaigns, one shared substrate.
+
+The ROADMAP's "millions of users" shape: an asyncio
+:class:`~repro.service.manager.CampaignManager` accepts campaign
+submissions from many tenants, decomposes each into stage work units,
+and drives them concurrently over one shared pilot with deterministic
+fair-share scheduling (stride over tenant weights), priorities with
+bounded preemption, per-tenant quotas, and live submit/cancel — while
+keeping the house determinism contract: per-tenant results bit-identical
+to solo runs, scripted scenarios byte-identical on replay.
+"""
+
+from repro.service.manager import CampaignManager, Submission
+from repro.service.sched import ShareEntry, StrideScheduler
+from repro.service.scenario import (
+    Scenario,
+    ScenarioEvent,
+    ScenarioReport,
+    demo_scenario,
+    run_scenario,
+)
+from repro.service.tenant import SUBMISSION_STATES, Quota, Tenant
+from repro.service.work import (
+    CampaignWork,
+    SyntheticWork,
+    WorkContext,
+    WorkSource,
+    WorkUnit,
+    campaign_result_digest,
+)
+
+__all__ = [
+    "CampaignManager",
+    "CampaignWork",
+    "Quota",
+    "SUBMISSION_STATES",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioReport",
+    "ShareEntry",
+    "StrideScheduler",
+    "Submission",
+    "SyntheticWork",
+    "Tenant",
+    "WorkContext",
+    "WorkSource",
+    "WorkUnit",
+    "campaign_result_digest",
+    "demo_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,503 @@
+"""The multi-tenant campaign manager.
+
+One shared pilot, many tenants' campaigns.  The manager decomposes each
+submission into stage work units (:mod:`repro.service.work`), prices
+their simulated cost, and drives everything over the pilot's virtual
+clock with deterministic fair-share scheduling
+(:mod:`repro.service.sched`), per-tenant quotas, and live
+submit/cancel.
+
+The drive loop is the single-campaign
+:class:`~repro.rct.entk.AppManager` loop generalized across tenants:
+
+1. apply due commands (scripted events at virtual times, or live
+   asyncio submits/cancels drained in arrival order at loop boundaries);
+2. advance every submission whose current unit's tasks all finished —
+   run its science, checkpoint, build the next unit;
+3. placement pass: repeatedly pick the fair-share winner among tenants
+   with backlog and quota headroom, grant one placement, charge its
+   node-seconds to the tenant's stride pass; a tenant whose head task
+   doesn't fit is set aside for the rest of the pass (resources only
+   shrink within a pass);
+4. wait for the next completion (or idle the clock to the next retry
+   eligibility / scripted event) and attribute the finished attempt to
+   its tenant: per-tenant :class:`~repro.rct.tasklog.TaskLog`,
+   :class:`~repro.rct.fault.FailureSummary`, node-second accounting.
+
+**Determinism contract.**  A fixed submission script + seed yields
+bit-identical per-tenant results and byte-identical exported traces,
+regardless of how tenants interleave: the loop is single-threaded over
+a virtual clock, every tie-break is total (join order), task uids live
+in per-submission namespaces (so fault draws never shift with arrival
+order), and all science randomness flows from each submission's own
+seed.  Each tenant's results are bit-identical to running its campaign
+alone — contention changes *when* work runs, never *what* it computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.rct.fault import FailureSummary, TaskFailedError
+from repro.rct.pilot import Pilot
+from repro.rct.sched import PendingQueue
+from repro.rct.task import TaskRecord, TaskSpec, TaskState
+from repro.rct.tasklog import TaskLog
+from repro.service.sched import StrideScheduler
+from repro.service.tenant import SUBMISSION_STATES, Tenant
+from repro.service.work import WorkContext, WorkSource, WorkUnit
+from repro.util.log import get_logger
+
+__all__ = ["CampaignManager", "Submission"]
+
+_log = get_logger("service.manager")
+
+#: uids per submission namespace; bases are 22 bits so every uid fits
+#: the task log's signed-64-bit columns
+_UID_SPACE = 1 << 40
+
+
+def _uid_base(sid: str) -> int:
+    """Deterministic uid namespace base for a submission id."""
+    digest = hashlib.sha256(sid.encode("utf-8")).digest()
+    return (int.from_bytes(digest[:8], "big") % (1 << 22)) * _UID_SPACE
+
+
+@dataclass
+class Submission:
+    """One tenant's campaign riding the shared substrate."""
+
+    sid: str  # "{tenant}/{name}", unique
+    tenant: Tenant
+    name: str
+    work: WorkSource
+    join_seq: int
+    state: str = "queued"
+    error: str | None = None
+    units_done: int = 0
+    n_tasks_done: int = 0
+    node_seconds: float = 0.0
+    #: per-submission accounting, same columnar form as the pilot's
+    tasklog: TaskLog = field(default_factory=TaskLog)
+    failures: FailureSummary = field(default_factory=FailureSummary)
+    # -- drive-loop internals --
+    _units: Iterator[WorkUnit] | None = None
+    _current: WorkUnit | None = None
+    _pending: PendingQueue = field(default_factory=PendingQueue)
+    _inflight: set = field(default_factory=set)
+    _next_uid: int = 0
+    _uid_base: int = 0
+
+    @property
+    def active(self) -> bool:
+        """Still producing or awaiting work (not in a terminal state)."""
+        return self.state in ("queued", "running")
+
+    def owns_uid(self, uid: int) -> bool:
+        """Whether ``uid`` falls in this submission's namespace."""
+        return self._uid_base <= uid < self._uid_base + _UID_SPACE
+
+
+class CampaignManager:
+    """Drive many tenants' campaigns over one shared pilot."""
+
+    def __init__(self, pilot: Pilot, preempt_bound: int = 8) -> None:
+        self.pilot = pilot
+        self.sched = StrideScheduler(preempt_bound=preempt_bound)
+        self._subs: dict[str, Submission] = {}
+        self._by_base: dict[int, str] = {}
+        self._join_seq = 0
+        #: live commands (op, payload) drained at loop boundaries in
+        #: arrival order — the asyncio submit/cancel entry point
+        self._commands: deque = deque()
+        #: scripted events [(at, seq, op, payload)], sorted by (at, seq)
+        self._events: list[tuple[float, int, str, dict]] = []
+        self._event_seq = 0
+
+    # ----------------------------------------------------------- public API
+    def submit(self, tenant: Tenant, name: str, work: WorkSource) -> str:
+        """Register a submission; returns its id.  Takes effect now."""
+        sid = f"{tenant.name}/{name}"
+        if sid in self._subs:
+            raise ValueError(f"submission {sid!r} already exists")
+        base = _uid_base(sid)
+        other = self._by_base.get(base)
+        if other is not None:
+            raise ValueError(
+                f"uid namespace collision between {sid!r} and {other!r}; "
+                "rename one submission"
+            )
+        for existing in self._subs.values():
+            if existing.tenant.name == tenant.name and existing.tenant != tenant:
+                raise ValueError(
+                    f"tenant {tenant.name!r} resubmitted with a different "
+                    "weight/priority/quota; tenants are immutable per run"
+                )
+        sub = Submission(
+            sid=sid,
+            tenant=tenant,
+            name=name,
+            work=work,
+            join_seq=self._join_seq,
+        )
+        sub._uid_base = base
+        self._join_seq += 1
+        self._subs[sid] = sub
+        self._by_base[base] = sid
+        if tenant.name not in self.sched:
+            self.sched.add(tenant.name, weight=tenant.weight, priority=tenant.priority)
+        _log.info("submission %s accepted (weight=%d)", sid, tenant.weight)
+        return sid
+
+    def cancel(self, sid: str) -> None:
+        """Cancel a submission: queued work is dropped, running tasks
+        finish (bounded preemption never revokes a placement), and any
+        checkpoints the submission wrote remain resumable."""
+        sub = self._subs[sid]
+        if not sub.active:
+            return
+        n_queued = len(sub._pending)
+        sub._pending.drop_where(lambda _t: True)
+        self.pilot.cancel_pending(lambda t: sub.owns_uid(t.uid))
+        sub.state = "cancelled"
+        sub.error = None
+        self._retire_tenant_if_idle(sub.tenant.name)
+        _log.info("submission %s cancelled (%d queued tasks dropped)", sid, n_queued)
+
+    def status(self, sid: str | None = None) -> dict:
+        """Live view: per-submission states, per-tenant accounting."""
+        if sid is not None:
+            return self._sub_status(self._subs[sid])
+        tenants: dict[str, dict] = {}
+        for sub in self._subs.values():
+            t = tenants.setdefault(
+                sub.tenant.name,
+                {
+                    "weight": sub.tenant.weight,
+                    "priority": sub.tenant.priority,
+                    "node_seconds": 0.0,
+                    "n_tasks_done": 0,
+                    "submissions": {},
+                },
+            )
+            t["node_seconds"] += sub.node_seconds
+            t["n_tasks_done"] += sub.n_tasks_done
+            t["submissions"][sub.name] = self._sub_status(sub)
+        shares = self.sched.shares()
+        for name, t in tenants.items():
+            t["share"] = shares.get(name, 0.0)
+        return {"now": self.pilot.executor.now, "tenants": tenants}
+
+    def result(self, sid: str) -> object:
+        """The submission's science output (its work source's result)."""
+        return self._subs[sid].work.result()
+
+    def result_digest(self, sid: str) -> str:
+        """Digest of the submission's deterministic observables."""
+        return self._subs[sid].work.result_digest()
+
+    def _sub_status(self, sub: Submission) -> dict:
+        assert sub.state in SUBMISSION_STATES
+        out = {
+            "state": sub.state,
+            "units_done": sub.units_done,
+            "n_tasks_done": sub.n_tasks_done,
+            "node_seconds": sub.node_seconds,
+            "n_pending": len(sub._pending),
+            "n_inflight": len(sub._inflight),
+            "failures": sub.failures.summary(),
+        }
+        if sub.error:
+            out["error"] = sub.error
+        return out
+
+    # ------------------------------------------------------ scripted events
+    def at(self, time: float, op: str, **payload) -> None:
+        """Schedule a scripted ``submit``/``cancel`` at a virtual time.
+
+        Events apply when the shared clock reaches ``time``; ties break
+        by scheduling order.  This is what makes a scenario a pure
+        function of its script: arrival is keyed to the virtual clock,
+        not to wall-clock races.
+        """
+        if op not in ("submit", "cancel"):
+            raise ValueError(f"unknown scripted op {op!r}")
+        self._events.append((time, self._event_seq, op, payload))
+        self._event_seq += 1
+        self._events.sort(key=lambda e: (e[0], e[1]))
+
+    def _apply(self, op: str, payload: dict) -> None:
+        if op == "submit":
+            self.submit(payload["tenant"], payload["name"], payload["work"])
+        elif op == "cancel":
+            self.cancel(payload["sid"])
+
+    def _drain_due(self) -> None:
+        now = self.pilot.executor.now
+        while self._events and self._events[0][0] <= now:
+            _, _, op, payload = self._events.pop(0)
+            self._apply(op, payload)
+        while self._commands:
+            op, payload = self._commands.popleft()
+            self._apply(op, payload)
+
+    # ------------------------------------------------------- the drive loop
+    def _start_iterating(self, sub: Submission) -> None:
+        ctx = WorkContext(
+            tenant=sub.tenant.name,
+            submission=sub.name,
+            next_uid=lambda s=sub: self._draw_uid(s),
+        )
+        sub._units = sub.work.units(ctx)
+        sub.state = "running"
+
+    def _draw_uid(self, sub: Submission) -> int:
+        uid = sub._uid_base + sub._next_uid
+        sub._next_uid += 1
+        if sub._next_uid >= _UID_SPACE:  # pragma: no cover - 2^40 tasks
+            raise RuntimeError(f"submission {sub.sid} exhausted its uid space")
+        return uid
+
+    def _fail(self, sub: Submission, exc: Exception) -> None:
+        sub.state = "failed"
+        sub.error = f"{type(exc).__name__}: {exc}"
+        sub._pending.drop_where(lambda _t: True)
+        self.pilot.cancel_pending(lambda t: sub.owns_uid(t.uid))
+        self._retire_tenant_if_idle(sub.tenant.name)
+        _log.warning("submission %s failed: %s", sub.sid, sub.error)
+
+    def _advance(self, sub: Submission) -> None:
+        """Run science / fetch units until the submission has real work."""
+        while sub.active:
+            if sub._units is None:
+                self._start_iterating(sub)
+                assert sub._units is not None
+            if sub._current is not None:
+                if len(sub._pending) or sub._inflight:
+                    return  # unit still paying its simulated cost
+                try:
+                    sub._current.run_science()
+                except Exception as exc:  # noqa: BLE001 - tenant isolation
+                    self._fail(sub, exc)
+                    return
+                sub.units_done += 1
+                sub._current = None
+            try:
+                unit = next(sub._units)
+            except StopIteration:
+                sub.state = "done"
+                self._retire_tenant_if_idle(sub.tenant.name)
+                _log.info("submission %s done (%d units)", sub.sid, sub.units_done)
+                return
+            except Exception as exc:  # noqa: BLE001 - tenant isolation
+                self._fail(sub, exc)
+                return
+            sub._current = unit
+            try:
+                for task in unit.tasks:
+                    self.pilot.validate_fits(task)
+            except ValueError as exc:
+                self._fail(sub, exc)
+                return
+            for task in unit.tasks:
+                sub._pending.push(task)
+            if not unit.tasks:
+                continue  # zero-cost unit (e.g. checkpoint fast-forward)
+            return
+
+    def _retire_tenant_if_idle(self, tenant_name: str) -> None:
+        """Drop a tenant from the share ledger when nothing remains."""
+        if any(
+            s.active for s in self._subs.values() if s.tenant.name == tenant_name
+        ):
+            return
+        self.sched.remove(tenant_name)
+
+    # -- placement ---------------------------------------------------------
+    def _task_cost(self, task: TaskSpec) -> float:
+        """Node-seconds a task will occupy (the stride charge)."""
+        spec = self.pilot.spec
+        duration = task.duration or 0.0
+        if task.nodes > 1:
+            return duration * task.nodes
+        fraction = max(
+            task.gpus / spec.gpus if spec.gpus else 0.0,
+            task.cpus / spec.cpus if spec.cpus else 0.0,
+        )
+        return duration * fraction
+
+    def _tenant_inflight(self, tenant_name: str) -> int:
+        return sum(
+            len(s._inflight)
+            for s in self._subs.values()
+            if s.tenant.name == tenant_name
+        )
+
+    def _has_headroom(self, sub: Submission) -> bool:
+        quota = sub.tenant.quota.max_concurrent_tasks
+        if quota is None:
+            return True
+        return self._tenant_inflight(sub.tenant.name) < quota
+
+    def _placement_pass(self) -> None:
+        """Fair-share grants until nothing eligible fits."""
+        # retries first: they have waited longest and hold the tail.
+        # They bypass the share ledger and the concurrency quota — a
+        # retried task is the same work item; its claim was charged
+        # when it first started.
+        self.pilot.submit_ready([])
+        blocked: set[str] = set()
+        while True:
+            candidates: dict[str, list[Submission]] = {}
+            for sub in sorted(self._subs.values(), key=lambda s: s.join_seq):
+                if not sub.active or not len(sub._pending):
+                    continue
+                if sub.tenant.name in blocked or not self._has_headroom(sub):
+                    continue
+                candidates.setdefault(sub.tenant.name, []).append(sub)
+            eligible = sorted(candidates)
+            winner = self.sched.pick(eligible)
+            if winner is None:
+                return
+            started: TaskSpec | None = None
+            for sub in candidates[winner]:
+                started = sub._pending.try_start_one(self.pilot.start_task)
+                if started is not None:
+                    sub._inflight.add(started.uid)
+                    break
+            if started is None:
+                # nothing of this tenant's fits the free slots; within a
+                # pass resources only shrink, so set it aside
+                blocked.add(winner)
+                continue
+            self.sched.commit(winner, eligible, self._task_cost(started))
+
+    # -- completion --------------------------------------------------------
+    def _owner(self, uid: int) -> Submission | None:
+        sid = self._by_base.get((uid // _UID_SPACE) * _UID_SPACE)
+        return self._subs.get(sid) if sid is not None else None
+
+    def _attribute(self, record: TaskRecord) -> None:
+        """Charge one finished attempt to its owning submission."""
+        sub = self._owner(record.spec.uid)
+        if sub is None:  # pragma: no cover - foreign task on shared pilot
+            return
+        spec = self.pilot.spec
+        sub.tasklog.append(record)
+        sub.node_seconds += record.node_seconds(spec.gpus, spec.cpus)
+        if record.state is TaskState.DONE:
+            sub.failures.record_success(record.attempt)
+            sub.n_tasks_done += 1
+            sub._inflight.discard(record.spec.uid)
+        elif record.state is TaskState.RETRYING:
+            # the pilot re-queued it; recompute the policy's backoff (a
+            # pure function) instead of rescanning the pilot ledger
+            assert self.pilot.retry is not None
+            sub.failures.record_failure(record.wall_time, record.timed_out)
+            sub.failures.record_retry(
+                self.pilot.retry.backoff(record.spec.uid, record.attempt)
+            )
+        else:  # FAILED: retries exhausted, dropped by the pilot
+            sub.failures.record_failure(record.wall_time, record.timed_out)
+            sub.failures.record_drop(record.spec.stage)
+            sub.n_tasks_done += 1
+            sub._inflight.discard(record.spec.uid)
+        self._check_budget(sub.tenant.name)
+
+    def _check_budget(self, tenant_name: str) -> None:
+        subs = [s for s in self._subs.values() if s.tenant.name == tenant_name]
+        budget = subs[0].tenant.quota.node_seconds_budget
+        if budget is None:
+            return
+        used = sum(s.node_seconds for s in subs)
+        if used < budget:
+            return
+        for sub in subs:
+            if sub.active:
+                sub.state = "quota_exhausted"
+                sub.error = (
+                    f"node-seconds budget exhausted: {used:.0f} >= {budget:.0f}"
+                )
+                sub._pending.drop_where(lambda _t: True)
+                self.pilot.cancel_pending(lambda t, s=sub: s.owns_uid(t.uid))
+                _log.warning("submission %s hit its budget", sub.sid)
+        self._retire_tenant_if_idle(tenant_name)
+
+    # -- the loop ----------------------------------------------------------
+    def _step(self) -> bool:
+        """One scheduling round; returns False when fully quiescent."""
+        self._drain_due()
+        for sub in sorted(self._subs.values(), key=lambda s: s.join_seq):
+            if sub.active:
+                self._advance(sub)
+        self._placement_pass()
+        if self.pilot.n_running:
+            try:
+                self._attribute(self.pilot.wait_one())
+            except TaskFailedError as exc:
+                # fail_fast pilots surface the record; isolate the blast
+                # radius to the owning tenant and keep serving the rest
+                if exc.record is not None:
+                    sub = self._owner(exc.record.spec.uid)
+                    if sub is not None:
+                        sub.failures.record_failure(
+                            exc.record.wall_time, exc.record.timed_out
+                        )
+                        sub.failures.record_drop(exc.record.spec.stage)
+                        self._fail(sub, exc)
+                        return True
+                raise
+            return True
+        if self.pilot.n_waiting_retry:
+            self.pilot.advance_to_next_retry()
+            return True
+        if self._events:
+            self.pilot.executor.wait_until(self._events[0][0])
+            return True
+        if self._commands:
+            return True
+        # quiescent: every submission must be terminal, else we deadlocked
+        stuck = [s.sid for s in self._subs.values() if s.active]
+        if stuck:
+            raise RuntimeError(
+                f"service deadlock: submissions {stuck} have work but "
+                "nothing can be placed"
+            )
+        return False
+
+    def run_until_idle(self) -> dict:
+        """Drive everything to a terminal state; returns :meth:`status`."""
+        while self._step():
+            pass
+        return self.status()
+
+    # ------------------------------------------------------------- asyncio
+    async def submit_async(self, tenant: Tenant, name: str, work: WorkSource) -> str:
+        """Enqueue a live submission; applied at the next loop boundary."""
+        sid = f"{tenant.name}/{name}"
+        self._commands.append(("submit", {"tenant": tenant, "name": name, "work": work}))
+        return sid
+
+    async def cancel_async(self, sid: str) -> None:
+        """Enqueue a live cancellation; applied at the next loop boundary."""
+        self._commands.append(("cancel", {"sid": sid}))
+
+    async def serve(self) -> dict:
+        """Asyncio drive loop: yields control every scheduling round.
+
+        Runs until quiescent *and* no live commands are pending.  Pair
+        with :meth:`submit_async`/:meth:`cancel_async` from concurrent
+        coroutines; commands are drained at loop boundaries in arrival
+        order, which keeps the schedule deterministic for a fixed
+        arrival sequence.
+        """
+        import asyncio
+
+        while True:
+            progressed = self._step()
+            await asyncio.sleep(0)
+            if not progressed and not self._commands:
+                return self.status()

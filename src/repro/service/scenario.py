@@ -1,0 +1,184 @@
+"""Scripted multi-tenant scenarios: the service as a pure function.
+
+A scenario is a declarative script — which tenants submit what, at which
+*virtual* times, and who cancels when — plus the substrate shape (nodes,
+faults, retry policy).  :func:`run_scenario` builds a fresh shared
+pilot, applies the script, drives the manager to quiescence and returns
+a :class:`ScenarioReport` with per-tenant statuses, result digests, and
+the byte-exact exported trace.
+
+Because arrivals are keyed to the virtual clock and every manager
+tie-break is total, the whole run is a pure function of
+``(scenario, seed)``: re-running exports byte-identical traces and
+bit-identical digests.  ``repro serve --check`` runs a scenario twice
+and diffs the bytes — the service twin of ``repro trace --check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.rct.backends import create_executor
+from repro.rct.cluster import Cluster, NodeSpec, SUMMIT_NODE
+from repro.rct.fault import FaultModel, RetryPolicy
+from repro.rct.pilot import Pilot
+from repro.service.manager import CampaignManager
+from repro.service.tenant import Quota, Tenant
+from repro.service.work import SyntheticWork, WorkSource
+from repro.telemetry import ExecutorClock, Tracer, to_jsonl
+
+__all__ = ["ScenarioEvent", "Scenario", "ScenarioReport", "run_scenario", "demo_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scripted action at a virtual time.
+
+    ``work`` is a *factory* (not an instance) so a scenario can be run
+    many times — each run builds fresh, unconsumed work sources.
+    """
+
+    at: float
+    op: str  # "submit" | "cancel"
+    tenant: Tenant | None = None  # submit only
+    name: str = ""  # submission name (submit) or "<tenant>/<name>" sid (cancel)
+    work: Callable[[], WorkSource] | None = None  # submit only
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("event time must be non-negative")
+        if self.op == "submit":
+            if self.tenant is None or self.work is None or not self.name:
+                raise ValueError("submit events need tenant, name and work")
+        elif self.op == "cancel":
+            if not self.name:
+                raise ValueError("cancel events need the submission id")
+        else:
+            raise ValueError(f"unknown scenario op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A full scripted run: events + substrate shape."""
+
+    events: tuple
+    n_nodes: int = 32
+    node: NodeSpec = SUMMIT_NODE
+    launch_overhead: float = 0.5
+    fault_model: FaultModel | None = None
+    retry: RetryPolicy | None = None
+    preempt_bound: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            raise ValueError("scenario needs at least one event")
+        if self.n_nodes < 1:
+            raise ValueError("scenario needs at least one node")
+
+
+@dataclass
+class ScenarioReport:
+    """What one scenario run produced."""
+
+    status: dict
+    digests: dict[str, str] = field(default_factory=dict)
+    trace_jsonl: str = ""
+    makespan: float = 0.0
+
+    def tenant_states(self) -> dict[str, dict[str, str]]:
+        """tenant → {submission name → state} (compact view)."""
+        return {
+            tname: {
+                name: sub["state"] for name, sub in t["submissions"].items()
+            }
+            for tname, t in self.status["tenants"].items()
+        }
+
+
+def build_manager(scenario: Scenario) -> CampaignManager:
+    """Fresh shared substrate + manager for one scenario run."""
+    executor = create_executor(
+        "sim",
+        launch_overhead=scenario.launch_overhead,
+        fault_model=scenario.fault_model,
+    )
+    cluster = Cluster(scenario.n_nodes, spec=scenario.node)
+    allocation = cluster.allocate(scenario.n_nodes, now=0.0)
+    tracer = Tracer(clock=ExecutorClock(executor))
+    pilot = Pilot(
+        allocation,
+        executor,
+        retry=scenario.retry,
+        failure_policy="drop_and_continue",
+        tracer=tracer,
+    )
+    return CampaignManager(pilot, preempt_bound=scenario.preempt_bound)
+
+
+def run_scenario(scenario: Scenario) -> ScenarioReport:
+    """Run one scripted scenario to quiescence (deterministic)."""
+    manager = build_manager(scenario)
+    for event in scenario.events:
+        if event.op == "submit":
+            assert event.work is not None  # validated in __post_init__
+            manager.at(
+                event.at,
+                "submit",
+                tenant=event.tenant,
+                name=event.name,
+                work=event.work(),
+            )
+        else:
+            manager.at(event.at, "cancel", sid=event.name)
+    status = manager.run_until_idle()
+    digests: dict[str, str] = {}
+    for sid, sub in manager._subs.items():
+        if sub.state == "done":
+            digests[sid] = sub.work.result_digest()
+    return ScenarioReport(
+        status=status,
+        digests=digests,
+        trace_jsonl=to_jsonl(manager.pilot.tracer),
+        makespan=manager.pilot.executor.now,
+    )
+
+
+def demo_scenario(seed: int = 0) -> Scenario:
+    """The scripted 3-tenant demo: weights 4:2:1, one live cancel.
+
+    Gold (weight 4, priority 1) and silver (weight 2) submit at t=0;
+    bronze (weight 1, with a tight node-seconds budget) joins late at
+    t=600.  Silver's second submission is cancelled mid-run at t=2000 —
+    queued work vanishes, running tasks drain.  Small enough for CI,
+    contended enough that fair-share and quotas all actually engage.
+    """
+    gold = Tenant(name="gold", weight=4, priority=1)
+    silver = Tenant(name="silver", weight=2)
+    bronze = Tenant(
+        name="bronze",
+        weight=1,
+        quota=Quota(node_seconds_budget=4_500.0),
+    )
+
+    def synthetic(n_units: int, tasks: int, duration: float, s: int):
+        return lambda: SyntheticWork(
+            n_units=n_units,
+            tasks_per_unit=tasks,
+            duration=duration,
+            gpus=1,
+            seed=s,
+        )
+
+    return Scenario(
+        events=(
+            ScenarioEvent(0.0, "submit", gold, "alpha", synthetic(6, 24, 300.0, seed)),
+            ScenarioEvent(0.0, "submit", silver, "beta", synthetic(6, 24, 300.0, seed + 1)),
+            ScenarioEvent(0.0, "submit", silver, "gamma", synthetic(6, 18, 250.0, seed + 2)),
+            ScenarioEvent(600.0, "submit", bronze, "delta", synthetic(8, 16, 250.0, seed + 3)),
+            ScenarioEvent(2000.0, "cancel", name="silver/gamma"),
+        ),
+        n_nodes=4,
+        retry=RetryPolicy(max_retries=2, backoff_base=5.0, seed=seed),
+        fault_model=FaultModel(failure_rate=0.05, seed=seed),
+    )

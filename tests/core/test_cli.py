@@ -84,3 +84,13 @@ def test_stream_command_kill_and_resume_byte_identical(tmp_path, capsys):
     a = (tmp_path / "a.csv").read_bytes()
     assert a == (tmp_path / "b.csv").read_bytes()
     assert a.count(b"\n") == 5  # header + keep-top rows
+
+
+def test_serve_command_replays_byte_identically(tmp_path, capsys):
+    trace = tmp_path / "serve.jsonl"
+    assert main(["serve", "--check", "--trace", str(trace)]) == 0
+    captured = capsys.readouterr()
+    assert "replay check: byte-identical" in captured.err
+    assert "quota_exhausted" in captured.out
+    assert "cancelled" in captured.out
+    assert trace.read_text().count("\n") > 100

@@ -1,0 +1,101 @@
+"""The stage-unit decomposition is ``run()`` sliced, not a fork of it.
+
+:meth:`ImpeccableCampaign.iter_units` must yield resumable stage units
+whose stepped execution is observationally identical to the monolithic
+``run()`` — same fingerprint, same unit protocol guarantees (a unit must
+be completed before the next one is built, never completed twice).
+"""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, ImpeccableCampaign, StageUnit
+from repro.docking.lga import LGAConfig
+from repro.esmacs.protocol import EsmacsConfig
+from repro.surrogate.train import TrainConfig
+
+from .test_campaign_determinism import _config, _fingerprint
+
+
+def tiny_config(seed=0):
+    """Smallest campaign that still visits every stage (~1s)."""
+    small = dict(
+        equilibration_ns=0.5,
+        production_ns=1.0,
+        steps_per_ns=6,
+        n_residues=40,
+        record_every=2,
+        minimize_iterations=8,
+    )
+    return CampaignConfig(
+        library_size=16,
+        seed_train_size=6,
+        iterations=1,
+        cg_compounds=2,
+        s2_top_compounds=1,
+        s2_outliers_per_compound=1,
+        docking=LGAConfig(population=8, generations=3),
+        surrogate=TrainConfig(epochs=2, batch_size=8, width=4),
+        cg=EsmacsConfig(replicas=2, **small),
+        fg=EsmacsConfig(replicas=2, **small),
+        compute_enrichment=False,
+        failure_policy="drop_and_continue",
+        seed=seed,
+    )
+
+
+def test_stepped_units_match_monolithic_run():
+    baseline = ImpeccableCampaign(_config()).run()
+    stepped = ImpeccableCampaign(_config())
+    units = []
+    for unit in stepped.iter_units():
+        units.append(unit)
+        unit.complete()
+    assert stepped.result is not None
+    assert _fingerprint(stepped.result) == _fingerprint(baseline)
+    # seed bootstrap first, retrain last, every unit completed
+    assert units[0].unit_id == "seed"
+    assert units[-1].stage == "retrain"
+    assert all(u.done for u in units)
+
+
+def test_unit_ids_name_iteration_and_stage():
+    campaign = ImpeccableCampaign(tiny_config())
+    ids = []
+    for unit in campaign.iter_units():
+        ids.append(unit.unit_id)
+        unit.complete()
+    assert ids[0] == "seed"
+    assert "it0/ML1" in ids
+    assert "it0/S1" in ids
+    assert "it0/retrain" in ids
+    assert len(ids) == len(set(ids))
+
+
+def test_advancing_without_complete_raises():
+    campaign = ImpeccableCampaign(tiny_config())
+    gen = campaign.iter_units()
+    next(gen)  # seed unit, deliberately not completed
+    with pytest.raises(RuntimeError, match="complete"):
+        next(gen)
+
+
+def test_completing_a_unit_twice_raises():
+    campaign = ImpeccableCampaign(tiny_config())
+    unit = next(campaign.iter_units())
+    unit.complete()
+    with pytest.raises(RuntimeError):
+        unit.complete()
+
+
+def test_stageunit_dataclass_shape():
+    unit = StageUnit("S1", 0, 12, lambda: None)
+    assert unit.unit_id == "it0/S1"
+    assert not unit.done
+    seed = StageUnit("seed", -1, 6, lambda: None)
+    assert seed.unit_id == "seed"
+
+
+def test_run_still_returns_result():
+    result = ImpeccableCampaign(tiny_config()).run()
+    assert result.iterations
+    assert result.docked_scores

@@ -1,0 +1,1 @@
+"""Tests for the multi-tenant campaign service."""
